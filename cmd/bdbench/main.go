@@ -1,0 +1,86 @@
+// Command bdbench characterizes the 32 BigDataBench workloads (or a named
+// subset) on the simulated five-node cluster and writes the workload×45
+// metric matrix as CSV — the data-collection stage of the paper (§IV).
+//
+// Usage:
+//
+//	bdbench [-out metrics.csv] [-workloads H-Sort,S-Sort] [-nodes 4]
+//	        [-instructions 60000] [-scale 4096] [-seed 20140901]
+//	        [-runs 1] [-no-multiplex] [-jitter 0.06]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out         = flag.String("out", "", "output CSV path (default stdout)")
+		sel         = flag.String("workloads", "", "comma-separated workload names (default all 32)")
+		nodes       = flag.Int("nodes", 4, "slave nodes to measure")
+		instr       = flag.Int("instructions", 60000, "instructions per core per node")
+		scale       = flag.Float64("scale", 4096, "divisor applied to the paper's dataset sizes")
+		seed        = flag.Uint64("seed", 20140901, "seed for all stochastic components")
+		runs        = flag.Int("runs", 1, "measurement repetitions to average")
+		noMultiplex = flag.Bool("no-multiplex", false, "disable PMC time multiplexing (exact counts)")
+		jitter      = flag.Float64("jitter", 0.06, "node/run execution variation sigma")
+	)
+	flag.Parse()
+
+	suiteCfg := workloads.Config{Seed: *seed, Scale: *scale}
+	suite, err := workloads.Suite(suiteCfg)
+	if err != nil {
+		return err
+	}
+	if *sel != "" {
+		var picked []workloads.Workload
+		for _, name := range strings.Split(*sel, ",") {
+			w, err := workloads.ByName(suite, strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			picked = append(picked, w)
+		}
+		suite = picked
+	}
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.SlaveNodes = *nodes
+	ccfg.InstructionsPerCore = *instr
+	ccfg.Seed = *seed
+	ccfg.Runs = *runs
+	ccfg.ExecutionJitter = *jitter
+	ccfg.Monitor.Multiplex = !*noMultiplex
+
+	fmt.Fprintf(os.Stderr, "characterizing %d workloads on %d nodes (%d instr/core, %d run(s))...\n",
+		len(suite), *nodes, *instr, *runs)
+	ds, err := core.CharacterizeSuite(suite, ccfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return ds.WriteCSV(w)
+}

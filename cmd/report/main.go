@@ -1,0 +1,128 @@
+// Command report regenerates every table and figure of the paper's
+// evaluation from a full simulated characterization run: Tables I–V,
+// Figures 1–6, and the Section V observations.
+//
+// Usage:
+//
+//	report                  # everything (characterizes first, ~1 min)
+//	report -only table4     # a single artifact
+//	report -in metrics.csv  # reuse a cached characterization
+//	report -save metrics.csv# cache the characterization for later runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim/machine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in   = flag.String("in", "", "reuse a cached metrics CSV instead of simulating")
+		save = flag.String("save", "", "write the characterization CSV here")
+		only = flag.String("only", "", "one of: table1..table5, figure1..figure6, observations")
+		seed = flag.Uint64("seed", 20140901, "seed for all stochastic components")
+	)
+	flag.Parse()
+
+	suiteCfg := workloads.DefaultConfig()
+	suiteCfg.Seed = *seed
+	suite, err := workloads.Suite(suiteCfg)
+	if err != nil {
+		return err
+	}
+
+	var ds *core.Dataset
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		ds, err = core.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		ccfg := cluster.DefaultConfig()
+		ccfg.Seed = *seed
+		fmt.Fprintln(os.Stderr, "characterizing 32 workloads on the simulated cluster (~1 min)...")
+		ds, err = core.CharacterizeSuite(suite, ccfg)
+		if err != nil {
+			return err
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := ds.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	an, err := core.Analyze(ds, core.DefaultAnalysis())
+	if err != nil {
+		return err
+	}
+	obs, err := an.Observe()
+	if err != nil {
+		return err
+	}
+	fig5, err := report.Figure5(an, obs)
+	if err != nil {
+		return err
+	}
+
+	artifacts := []struct {
+		key  string
+		body string
+	}{
+		{"table1", report.Table1(suite)},
+		{"table2", report.Table2()},
+		{"table3", report.Table3(machine.Westmere())},
+		{"figure1", report.Figure1(an)},
+		{"figure2", report.Figure2(an)},
+		{"figure3", report.Figure3(an)},
+		{"figure4", report.Figure4(an)},
+		{"figure5", fig5},
+		{"table4", report.Table4(an)},
+		{"table5", report.Table5(an)},
+		{"figure6", report.Figure6(an)},
+		{"observations", report.ObservationsReport(obs)},
+	}
+
+	want := strings.ToLower(*only)
+	found := false
+	for _, a := range artifacts {
+		if want != "" && a.key != want {
+			continue
+		}
+		found = true
+		fmt.Println(a.body)
+		fmt.Println()
+	}
+	if want != "" && !found {
+		return fmt.Errorf("unknown artifact %q", *only)
+	}
+	return nil
+}

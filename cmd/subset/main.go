@@ -1,0 +1,100 @@
+// Command subset runs the paper's statistical pipeline — z-score
+// normalization, PCA with Kaiser's criterion, single-linkage hierarchical
+// clustering, BIC-driven K-means, and representative selection — on a
+// metric matrix produced by bdbench (or any CSV of the same shape), and
+// prints the subsetting result (§VI).
+//
+// Usage:
+//
+//	subset -in metrics.csv [-kmin 2] [-kmax 12] [-linkage single]
+//	       [-pc kaiser|variance] [-variance 0.9] [-policy farthest|nearest]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster/hier"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "subset:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in       = flag.String("in", "", "input CSV (required; produce with bdbench)")
+		kmin     = flag.Int("kmin", 2, "minimum K for the BIC scan")
+		kmax     = flag.Int("kmax", 12, "maximum K for the BIC scan")
+		linkage  = flag.String("linkage", "single", "hierarchical linkage: single|complete|average|ward")
+		pcsel    = flag.String("pc", "kaiser", "PC selection: kaiser|variance")
+		variance = flag.Float64("variance", 0.9, "variance fraction for -pc variance")
+		policy   = flag.String("policy", "farthest", "representative policy: farthest|nearest")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := core.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	acfg := core.DefaultAnalysis()
+	acfg.KMin, acfg.KMax = *kmin, *kmax
+	acfg.VarianceFrac = *variance
+	switch *pcsel {
+	case "kaiser":
+		acfg.PCSelection = core.Kaiser
+	case "variance":
+		acfg.PCSelection = core.VarianceThreshold
+	default:
+		return fmt.Errorf("unknown -pc %q", *pcsel)
+	}
+	switch *linkage {
+	case "single":
+		acfg.Linkage = hier.Single
+	case "complete":
+		acfg.Linkage = hier.Complete
+	case "average":
+		acfg.Linkage = hier.Average
+	case "ward":
+		acfg.Linkage = hier.Ward
+	default:
+		return fmt.Errorf("unknown -linkage %q", *linkage)
+	}
+
+	an, err := core.Analyze(ds, acfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d workloads × %d metrics; %d PCs retained (%.2f%% variance)\n\n",
+		len(ds.Labels), len(ds.Metrics), an.NumPCs, an.Variance*100)
+	fmt.Println(report.Table4(an))
+	fmt.Println(report.Table5(an))
+
+	reps := an.FarthestReps
+	if *policy == "nearest" {
+		reps = an.NearestReps
+	} else if *policy != "farthest" {
+		return fmt.Errorf("unknown -policy %q", *policy)
+	}
+	fmt.Printf("Selected subset (%s policy):\n", *policy)
+	for _, r := range reps {
+		fmt.Printf("  %s (represents %d workloads)\n", r.Workload, r.ClusterSize)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Customsuite shows that the library generalizes beyond BigDataBench: it
+// defines a brand-new workload from scratch (a streaming log analyzer on
+// both stacks), characterizes it together with a few standard workloads,
+// and subsets the combined suite — the workflow a benchmark designer
+// would use to decide whether a new workload is redundant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/stack"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// logAnalyzer builds a custom workload profile on the given stack: a
+// sequential scan with a small hot dictionary, very branch-heavy.
+func logAnalyzer(st stack.Profile) workloads.Workload {
+	user := trace.Params{
+		LoadFrac: 0.33, StoreFrac: 0.04, BranchFrac: 0.26, FPFrac: 0.002, SSEFrac: 0.004,
+		KernelFrac:     0.03,
+		UopsPerInstr:   1.3,
+		ComplexFrac:    0.06,
+		DepFrac:        0.2,
+		BranchEntropy:  0.1,
+		CodeFootprintB: 128 << 10, CodeJumpFrac: 0.09, CodeSkew: 0.6,
+		DataFootprintB: uint64(14 << 20 * st.DataScale), DataSkew: 0.55, SeqFrac: 0.9,
+		SharedFrac: 0, SharedFootprintB: 1 << 20, SharedWriteFrac: 0.1,
+	}
+	compute := trace.Blend(user, st.Base, st.Dominance)
+	shuffle := compute
+	shuffle.KernelFrac = st.ShuffleKernelFrac
+	shuffle.SeqFrac = st.ShuffleSeqFrac
+	prof := trace.Profile{
+		Name:        st.Prefix + "LogAnalyzer",
+		Compute:     compute,
+		Shuffle:     shuffle,
+		ShuffleFrac: 0.1,
+		PhasePeriod: 8192,
+	}
+	return workloads.Workload{
+		Name:        prof.Name,
+		Algorithm:   "LogAnalyzer",
+		Stack:       st,
+		Category:    workloads.CategoryOffline,
+		ProblemSize: "64 GB (custom)",
+		DataType:    "unstructured log",
+		Profile:     prof,
+	}
+}
+
+func main() {
+	std, err := workloads.Suite(workloads.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var suite []workloads.Workload
+	for _, name := range []string{"H-Grep", "S-Grep", "H-WordCount", "S-WordCount", "H-Sort", "S-Sort"} {
+		w, err := workloads.ByName(std, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite = append(suite, w)
+	}
+	suite = append(suite, logAnalyzer(stack.Hadoop()), logAnalyzer(stack.Spark()))
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.SlaveNodes = 2
+	ccfg.InstructionsPerCore = 20000
+	ds, err := core.CharacterizeSuite(suite, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acfg := core.DefaultAnalysis()
+	acfg.KMax = 6
+	an, err := core.Analyze(ds, acfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("suite of %d workloads → %d clusters (BIC)\n\n", len(suite), an.KBest.K)
+	for c := 0; c < an.KBest.K; c++ {
+		fmt.Printf("cluster %d:", c+1)
+		for _, i := range an.KBest.Members(c) {
+			fmt.Printf(" %s", ds.Labels[i])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nverdict for the new workloads:")
+	for _, name := range []string{"H-LogAnalyzer", "S-LogAnalyzer"} {
+		for i, l := range ds.Labels {
+			if l != name {
+				continue
+			}
+			members := an.KBest.Members(an.KBest.Assign[i])
+			if len(members) == 1 {
+				fmt.Printf("  %s exhibits unique behaviour → keep it in the suite\n", name)
+			} else {
+				fmt.Printf("  %s clusters with %d existing workloads → redundant for\n", name, len(members)-1)
+				fmt.Println("    microarchitectural studies; an existing representative covers it")
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: characterize a handful of BigDataBench workloads on the
+// simulated cluster, run the paper's PCA + clustering pipeline, and print
+// the representative subset. Runs in a few seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+)
+
+func main() {
+	// Build the standard 32-workload suite and pick six of them.
+	suite, err := workloads.Suite(workloads.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var picked []workloads.Workload
+	for _, name := range []string{"H-Sort", "S-Sort", "H-Grep", "S-Grep", "H-Kmeans", "S-Kmeans"} {
+		w, err := workloads.ByName(suite, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		picked = append(picked, w)
+	}
+
+	// Characterize them on a scaled-down cluster (1 node, small budget).
+	ccfg := cluster.DefaultConfig()
+	ccfg.SlaveNodes = 1
+	ccfg.InstructionsPerCore = 10000
+	ds, err := core.CharacterizeSuite(picked, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the full statistical pipeline.
+	acfg := core.DefaultAnalysis()
+	acfg.KMax = 4
+	an, err := core.Analyze(ds, acfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d PCs retained (Kaiser), %.1f%% variance\n", an.NumPCs, an.Variance*100)
+	fmt.Printf("BIC selected K = %d clusters\n", an.KBest.K)
+	fmt.Println("representative subset (farthest-from-centroid policy):")
+	for _, r := range an.FarthestReps {
+		fmt.Printf("  %-12s represents %d workload(s)\n", r.Workload, r.ClusterSize)
+	}
+}

@@ -1,0 +1,193 @@
+// Package bdgs is the analog of BigDataBench's Big Data Generator Suite
+// (BDGS, paper §II item 4): it synthesizes the three data shapes the
+// workloads consume — Zipf-distributed text, preferential-attachment
+// graphs, and relational tables — at simulation scale, and measures the
+// statistical properties (cardinality, skew, record sizes) that the
+// workload models translate into memory-access behaviour.
+//
+// Sizes are scaled down from the paper's 44–224 GB datasets (DESIGN.md §2):
+// footprints remain far larger than the 12 MB L3, so the cache hierarchy
+// operates in the same regime, while generation completes in milliseconds.
+package bdgs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// TextStats summarizes a generated text corpus.
+type TextStats struct {
+	Words       int
+	Vocabulary  int     // distinct words actually produced
+	TotalBytes  uint64  // corpus size
+	TopWordFreq float64 // frequency of the most common word
+	MeanWordLen float64
+}
+
+// GenerateText produces a Zipf-distributed corpus of `words` words over a
+// vocabulary of `vocab` candidates with skew exponent s, and returns its
+// measured statistics. The corpus itself is returned as word indices so
+// workload models can derive hot-set sizes without storing strings.
+func GenerateText(r *rng.RNG, words, vocab int, s float64) ([]int32, TextStats, error) {
+	if words < 1 || vocab < 1 {
+		return nil, TextStats{}, fmt.Errorf("bdgs: words=%d vocab=%d must be ≥1", words, vocab)
+	}
+	if s < 0 {
+		return nil, TextStats{}, fmt.Errorf("bdgs: negative Zipf exponent %v", s)
+	}
+	z := rng.NewZipf(r, vocab, s)
+	corpus := make([]int32, words)
+	freq := make([]int, vocab)
+	var bytes uint64
+	for i := range corpus {
+		w := z.Next()
+		corpus[i] = int32(w)
+		freq[w]++
+		// Word length model: common words are short (Zipf's law of
+		// abbreviation): length 3 + rank-dependent tail.
+		bytes += uint64(3+int(math.Log1p(float64(w)))) + 1 // +1 separator
+	}
+	distinct, top := 0, 0
+	for _, f := range freq {
+		if f > 0 {
+			distinct++
+		}
+		if f > top {
+			top = f
+		}
+	}
+	return corpus, TextStats{
+		Words:       words,
+		Vocabulary:  distinct,
+		TotalBytes:  bytes,
+		TopWordFreq: float64(top) / float64(words),
+		MeanWordLen: float64(bytes)/float64(words) - 1,
+	}, nil
+}
+
+// GraphStats summarizes a generated graph.
+type GraphStats struct {
+	Vertices  int
+	Edges     int
+	MaxDegree int
+	MeanDeg   float64
+	// DegreeSkew is the fraction of all edges incident to the top 1 % of
+	// vertices — a direct measure of access concentration for PageRank-
+	// style gather operations.
+	DegreeSkew float64
+}
+
+// GenerateGraph builds a preferential-attachment (Barabási–Albert) graph
+// with the given vertex count and edges added per new vertex, returning
+// the edge list (pairs of vertex ids) and measured statistics.
+func GenerateGraph(r *rng.RNG, vertices, edgesPerVertex int) ([][2]int32, GraphStats, error) {
+	if vertices < 2 || edgesPerVertex < 1 {
+		return nil, GraphStats{}, fmt.Errorf("bdgs: vertices=%d edgesPerVertex=%d invalid", vertices, edgesPerVertex)
+	}
+	var edges [][2]int32
+	// Repeated-endpoint list implements preferential attachment cheaply.
+	endpoints := make([]int32, 0, 2*vertices*edgesPerVertex)
+	degree := make([]int, vertices)
+	// Seed: a small clique.
+	edges = append(edges, [2]int32{0, 1})
+	endpoints = append(endpoints, 0, 1)
+	degree[0]++
+	degree[1]++
+	for v := 2; v < vertices; v++ {
+		for e := 0; e < edgesPerVertex; e++ {
+			var target int32
+			if r.Bool(0.9) && len(endpoints) > 0 {
+				target = endpoints[r.Intn(len(endpoints))]
+			} else {
+				target = int32(r.Intn(v))
+			}
+			if int(target) == v {
+				target = int32((v + 1) % v)
+			}
+			edges = append(edges, [2]int32{int32(v), target})
+			endpoints = append(endpoints, int32(v), target)
+			degree[v]++
+			degree[target]++
+		}
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range degree {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Degree mass of the hottest 1 % of vertices.
+	top := vertices / 100
+	if top < 1 {
+		top = 1
+	}
+	sorted := append([]int(nil), degree...)
+	// Partial selection: simple sort is fine at these sizes.
+	for i := 0; i < top; i++ {
+		maxIdx := i
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[maxIdx] {
+				maxIdx = j
+			}
+		}
+		sorted[i], sorted[maxIdx] = sorted[maxIdx], sorted[i]
+	}
+	hot := 0
+	for i := 0; i < top; i++ {
+		hot += sorted[i]
+	}
+	return edges, GraphStats{
+		Vertices:   vertices,
+		Edges:      len(edges),
+		MaxDegree:  maxDeg,
+		MeanDeg:    float64(sum) / float64(vertices),
+		DegreeSkew: float64(hot) / float64(sum),
+	}, nil
+}
+
+// TableStats summarizes a generated relational table (the e-commerce
+// transaction data set of Table I).
+type TableStats struct {
+	Rows        int
+	Columns     int
+	RowBytes    int
+	DistinctKey int     // distinct values in the key column
+	KeySkew     float64 // frequency of the most common key
+	TotalBytes  uint64
+}
+
+// GenerateTable produces a table of rows with an integer key column
+// (Zipf-distributed over keyCard candidates with exponent s) plus
+// `columns` fixed-width payload columns. The key column is returned for
+// the query workload models.
+func GenerateTable(r *rng.RNG, rows, columns, keyCard int, s float64) ([]int32, TableStats, error) {
+	if rows < 1 || columns < 1 || keyCard < 1 {
+		return nil, TableStats{}, fmt.Errorf("bdgs: rows=%d columns=%d keyCard=%d invalid", rows, columns, keyCard)
+	}
+	z := rng.NewZipf(r, keyCard, s)
+	keys := make([]int32, rows)
+	freq := make(map[int32]int, keyCard)
+	for i := range keys {
+		k := int32(z.Next())
+		keys[i] = k
+		freq[k]++
+	}
+	top := 0
+	for _, f := range freq {
+		if f > top {
+			top = f
+		}
+	}
+	rowBytes := 4 + columns*8
+	return keys, TableStats{
+		Rows:        rows,
+		Columns:     columns,
+		RowBytes:    rowBytes,
+		DistinctKey: len(freq),
+		KeySkew:     float64(top) / float64(rows),
+		TotalBytes:  uint64(rows) * uint64(rowBytes),
+	}, nil
+}

@@ -1,0 +1,184 @@
+package bdgs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGenerateTextValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, _, err := GenerateText(r, 0, 10, 1); err == nil {
+		t.Error("0 words accepted")
+	}
+	if _, _, err := GenerateText(r, 10, 0, 1); err == nil {
+		t.Error("0 vocab accepted")
+	}
+	if _, _, err := GenerateText(r, 10, 10, -1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+}
+
+func TestGenerateTextStats(t *testing.T) {
+	r := rng.New(2)
+	corpus, stats, err := GenerateText(r, 50000, 5000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 50000 || stats.Words != 50000 {
+		t.Fatalf("corpus size %d, stats %+v", len(corpus), stats)
+	}
+	if stats.Vocabulary < 1000 || stats.Vocabulary > 5000 {
+		t.Errorf("vocabulary = %d, want a reasonable subset of 5000", stats.Vocabulary)
+	}
+	// Zipf s=1: top word is roughly 1/H(n) of all words — clearly more
+	// than uniform 1/5000.
+	if stats.TopWordFreq < 0.02 {
+		t.Errorf("TopWordFreq = %v, want skewed (> 0.02)", stats.TopWordFreq)
+	}
+	if stats.TotalBytes == 0 || stats.MeanWordLen <= 0 {
+		t.Errorf("degenerate byte stats: %+v", stats)
+	}
+}
+
+func TestGenerateTextUniform(t *testing.T) {
+	r := rng.New(3)
+	_, stats, err := GenerateText(r, 50000, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TopWordFreq > 0.03 {
+		t.Errorf("uniform text top frequency %v, want ≈0.01", stats.TopWordFreq)
+	}
+	if stats.Vocabulary != 100 {
+		t.Errorf("uniform text should hit all %d words, got %d", 100, stats.Vocabulary)
+	}
+}
+
+func TestGenerateGraphValidation(t *testing.T) {
+	r := rng.New(4)
+	if _, _, err := GenerateGraph(r, 1, 1); err == nil {
+		t.Error("1 vertex accepted")
+	}
+	if _, _, err := GenerateGraph(r, 10, 0); err == nil {
+		t.Error("0 edges per vertex accepted")
+	}
+}
+
+func TestGenerateGraphPowerLaw(t *testing.T) {
+	r := rng.New(5)
+	edges, stats, err := GenerateGraph(r, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vertices != 2000 {
+		t.Errorf("Vertices = %d", stats.Vertices)
+	}
+	if len(edges) != stats.Edges {
+		t.Errorf("edge list %d vs stats %d", len(edges), stats.Edges)
+	}
+	// Preferential attachment: hub degree far above the mean, and the
+	// top 1% of vertices should hold a disproportionate share of edges.
+	if float64(stats.MaxDegree) < 5*stats.MeanDeg {
+		t.Errorf("MaxDegree %d vs mean %v: no hubs formed", stats.MaxDegree, stats.MeanDeg)
+	}
+	if stats.DegreeSkew < 0.05 {
+		t.Errorf("DegreeSkew = %v, want > 0.05 (top 1%% should be hot)", stats.DegreeSkew)
+	}
+	for _, e := range edges {
+		if e[0] < 0 || int(e[0]) >= 2000 || e[1] < 0 || int(e[1]) >= 2000 {
+			t.Fatalf("edge %v out of vertex range", e)
+		}
+	}
+}
+
+func TestGenerateTableValidation(t *testing.T) {
+	r := rng.New(6)
+	if _, _, err := GenerateTable(r, 0, 1, 1, 1); err == nil {
+		t.Error("0 rows accepted")
+	}
+	if _, _, err := GenerateTable(r, 1, 0, 1, 1); err == nil {
+		t.Error("0 columns accepted")
+	}
+}
+
+func TestGenerateTableStats(t *testing.T) {
+	r := rng.New(7)
+	keys, stats, err := GenerateTable(r, 20000, 8, 500, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 20000 || stats.Rows != 20000 {
+		t.Fatalf("keys %d, stats %+v", len(keys), stats)
+	}
+	if stats.DistinctKey > 500 || stats.DistinctKey < 100 {
+		t.Errorf("DistinctKey = %d, want ≤500 and substantial", stats.DistinctKey)
+	}
+	if stats.RowBytes != 4+8*8 {
+		t.Errorf("RowBytes = %d, want 68", stats.RowBytes)
+	}
+	if stats.TotalBytes != uint64(20000*stats.RowBytes) {
+		t.Errorf("TotalBytes = %d", stats.TotalBytes)
+	}
+	if stats.KeySkew < 0.01 {
+		t.Errorf("KeySkew = %v, want skewed under s=1", stats.KeySkew)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _, _ := GenerateText(rng.New(42), 1000, 100, 1)
+	b, _, _ := GenerateText(rng.New(42), 1000, 100, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different corpora")
+		}
+	}
+}
+
+// Property: text corpus word ids are always within the vocabulary.
+func TestQuickTextInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		vocab := 10 + r.Intn(100)
+		corpus, stats, err := GenerateText(r, 500, vocab, 1)
+		if err != nil {
+			return false
+		}
+		for _, w := range corpus {
+			if w < 0 || int(w) >= vocab {
+				return false
+			}
+		}
+		return stats.Vocabulary <= vocab && stats.TopWordFreq <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: graph degree sums to twice the edge count.
+func TestQuickGraphHandshake(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		v := 10 + r.Intn(200)
+		epv := 1 + r.Intn(4)
+		edges, stats, err := GenerateGraph(r, v, epv)
+		if err != nil {
+			return false
+		}
+		deg := make([]int, v)
+		for _, e := range edges {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		sum := 0
+		for _, d := range deg {
+			sum += d
+		}
+		return sum == 2*stats.Edges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package cluster reproduces the paper's experimental setup (§IV): a
+// five-node cluster — one master plus four slaves, each a two-socket Xeon
+// E5645 node — running each workload across the slaves while per-node PMCs
+// collect microarchitectural events. Per the paper, "We collect the data
+// for all four slave nodes and take the mean."
+//
+// The master node only coordinates (job tracker / driver); it executes no
+// measured work, so it is represented by bookkeeping alone.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bigdata/workloads"
+	"repro/internal/perf"
+	"repro/internal/rng"
+	"repro/internal/sim/machine"
+	"repro/internal/trace"
+)
+
+// Config controls a characterization campaign.
+type Config struct {
+	// Machine is the per-node hardware model (default: machine.Westmere).
+	Machine machine.Config
+	// SlaveNodes is the number of measured worker nodes (paper: 4).
+	SlaveNodes int
+	// InstructionsPerCore is the per-core budget for each node run.
+	InstructionsPerCore int
+	// Slices is the number of PMC scheduling slices per run.
+	Slices int
+	// Monitor configures the PMC collection.
+	Monitor perf.MonitorConfig
+	// Runs repeats each workload and averages metric vectors (the paper
+	// runs each workload multiple times because of PMC multiplexing).
+	Runs int
+	// Seed drives all stochastic components.
+	Seed uint64
+	// ExecutionJitter is the relative σ of node/run-level behavioural
+	// variation (JIT, GC, OS noise). 0 disables it; the default is 5 %,
+	// in line with run-to-run variation on real JVM clusters.
+	ExecutionJitter float64
+	// Parallelism bounds concurrent node simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultConfig returns the paper-shaped setup at simulation scale.
+func DefaultConfig() Config {
+	return Config{
+		Machine:             machine.Westmere(),
+		SlaveNodes:          4,
+		InstructionsPerCore: 60000,
+		Slices:              120,
+		Monitor:             perf.DefaultMonitor(),
+		Runs:                1,
+		Seed:                20140901,
+		ExecutionJitter:     0.06,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.SlaveNodes < 1 {
+		return fmt.Errorf("cluster: need ≥1 slave node, got %d", c.SlaveNodes)
+	}
+	if c.InstructionsPerCore < 1000 {
+		return fmt.Errorf("cluster: InstructionsPerCore %d too small (≥1000)", c.InstructionsPerCore)
+	}
+	if c.Slices < 1 {
+		return fmt.Errorf("cluster: Slices must be ≥1")
+	}
+	if c.Runs < 1 {
+		return fmt.Errorf("cluster: Runs must be ≥1")
+	}
+	if c.ExecutionJitter < 0 || c.ExecutionJitter > 0.5 {
+		return fmt.Errorf("cluster: ExecutionJitter %v out of [0,0.5]", c.ExecutionJitter)
+	}
+	return c.Monitor.Validate()
+}
+
+// Measurement is one workload's characterization outcome.
+type Measurement struct {
+	Workload workloads.Workload
+	// Metrics is the 45-element Table II vector, averaged over slave
+	// nodes and runs.
+	Metrics []float64
+	// PerNode holds each slave node's metric vector from the last run
+	// (for variance inspection).
+	PerNode [][]float64
+}
+
+// RunWorkload executes one workload across the slave nodes and returns
+// its measurement.
+func RunWorkload(w workloads.Workload, cfg Config) (*Measurement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cores := cfg.Machine.Cores()
+	var runVectors [][]float64
+	var lastPerNode [][]float64
+
+	for run := 0; run < cfg.Runs; run++ {
+		perNode := make([][]float64, 0, cfg.SlaveNodes)
+		for node := 0; node < cfg.SlaveNodes; node++ {
+			m, err := machine.New(cfg.Machine)
+			if err != nil {
+				return nil, err
+			}
+			seed := cfg.Seed ^
+				(uint64(node)+1)*0x9E3779B97F4A7C15 ^
+				(uint64(run)+1)*0xC2B2AE3D27D4EB4F ^
+				hash(w.Name)
+			prof := jitterProfile(w.Profile, cfg.ExecutionJitter, rng.New(seed^0xD1B54A32D192ED03))
+			sources, err := trace.Sources(prof, seed, cores)
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Run(sources, cfg.InstructionsPerCore, cfg.Slices)
+			if err != nil {
+				return nil, err
+			}
+			counts, err := perf.Measure(res.Snapshots, cfg.Monitor)
+			if err != nil {
+				return nil, err
+			}
+			perNode = append(perNode, perf.MetricVector(&counts))
+		}
+		runVectors = append(runVectors, perf.AverageVectors(perNode))
+		lastPerNode = perNode
+	}
+	return &Measurement{
+		Workload: w,
+		Metrics:  perf.AverageVectors(runVectors),
+		PerNode:  lastPerNode,
+	}, nil
+}
+
+// Characterize measures every workload in the suite, in parallel across
+// workloads (each node simulation itself is single-threaded and
+// deterministic). The result order matches the suite order.
+func Characterize(suite []workloads.Workload, cfg Config) ([]*Measurement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("cluster: empty suite")
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(suite) {
+		par = len(suite)
+	}
+
+	results := make([]*Measurement, len(suite))
+	errs := make([]error, len(suite))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, w := range suite {
+		wg.Add(1)
+		go func(i int, w workloads.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunWorkload(w, cfg)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: workload %s: %w", suite[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+// MetricMatrix assembles measurements into a workloads×45 matrix as rows,
+// plus the row labels.
+func MetricMatrix(ms []*Measurement) (rows [][]float64, labels []string) {
+	for _, m := range ms {
+		rows = append(rows, m.Metrics)
+		labels = append(labels, m.Workload.Name)
+	}
+	return rows, labels
+}
+
+func hash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

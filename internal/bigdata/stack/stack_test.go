@@ -1,0 +1,91 @@
+package stack
+
+import "testing"
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range []Profile{Hadoop(), Spark(), Hive(), Shark()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestEngines(t *testing.T) {
+	if Hadoop().Engine != EngineHadoop || Hive().Engine != EngineHadoop {
+		t.Error("Hadoop/Hive must lower to the Hadoop engine")
+	}
+	if Spark().Engine != EngineSpark || Shark().Engine != EngineSpark {
+		t.Error("Spark/Shark must lower to the Spark engine")
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	if Hadoop().Prefix != "H-" || Hive().Prefix != "H-" {
+		t.Error("Hadoop-engine stacks must use the H- prefix")
+	}
+	if Spark().Prefix != "S-" || Shark().Prefix != "S-" {
+		t.Error("Spark-engine stacks must use the S- prefix")
+	}
+}
+
+func TestPaperContrasts(t *testing.T) {
+	h, s := Hadoop(), Spark()
+	if h.Base.CodeFootprintB <= s.Base.CodeFootprintB {
+		t.Error("Hadoop code footprint must exceed Spark's (67 MB vs 11 MB source, §V-A)")
+	}
+	if h.Base.KernelFrac <= s.Base.KernelFrac {
+		t.Error("Hadoop kernel-mode fraction must exceed Spark's (HDFS/disk I/O)")
+	}
+	if h.Base.StoreFrac <= s.Base.StoreFrac {
+		t.Error("Hadoop store fraction must exceed Spark's (Fig. 5 STORE)")
+	}
+	if s.DataScale <= h.DataScale {
+		t.Error("Spark data scale must exceed Hadoop's (in-memory RDDs, Observation 8)")
+	}
+	if s.Base.SharedFrac <= h.Base.SharedFrac {
+		t.Error("Spark sharing must exceed Hadoop's (Observation 9)")
+	}
+	if h.Dominance <= s.Dominance {
+		t.Error("Hadoop dominance must exceed Spark's (Observation 5)")
+	}
+	if s.Base.ComplexFrac <= h.Base.ComplexFrac {
+		t.Error("Spark decode complexity must exceed Hadoop's (Fig. 5 ILD/decoder stalls)")
+	}
+}
+
+func TestHiveSharkInheritEngineBehaviour(t *testing.T) {
+	if Hive().Base.CodeFootprintB <= Hadoop().Base.CodeFootprintB {
+		t.Error("Hive adds SerDe/operator code on top of Hadoop")
+	}
+	if Shark().Base.CodeFootprintB <= Spark().Base.CodeFootprintB {
+		t.Error("Shark adds query code on top of Spark")
+	}
+	if Hive().Dominance != Hadoop().Dominance {
+		t.Error("Hive should inherit Hadoop's dominance")
+	}
+}
+
+func TestByEngine(t *testing.T) {
+	pair := ByEngine()
+	if len(pair) != 2 || pair[0].Name != "Hadoop" || pair[1].Name != "Spark" {
+		t.Errorf("ByEngine = %v", pair)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := Hadoop()
+	p.Dominance = 2
+	if err := p.Validate(); err == nil {
+		t.Error("dominance > 1 accepted")
+	}
+	p = Hadoop()
+	p.DataScale = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero data scale accepted")
+	}
+	p = Hadoop()
+	p.Engine = "flink"
+	if err := p.Validate(); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

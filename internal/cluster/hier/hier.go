@@ -1,0 +1,379 @@
+// Package hier implements agglomerative hierarchical clustering with the
+// linkage strategies used for workload similarity analysis (paper §III-D,
+// §V-A: Euclidean distance, single linkage, dendrogram reading).
+package hier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/num/mat"
+)
+
+// Linkage selects how the distance between two clusters is computed from
+// pairwise point distances.
+type Linkage int
+
+const (
+	// Single linkage: distance between the closest pair (the paper's
+	// choice, following Phansalkar et al.).
+	Single Linkage = iota
+	// Complete linkage: distance between the farthest pair.
+	Complete
+	// Average linkage (UPGMA): mean pairwise distance.
+	Average
+	// Ward linkage: merge cost in within-cluster variance.
+	Ward
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	case Ward:
+		return "ward"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Merge records one agglomeration step. Clusters are identified by ID:
+// IDs 0..n-1 are the original points (leaves); merge i creates cluster
+// n+i from children A and B at the given linkage Distance.
+type Merge struct {
+	A, B     int
+	Distance float64
+	Size     int // number of leaves in the merged cluster
+}
+
+// Dendrogram is the full merge history of n points: exactly n-1 merges.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+	Labels []string // optional, len N when set
+}
+
+// Cluster performs agglomerative clustering of the rows of points using
+// Euclidean distance and the given linkage. Ties in minimum distance are
+// broken by the smaller cluster-ID pair, making results deterministic.
+func Cluster(points *mat.Dense, linkage Linkage) (*Dendrogram, error) {
+	n, _ := points.Dims()
+	if n < 2 {
+		return nil, fmt.Errorf("hier: need at least 2 points, got %d", n)
+	}
+
+	// Pairwise distance matrix between active clusters, indexed by
+	// cluster slot. Slot i initially holds leaf i. Lance–Williams updates
+	// keep it consistent after merges.
+	type slot struct {
+		id   int // cluster ID (leaf or internal)
+		size int
+		live bool
+	}
+	slots := make([]slot, n)
+	for i := range slots {
+		slots[i] = slot{id: i, size: 1, live: true}
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := mat.Distance(points.Row(i), points.Row(j))
+			if linkage == Ward {
+				// Ward works on squared distances internally; we convert
+				// back when reporting so all linkages share units.
+				d = d * d
+			}
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	dend := &Dendrogram{N: n, Merges: make([]Merge, 0, n-1)}
+	nextID := n
+
+	for step := 0; step < n-1; step++ {
+		// Find the closest live pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !slots[i].live {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !slots[j].live {
+					continue
+				}
+				if dist[i][j] < best {
+					best = dist[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		if bi < 0 {
+			return nil, fmt.Errorf("hier: internal error: no live pair at step %d", step)
+		}
+
+		si, sj := slots[bi].size, slots[bj].size
+		reported := best
+		if linkage == Ward {
+			reported = math.Sqrt(best)
+		}
+		dend.Merges = append(dend.Merges, Merge{
+			A:        slots[bi].id,
+			B:        slots[bj].id,
+			Distance: reported,
+			Size:     si + sj,
+		})
+
+		// Lance–Williams update of distances from the merged cluster
+		// (stored in slot bi) to every other live slot.
+		for k := 0; k < n; k++ {
+			if !slots[k].live || k == bi || k == bj {
+				continue
+			}
+			dik, djk := dist[bi][k], dist[bj][k]
+			var d float64
+			switch linkage {
+			case Single:
+				d = math.Min(dik, djk)
+			case Complete:
+				d = math.Max(dik, djk)
+			case Average:
+				d = (float64(si)*dik + float64(sj)*djk) / float64(si+sj)
+			case Ward:
+				sk := float64(slots[k].size)
+				tot := float64(si+sj) + sk
+				d = ((float64(si)+sk)*dik + (float64(sj)+sk)*djk - sk*best) / tot
+			default:
+				return nil, fmt.Errorf("hier: unknown linkage %v", linkage)
+			}
+			dist[bi][k] = d
+			dist[k][bi] = d
+		}
+		slots[bi].id = nextID
+		slots[bi].size = si + sj
+		slots[bj].live = false
+		nextID++
+	}
+	return dend, nil
+}
+
+// SetLabels attaches leaf labels for rendering. len(labels) must equal N.
+func (d *Dendrogram) SetLabels(labels []string) error {
+	if len(labels) != d.N {
+		return fmt.Errorf("hier: %d labels for %d leaves", len(labels), d.N)
+	}
+	d.Labels = append([]string(nil), labels...)
+	return nil
+}
+
+// leaves returns the leaf IDs under cluster id, in discovery order.
+func (d *Dendrogram) leaves(id int) []int {
+	if id < d.N {
+		return []int{id}
+	}
+	m := d.Merges[id-d.N]
+	return append(d.leaves(m.A), d.leaves(m.B)...)
+}
+
+// Leaves returns the leaf indices under the cluster with the given ID
+// (0..N-1 are leaves; N+i is the cluster created by merge i).
+func (d *Dendrogram) Leaves(id int) []int {
+	if id < 0 || id >= d.N+len(d.Merges) {
+		panic(fmt.Sprintf("hier: cluster id %d out of range", id))
+	}
+	return d.leaves(id)
+}
+
+// Cut cuts the dendrogram at the given distance: merges with
+// Distance ≤ cut are applied, yielding flat cluster assignments.
+// Returns one cluster index per leaf, numbered 0..k-1 in order of first
+// appearance, plus k.
+func (d *Dendrogram) Cut(cut float64) ([]int, int) {
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, m := range d.Merges {
+		if m.Distance <= cut {
+			id := d.N + i
+			parent[find(m.A)] = id
+			parent[find(m.B)] = id
+		}
+	}
+	assign := make([]int, d.N)
+	index := map[int]int{}
+	for i := 0; i < d.N; i++ {
+		root := find(i)
+		k, ok := index[root]
+		if !ok {
+			k = len(index)
+			index[root] = k
+		}
+		assign[i] = k
+	}
+	return assign, len(index)
+}
+
+// CutK cuts the dendrogram to produce exactly k flat clusters (by undoing
+// the k-1 most expensive merges). k must be in [1, N].
+func (d *Dendrogram) CutK(k int) []int {
+	if k < 1 || k > d.N {
+		panic(fmt.Sprintf("hier: CutK k=%d out of range [1,%d]", k, d.N))
+	}
+	// Apply the first N-k merges in merge order (they are produced in
+	// nondecreasing distance order for monotone linkages; for safety we
+	// sort by distance).
+	order := make([]int, len(d.Merges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return d.Merges[order[a]].Distance < d.Merges[order[b]].Distance
+	})
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, mi := range order[:d.N-k] {
+		m := d.Merges[mi]
+		id := d.N + mi
+		parent[find(m.A)] = id
+		parent[find(m.B)] = id
+	}
+	assign := make([]int, d.N)
+	index := map[int]int{}
+	for i := 0; i < d.N; i++ {
+		root := find(i)
+		c, ok := index[root]
+		if !ok {
+			c = len(index)
+			index[root] = c
+		}
+		assign[i] = c
+	}
+	return assign
+}
+
+// CopheneticDistance returns the linkage distance at which leaves a and b
+// first join the same cluster.
+func (d *Dendrogram) CopheneticDistance(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	// Walk merges in order; track cluster membership with union-find.
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, m := range d.Merges {
+		id := d.N + i
+		parent[find(m.A)] = id
+		parent[find(m.B)] = id
+		if find(a) == find(b) {
+			return m.Distance
+		}
+	}
+	return math.Inf(1)
+}
+
+// FirstIterationPairs returns the merges that combine two leaves directly
+// — the "first clustering iteration" pairs the paper analyzes in
+// Observations 1–2 (e.g. "80% of clusters consist of workloads that are
+// based on the same software stack").
+func (d *Dendrogram) FirstIterationPairs() []Merge {
+	var out []Merge
+	for _, m := range d.Merges {
+		if m.A < d.N && m.B < d.N {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CopheneticCorrelation measures how faithfully the dendrogram preserves
+// the original pairwise distances: the Pearson correlation between the
+// Euclidean distances of the points and their cophenetic distances.
+// Values near 1 mean the hierarchy is a good summary of the geometry.
+func (d *Dendrogram) CopheneticCorrelation(points *mat.Dense) float64 {
+	n, _ := points.Dims()
+	if n != d.N || n < 3 {
+		return 0
+	}
+	var orig, coph []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			orig = append(orig, mat.Distance(points.Row(i), points.Row(j)))
+			coph = append(coph, d.CopheneticDistance(i, j))
+		}
+	}
+	return pearson(orig, coph)
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// MaxPairwiseCophenetic returns the largest cophenetic distance among the
+// given leaves — the "maximal linkage distance" column of Table V.
+func (d *Dendrogram) MaxPairwiseCophenetic(leaves []int) float64 {
+	max := 0.0
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			if c := d.CopheneticDistance(leaves[i], leaves[j]); c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,377 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/num/mat"
+)
+
+// twoBlobs builds two well-separated clusters of points in 2D.
+func twoBlobs(rng *rand.Rand, nA, nB int) *mat.Dense {
+	m := mat.NewDense(nA+nB, 2)
+	for i := 0; i < nA; i++ {
+		m.Set(i, 0, rng.NormFloat64()*0.1)
+		m.Set(i, 1, rng.NormFloat64()*0.1)
+	}
+	for i := 0; i < nB; i++ {
+		m.Set(nA+i, 0, 10+rng.NormFloat64()*0.1)
+		m.Set(nA+i, 1, 10+rng.NormFloat64()*0.1)
+	}
+	return m
+}
+
+func TestClusterRejectsSinglePoint(t *testing.T) {
+	if _, err := Cluster(mat.NewDense(1, 2), Single); err == nil {
+		t.Error("expected error for single point")
+	}
+}
+
+func TestMergeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := twoBlobs(rng, 3, 4)
+	d, err := Cluster(pts, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges) != 6 {
+		t.Errorf("merges = %d, want n-1 = 6", len(d.Merges))
+	}
+	if d.Merges[len(d.Merges)-1].Size != 7 {
+		t.Errorf("final merge size = %d, want 7", d.Merges[len(d.Merges)-1].Size)
+	}
+}
+
+func TestTwoBlobsSeparate(t *testing.T) {
+	for _, linkage := range []Linkage{Single, Complete, Average, Ward} {
+		rng := rand.New(rand.NewSource(2))
+		pts := twoBlobs(rng, 5, 5)
+		d, err := Cluster(pts, linkage)
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		assign := d.CutK(2)
+		// All of blob A in one cluster, all of blob B in the other.
+		for i := 1; i < 5; i++ {
+			if assign[i] != assign[0] {
+				t.Errorf("%v: blob A split: %v", linkage, assign)
+				break
+			}
+		}
+		for i := 6; i < 10; i++ {
+			if assign[i] != assign[5] {
+				t.Errorf("%v: blob B split: %v", linkage, assign)
+				break
+			}
+		}
+		if assign[0] == assign[5] {
+			t.Errorf("%v: blobs merged: %v", linkage, assign)
+		}
+	}
+}
+
+func TestFinalMergeIsLargestForSingleLinkage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := twoBlobs(rng, 5, 5)
+	d, err := Cluster(pts, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := d.Merges[len(d.Merges)-1].Distance
+	if last < 9 {
+		t.Errorf("final merge distance = %v, want ≈ blob separation (~14)", last)
+	}
+}
+
+func TestCutDistanceZeroGivesNClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := twoBlobs(rng, 3, 3)
+	d, err := Cluster(pts, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k := d.Cut(-1)
+	if k != 6 {
+		t.Errorf("Cut(-1) clusters = %d, want 6", k)
+	}
+	_, k = d.Cut(math.Inf(1))
+	if k != 1 {
+		t.Errorf("Cut(inf) clusters = %d, want 1", k)
+	}
+}
+
+func TestCutKBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := twoBlobs(rng, 2, 2)
+	d, _ := Cluster(pts, Single)
+	if got := d.CutK(1); !allEqual(got) {
+		t.Errorf("CutK(1) = %v, want single cluster", got)
+	}
+	if got := d.CutK(4); !allDistinct(got) {
+		t.Errorf("CutK(n) = %v, want all singletons", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CutK(0) did not panic")
+		}
+	}()
+	d.CutK(0)
+}
+
+func allEqual(xs []int) bool {
+	for _, x := range xs {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func allDistinct(xs []int) bool {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}
+
+func TestCopheneticDistance(t *testing.T) {
+	pts := mat.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}})
+	d, err := Cluster(pts, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CopheneticDistance(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cophenetic(0,1) = %v, want 1", got)
+	}
+	if got := d.CopheneticDistance(0, 2); math.Abs(got-9) > 1e-12 {
+		t.Errorf("cophenetic(0,2) = %v, want 9 (single linkage)", got)
+	}
+	if got := d.CopheneticDistance(2, 2); got != 0 {
+		t.Errorf("cophenetic(x,x) = %v, want 0", got)
+	}
+}
+
+func TestFirstIterationPairs(t *testing.T) {
+	pts := mat.FromRows([][]float64{{0, 0}, {0.1, 0}, {5, 0}, {5.1, 0}, {100, 0}})
+	d, err := Cluster(pts, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := d.FirstIterationPairs()
+	if len(pairs) != 2 {
+		t.Fatalf("first-iteration pairs = %d, want 2 (%v)", len(pairs), pairs)
+	}
+	for _, p := range pairs {
+		if p.A >= d.N || p.B >= d.N {
+			t.Errorf("pair %v has non-leaf child", p)
+		}
+	}
+}
+
+func TestMaxPairwiseCophenetic(t *testing.T) {
+	pts := mat.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}})
+	d, _ := Cluster(pts, Single)
+	if got := d.MaxPairwiseCophenetic([]int{0, 1, 2}); math.Abs(got-9) > 1e-12 {
+		t.Errorf("MaxPairwiseCophenetic = %v, want 9", got)
+	}
+	if got := d.MaxPairwiseCophenetic([]int{0, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MaxPairwiseCophenetic = %v, want 1", got)
+	}
+}
+
+func TestLeavesUnderCluster(t *testing.T) {
+	pts := mat.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}})
+	d, _ := Cluster(pts, Single)
+	// First merge joins 0 and 1; its cluster ID is N+0 = 3.
+	l := d.Leaves(3)
+	if len(l) != 2 {
+		t.Fatalf("Leaves(3) = %v, want 2 leaves", l)
+	}
+	all := d.Leaves(4)
+	if len(all) != 3 {
+		t.Fatalf("Leaves(root) = %v, want 3 leaves", all)
+	}
+}
+
+func TestSetLabelsValidates(t *testing.T) {
+	pts := mat.FromRows([][]float64{{0, 0}, {1, 0}})
+	d, _ := Cluster(pts, Single)
+	if err := d.SetLabels([]string{"a"}); err == nil {
+		t.Error("expected error for wrong label count")
+	}
+	if err := d.SetLabels([]string{"a", "b"}); err != nil {
+		t.Errorf("SetLabels: %v", err)
+	}
+}
+
+func TestRenderContainsLabels(t *testing.T) {
+	pts := mat.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}})
+	d, _ := Cluster(pts, Single)
+	if err := d.SetLabels([]string{"H-Sort", "S-Sort", "H-Grep"}); err != nil {
+		t.Fatal(err)
+	}
+	out := d.Render(40)
+	for _, want := range []string{"H-Sort", "S-Sort", "H-Grep", "merge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLeafOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := twoBlobs(rng, 4, 3)
+	d, _ := Cluster(pts, Average)
+	order := d.LeafOrder()
+	if len(order) != 7 || !allDistinct(order) {
+		t.Errorf("LeafOrder = %v, want permutation of 0..6", order)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	for l, want := range map[Linkage]string{Single: "single", Complete: "complete", Average: "average", Ward: "ward"} {
+		if l.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}
+
+// Property: single/complete/average linkage merge distances are
+// nondecreasing (monotone hierarchy).
+func TestQuickMonotoneMerges(t *testing.T) {
+	for _, linkage := range []Linkage{Single, Complete, Average} {
+		linkage := linkage
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(15)
+			pts := mat.NewDense(n, 3)
+			for i := 0; i < n; i++ {
+				for j := 0; j < 3; j++ {
+					pts.Set(i, j, rng.NormFloat64())
+				}
+			}
+			d, err := Cluster(pts, linkage)
+			if err != nil {
+				return false
+			}
+			for i := 1; i < len(d.Merges); i++ {
+				if d.Merges[i].Distance < d.Merges[i-1].Distance-1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%v: %v", linkage, err)
+		}
+	}
+}
+
+// Property: cophenetic distance under single linkage never exceeds the
+// Euclidean distance between the two points (single linkage merges via
+// the minimum gap, which is at most the direct distance).
+func TestQuickSingleLinkageCopheneticBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		pts := mat.NewDense(n, 2)
+		for i := 0; i < n; i++ {
+			pts.Set(i, 0, rng.NormFloat64())
+			pts.Set(i, 1, rng.NormFloat64())
+		}
+		d, err := Cluster(pts, Single)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.CopheneticDistance(i, j) > mat.Distance(pts.Row(i), pts.Row(j))+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CutK(k) always produces exactly k clusters covering all leaves.
+func TestQuickCutKCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		pts := mat.NewDense(n, 2)
+		for i := 0; i < n; i++ {
+			pts.Set(i, 0, rng.NormFloat64())
+			pts.Set(i, 1, rng.NormFloat64())
+		}
+		d, err := Cluster(pts, Average)
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= n; k++ {
+			assign := d.CutK(k)
+			seen := map[int]bool{}
+			for _, c := range assign {
+				seen[c] = true
+			}
+			if len(seen) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopheneticCorrelation(t *testing.T) {
+	// Well-separated blobs: hierarchy faithfully preserves geometry.
+	rng := rand.New(rand.NewSource(11))
+	pts := twoBlobs(rng, 6, 6)
+	d, err := Cluster(pts, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := d.CopheneticCorrelation(pts); c < 0.9 {
+		t.Errorf("cophenetic correlation = %v, want > 0.9 for clean blobs", c)
+	}
+	// Mismatched point count returns 0.
+	other := mat.NewDense(3, 2)
+	if c := d.CopheneticCorrelation(other); c != 0 {
+		t.Errorf("mismatched correlation = %v, want 0", c)
+	}
+}
+
+// Property: cophenetic correlation is bounded in [-1, 1].
+func TestQuickCopheneticCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		pts := mat.NewDense(n, 3)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				pts.Set(i, j, rng.NormFloat64())
+			}
+		}
+		d, err := Cluster(pts, Single)
+		if err != nil {
+			return false
+		}
+		c := d.CopheneticCorrelation(pts)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package hier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws the dendrogram as ASCII art in the style of Fig. 1: one
+// leaf per line, ordered so that merged clusters are adjacent, with each
+// merge's linkage distance annotated. width controls the horizontal
+// resolution of the distance axis.
+func (d *Dendrogram) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	order := d.LeafOrder()
+	pos := make(map[int]int, len(order)) // leaf ID -> display row
+	for row, leaf := range order {
+		pos[leaf] = row
+	}
+
+	maxDist := 0.0
+	for _, m := range d.Merges {
+		if m.Distance > maxDist {
+			maxDist = m.Distance
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+
+	labelWidth := 0
+	label := func(i int) string {
+		if d.Labels != nil {
+			return d.Labels[i]
+		}
+		return fmt.Sprintf("leaf-%d", i)
+	}
+	for i := 0; i < d.N; i++ {
+		if l := len(label(i)); l > labelWidth {
+			labelWidth = l
+		}
+	}
+
+	// Each display row holds a horizontal bar from the leaf label out to
+	// the column where its current cluster last merged.
+	grid := make([][]byte, d.N)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width+1))
+	}
+	col := func(dist float64) int {
+		c := int(dist / maxDist * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Track, per cluster ID, its representative row (middle of its span)
+	// and the column it extends to.
+	type node struct{ row, col int }
+	nodes := make(map[int]node, d.N+len(d.Merges))
+	for i := 0; i < d.N; i++ {
+		nodes[i] = node{row: pos[i], col: 0}
+	}
+	var annotations []string
+	for i, m := range d.Merges {
+		a, b := nodes[m.A], nodes[m.B]
+		c := col(m.Distance)
+		// Horizontal segments from each child's current column to c.
+		for _, ch := range []node{a, b} {
+			for x := ch.col; x <= c; x++ {
+				if grid[ch.row][x] == ' ' {
+					grid[ch.row][x] = '-'
+				}
+			}
+		}
+		// Vertical connector at column c.
+		lo, hi := a.row, b.row
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for y := lo; y <= hi; y++ {
+			grid[y][c] = '|'
+		}
+		grid[a.row][c] = '+'
+		grid[b.row][c] = '+'
+		mid := (a.row + b.row) / 2
+		nodes[d.N+i] = node{row: mid, col: c}
+		annotations = append(annotations, fmt.Sprintf("  merge %2d: dist %6.3f  (%s + %s)",
+			i+1, m.Distance, d.clusterName(m.A), d.clusterName(m.B)))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s 0%s%.3g\n", labelWidth, "linkage distance →", strings.Repeat(" ", width-6), maxDist)
+	for row, leaf := range order {
+		fmt.Fprintf(&b, "%*s %s\n", labelWidth, label(leaf), string(grid[row]))
+	}
+	b.WriteString("\n")
+	for _, a := range annotations {
+		b.WriteString(a)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (d *Dendrogram) clusterName(id int) string {
+	if id < d.N {
+		if d.Labels != nil {
+			return d.Labels[id]
+		}
+		return fmt.Sprintf("leaf-%d", id)
+	}
+	return fmt.Sprintf("cluster-%d", id-d.N+1)
+}
+
+// LeafOrder returns the leaves in dendrogram display order: a recursive
+// traversal of the final merge tree, which keeps every cluster's leaves
+// contiguous.
+func (d *Dendrogram) LeafOrder() []int {
+	if len(d.Merges) == 0 {
+		out := make([]int, d.N)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Roots: clusters that are never referenced as children (normally
+	// just the final merge).
+	child := make(map[int]bool)
+	for _, m := range d.Merges {
+		child[m.A] = true
+		child[m.B] = true
+	}
+	var roots []int
+	for i := 0; i < d.N+len(d.Merges); i++ {
+		if !child[i] {
+			roots = append(roots, i)
+		}
+	}
+	sort.Ints(roots)
+	var order []int
+	for _, r := range roots {
+		order = append(order, d.leaves(r)...)
+	}
+	return order
+}

@@ -1,0 +1,311 @@
+// Package kmeans implements Lloyd's K-means with k-means++ seeding and the
+// Bayesian Information Criterion in the Pelleg–Moore X-means formulation
+// that the paper uses to pick K (§VI-A, Equations 1–3).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/num/mat"
+	"repro/internal/rng"
+)
+
+// Result is a fitted K-means clustering.
+type Result struct {
+	K          int
+	Assign     []int      // cluster index per point
+	Centers    *mat.Dense // K×dims
+	Sizes      []int      // points per cluster
+	Inertia    float64    // sum of squared distances to assigned centers
+	Iterations int        // Lloyd iterations until convergence
+	BIC        float64    // Pelleg–Moore BIC score of this clustering
+}
+
+// Config controls the algorithm.
+type Config struct {
+	MaxIterations int    // Lloyd iteration cap (default 100)
+	Restarts      int    // independent seedings, best inertia wins (default 8)
+	Seed          uint64 // RNG seed for k-means++ (deterministic)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 8
+	}
+	return c
+}
+
+// Run clusters the rows of points into k clusters. It is deterministic for
+// a fixed Config.Seed.
+func Run(points *mat.Dense, k int, cfg Config) (*Result, error) {
+	n, d := points.Dims()
+	if k < 1 {
+		return nil, fmt.Errorf("kmeans: k=%d must be ≥ 1", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("kmeans: k=%d exceeds point count %d", k, n)
+	}
+	cfg = cfg.withDefaults()
+
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		rg := rng.New(cfg.Seed + uint64(r)*0x9E3779B97F4A7C15)
+		res := runOnce(points, k, cfg.MaxIterations, rg)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	best.BIC = BIC(points, best)
+	_ = d
+	return best, nil
+}
+
+func runOnce(points *mat.Dense, k, maxIter int, rg *rng.RNG) *Result {
+	n, d := points.Dims()
+	centers := seedPlusPlus(points, k, rg)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var inertia float64
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		changed := false
+		inertia = 0
+		for i := 0; i < n; i++ {
+			row := points.Row(i)
+			bestC, bestD := -1, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dd := mat.SquaredDistance(row, centers.Row(c))
+				if dd < bestD {
+					bestD = dd
+					bestC = c
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+			inertia += bestD
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers.
+		sums := mat.NewDense(k, d)
+		counts := make([]int, k)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			for j := 0; j < d; j++ {
+				sums.Set(c, j, sums.At(c, j)+points.At(i, j))
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Empty-cluster repair: reseed at the point farthest from
+				// its assigned center.
+				fi, fd := 0, -1.0
+				for i := 0; i < n; i++ {
+					dd := mat.SquaredDistance(points.Row(i), centers.Row(assign[i]))
+					if dd > fd {
+						fd = dd
+						fi = i
+					}
+				}
+				centers.SetRow(c, points.Row(fi))
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := 0; j < d; j++ {
+				centers.Set(c, j, sums.At(c, j)*inv)
+			}
+		}
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	return &Result{
+		K:          k,
+		Assign:     assign,
+		Centers:    centers,
+		Sizes:      sizes,
+		Inertia:    inertia,
+		Iterations: iters,
+	}
+}
+
+// seedPlusPlus selects k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(points *mat.Dense, k int, rg *rng.RNG) *mat.Dense {
+	n, d := points.Dims()
+	centers := mat.NewDense(k, d)
+	first := int(rg.Uint64n(uint64(n)))
+	centers.SetRow(0, points.Row(first))
+
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = mat.SquaredDistance(points.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, v := range d2 {
+			total += v
+		}
+		var pick int
+		if total == 0 {
+			// All points coincide with chosen centers; pick uniformly.
+			pick = int(rg.Uint64n(uint64(n)))
+		} else {
+			r := rg.Float64() * total
+			cum := 0.0
+			pick = n - 1
+			for i, v := range d2 {
+				cum += v
+				if cum >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		centers.SetRow(c, points.Row(pick))
+		for i := 0; i < n; i++ {
+			dd := mat.SquaredDistance(points.Row(i), centers.Row(c))
+			if dd < d2[i] {
+				d2[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+// BIC computes the Bayesian Information Criterion of a clustering using
+// the Pelleg–Moore formulation the paper reproduces as Equations 1–3:
+//
+//	BIC(D,K) = l(D|K) − (p_j/2)·log(R)
+//
+// with l(D|K) the maximum log-likelihood under an identical spherical
+// Gaussian per cluster, R the number of points, and p_j = K + d·K the
+// parameter count (K class probabilities − 1 plus K d-dimensional
+// centroids; the paper states p_j = K + dK).
+func BIC(points *mat.Dense, res *Result) float64 {
+	n, d := points.Dims()
+	R := float64(n)
+	K := float64(res.K)
+	dd := float64(d)
+
+	// σ² — average variance of the Euclidean distance from each point to
+	// its cluster center (Equation 3), with the R−K maximum-likelihood
+	// denominator.
+	denom := R - K
+	if denom <= 0 {
+		denom = 1
+	}
+	sigma2 := res.Inertia / denom
+	if sigma2 <= 0 {
+		// Degenerate (all points at centers): substitute a tiny variance
+		// so the log-likelihood stays finite and strongly favorable.
+		sigma2 = 1e-12
+	}
+
+	// l(D|K) — Equation 2, summed per cluster.
+	l := 0.0
+	for i := 0; i < res.K; i++ {
+		Ri := float64(res.Sizes[i])
+		if Ri == 0 {
+			continue
+		}
+		l += -Ri/2*math.Log(2*math.Pi) -
+			Ri*dd/2*math.Log(sigma2) -
+			(Ri-K)/2 +
+			Ri*math.Log(Ri) -
+			Ri*math.Log(R)
+	}
+
+	pj := K + dd*K
+	return l - pj/2*math.Log(R)
+}
+
+// BestK runs K-means for every K in [kMin, kMax] and returns the result
+// with the highest BIC, plus the per-K results for reporting.
+func BestK(points *mat.Dense, kMin, kMax int, cfg Config) (*Result, []*Result, error) {
+	n, _ := points.Dims()
+	if kMin < 1 || kMax < kMin {
+		return nil, nil, fmt.Errorf("kmeans: invalid K range [%d,%d]", kMin, kMax)
+	}
+	if kMax > n {
+		kMax = n
+	}
+	var all []*Result
+	var best *Result
+	for k := kMin; k <= kMax; k++ {
+		res, err := Run(points, k, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, res)
+		if best == nil || res.BIC > best.BIC {
+			best = res
+		}
+	}
+	return best, all, nil
+}
+
+// NearestToCenter returns, per cluster, the index of the point closest to
+// the cluster centroid — the paper's first representative-selection policy.
+func (r *Result) NearestToCenter(points *mat.Dense) []int {
+	reps := make([]int, r.K)
+	best := make([]float64, r.K)
+	for c := range best {
+		best[c] = math.Inf(1)
+		reps[c] = -1
+	}
+	n, _ := points.Dims()
+	for i := 0; i < n; i++ {
+		c := r.Assign[i]
+		d := mat.SquaredDistance(points.Row(i), r.Centers.Row(c))
+		if d < best[c] {
+			best[c] = d
+			reps[c] = i
+		}
+	}
+	return reps
+}
+
+// FarthestFromCenter returns, per cluster, the index of the point farthest
+// from the cluster centroid — the paper's second ("boundary") policy,
+// which it finds superior (§VI-B).
+func (r *Result) FarthestFromCenter(points *mat.Dense) []int {
+	reps := make([]int, r.K)
+	best := make([]float64, r.K)
+	for c := range best {
+		best[c] = -1
+		reps[c] = -1
+	}
+	n, _ := points.Dims()
+	for i := 0; i < n; i++ {
+		c := r.Assign[i]
+		d := mat.SquaredDistance(points.Row(i), r.Centers.Row(c))
+		if d > best[c] {
+			best[c] = d
+			reps[c] = i
+		}
+	}
+	return reps
+}
+
+// Members returns the point indices assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}

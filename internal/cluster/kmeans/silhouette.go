@@ -1,0 +1,80 @@
+package kmeans
+
+import (
+	"math"
+
+	"repro/internal/num/mat"
+)
+
+// Silhouette computes the mean silhouette coefficient of a clustering:
+// for each point, (b−a)/max(a,b) where a is the mean distance to its own
+// cluster's other members and b is the smallest mean distance to another
+// cluster. Values near 1 indicate well-separated clusters; values near 0
+// indicate overlapping ones.
+//
+// The paper selects K with BIC; silhouette is the most common alternative
+// in the workload-subsetting literature (cf. Yi et al.'s evaluation of
+// subsetting approaches, cited as [7]), and this implementation lets the
+// two criteria be compared on the same clustering.
+//
+// Singleton clusters contribute silhouette 0 by the standard convention.
+// A clustering with K < 2 scores 0.
+func Silhouette(points *mat.Dense, res *Result) float64 {
+	n, _ := points.Dims()
+	if res.K < 2 || n < 2 {
+		return 0
+	}
+	// Pairwise mean distances per point to each cluster.
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := res.Assign[i]
+		if res.Sizes[own] <= 1 {
+			continue // silhouette 0
+		}
+		sums := make([]float64, res.K)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[res.Assign[j]] += mat.Distance(points.Row(i), points.Row(j))
+		}
+		a := sums[own] / float64(res.Sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < res.K; c++ {
+			if c == own || res.Sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(res.Sizes[c]); m < b {
+				b = m
+			}
+		}
+		if denom := math.Max(a, b); denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n)
+}
+
+// BestKSilhouette scans K in [kMin, kMax] (kMin ≥ 2) and returns the
+// clustering with the highest mean silhouette, plus all per-K results
+// with their silhouettes.
+func BestKSilhouette(points *mat.Dense, kMin, kMax int, cfg Config) (*Result, []float64, error) {
+	if kMin < 2 {
+		kMin = 2
+	}
+	_, all, err := BestK(points, kMin, kMax, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	scores := make([]float64, len(all))
+	var best *Result
+	bestScore := math.Inf(-1)
+	for i, r := range all {
+		scores[i] = Silhouette(points, r)
+		if scores[i] > bestScore {
+			bestScore = scores[i]
+			best = r
+		}
+	}
+	return best, scores, nil
+}

@@ -1,0 +1,87 @@
+package kmeans
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/num/mat"
+	"repro/internal/rng"
+)
+
+func TestSilhouetteHighForSeparatedBlobs(t *testing.T) {
+	pts, _ := blobs(41, 3, 10, 3)
+	res, err := Run(pts, 3, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Silhouette(pts, res); s < 0.8 {
+		t.Errorf("silhouette = %v, want > 0.8 for well-separated blobs", s)
+	}
+}
+
+func TestSilhouetteLowForOverSplit(t *testing.T) {
+	pts, _ := blobs(42, 2, 12, 3)
+	good, err := Run(pts, 2, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oversplit, err := Run(pts, 8, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, so := Silhouette(pts, good), Silhouette(pts, oversplit)
+	if sg <= so {
+		t.Errorf("silhouette true-K %v should exceed over-split %v", sg, so)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	pts, _ := blobs(43, 2, 5, 2)
+	res, err := Run(pts, 1, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Silhouette(pts, res); s != 0 {
+		t.Errorf("K=1 silhouette = %v, want 0", s)
+	}
+}
+
+func TestBestKSilhouetteRecoversTrueK(t *testing.T) {
+	pts, _ := blobs(44, 3, 12, 4)
+	best, scores, err := BestKSilhouette(pts, 2, 8, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 7 {
+		t.Fatalf("scores has %d entries, want 7", len(scores))
+	}
+	if best.K != 3 {
+		t.Errorf("silhouette chose K=%d, want 3 (scores %v)", best.K, scores)
+	}
+}
+
+// Property: silhouette is always in [-1, 1].
+func TestQuickSilhouetteBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6 + r.Intn(20)
+		pts := mat.NewDense(n, 2)
+		for i := 0; i < n; i++ {
+			pts.Set(i, 0, r.NormFloat64())
+			pts.Set(i, 1, r.NormFloat64())
+		}
+		k := 2 + r.Intn(4)
+		if k > n {
+			k = n
+		}
+		res, err := Run(pts, k, Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		s := Silhouette(pts, res)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

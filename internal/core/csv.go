@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a dataset as CSV: a header row of "workload" plus
+// metric names, then one row per workload.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"workload"}, d.Metrics...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, label := range d.Labels {
+		rec := make([]string, 0, len(d.Metrics)+1)
+		rec = append(rec, label)
+		for _, v := range d.Rows[i] {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset produced by WriteCSV (or any CSV with the same
+// shape: first column workload label, remaining columns numeric metrics).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading CSV: %w", err)
+	}
+	if len(records) < 3 {
+		return nil, fmt.Errorf("core: CSV needs a header and ≥2 data rows, got %d rows", len(records))
+	}
+	header := records[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("core: CSV header needs ≥2 columns")
+	}
+	ds := &Dataset{Metrics: append([]string(nil), header[1:]...)}
+	for li, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("core: CSV row %d has %d fields, want %d", li+2, len(rec), len(header))
+		}
+		ds.Labels = append(ds.Labels, rec[0])
+		row := make([]float64, len(rec)-1)
+		for j, s := range rec[1:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: CSV row %d col %d: %w", li+2, j+2, err)
+			}
+			row[j] = v
+		}
+		ds.Rows = append(ds.Rows, row)
+	}
+	return ds, ds.Validate()
+}

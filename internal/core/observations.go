@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/num/stat"
+)
+
+// Observations quantifies the paper's §V findings on a completed analysis.
+type Observations struct {
+	// Observation 1: fraction of first-clustering-iteration pairs whose
+	// two workloads run on the same software stack (paper: 80 %).
+	FirstIterPairs          int
+	SameStackFirstIterPairs int
+	SameStackFraction       float64
+
+	// Observation 2: first-iteration pairs implementing the same
+	// algorithm on different stacks (paper: only Projection).
+	SameAlgorithmCrossStackPairs []string
+
+	// Observation 5: within-stack cohesion — mean pairwise cophenetic
+	// distance per stack (Hadoop lower = tighter clustering).
+	MeanCopheneticHadoop float64
+	MeanCopheneticSpark  float64
+
+	// Observations 6–9 (Fig. 5 companions): per-stack metric means and
+	// headline ratios.
+	HadoopMeans, SparkMeans []float64 // per Table II metric
+
+	SparkToHadoopL3Miss     float64 // paper: ≈2×
+	HadoopToSparkL1IMiss    float64 // paper: ≈1.3×
+	HadoopToSparkFetchStall float64 // paper: >1
+	SparkToHadoopResStall   float64 // paper: >1
+	SparkToHadoopDTLBMiss   float64 // paper: >1
+	SparkToHadoopSnoopHit   float64 // paper: >1
+	SparkToHadoopSnoopHitE  float64 // paper: >1
+	SparkToHadoopSnoopHitM  float64 // paper: >1
+
+	// STLB hit rates (paper: Hadoop 61.48 %, Spark 50.80 %).
+	STLBHitRateHadoop float64
+	STLBHitRateSpark  float64
+}
+
+// metricIdx panics only on programmer error (unknown name), which tests
+// cover.
+func metricIdx(ds *Dataset, name string) (int, error) {
+	for i, m := range ds.Metrics {
+		if m == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: dataset has no metric %q", name)
+}
+
+// Observe computes the §V observation statistics. The dataset's labels
+// must follow the H-/S- prefix convention.
+func (a *Analysis) Observe() (*Observations, error) {
+	ds := a.Dataset
+	obs := &Observations{}
+
+	// --- Dendrogram structure (Observations 1, 2, 5).
+	stackOfIdx := func(i int) string { return StackOf(ds.Labels[i]) }
+	algoOf := func(i int) string {
+		l := ds.Labels[i]
+		if len(l) > 2 {
+			return l[2:]
+		}
+		return l
+	}
+	for _, m := range a.Dendrogram.FirstIterationPairs() {
+		obs.FirstIterPairs++
+		if stackOfIdx(m.A) == stackOfIdx(m.B) && stackOfIdx(m.A) != "" {
+			obs.SameStackFirstIterPairs++
+		}
+		if algoOf(m.A) == algoOf(m.B) && stackOfIdx(m.A) != stackOfIdx(m.B) {
+			obs.SameAlgorithmCrossStackPairs = append(obs.SameAlgorithmCrossStackPairs, algoOf(m.A))
+		}
+	}
+	if obs.FirstIterPairs > 0 {
+		obs.SameStackFraction = float64(obs.SameStackFirstIterPairs) / float64(obs.FirstIterPairs)
+	}
+
+	var hIdx, sIdx []int
+	for i, l := range ds.Labels {
+		switch StackOf(l) {
+		case "Hadoop":
+			hIdx = append(hIdx, i)
+		case "Spark":
+			sIdx = append(sIdx, i)
+		}
+	}
+	if len(hIdx) == 0 || len(sIdx) == 0 {
+		return nil, fmt.Errorf("core: dataset lacks H-/S- labeled workloads for stack observations")
+	}
+	obs.MeanCopheneticHadoop = a.meanPairwiseCophenetic(hIdx)
+	obs.MeanCopheneticSpark = a.meanPairwiseCophenetic(sIdx)
+
+	// --- Per-stack metric means (Fig. 5 data).
+	nm := len(ds.Metrics)
+	obs.HadoopMeans = make([]float64, nm)
+	obs.SparkMeans = make([]float64, nm)
+	for j := 0; j < nm; j++ {
+		var h, s []float64
+		for _, i := range hIdx {
+			h = append(h, ds.Rows[i][j])
+		}
+		for _, i := range sIdx {
+			s = append(s, ds.Rows[i][j])
+		}
+		obs.HadoopMeans[j] = stat.Mean(h)
+		obs.SparkMeans[j] = stat.Mean(s)
+	}
+
+	ratio := func(num, den float64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	get := func(name string) (h, s float64, err error) {
+		j, err := metricIdx(ds, name)
+		if err != nil {
+			return 0, 0, err
+		}
+		return obs.HadoopMeans[j], obs.SparkMeans[j], nil
+	}
+
+	type pull struct {
+		name string
+		out  *float64
+		// sparkOverHadoop: true → Spark/Hadoop, false → Hadoop/Spark.
+		sparkOverHadoop bool
+	}
+	pulls := []pull{
+		{"L3 MISS", &obs.SparkToHadoopL3Miss, true},
+		{"L1I MISS", &obs.HadoopToSparkL1IMiss, false},
+		{"FETCH STALL", &obs.HadoopToSparkFetchStall, false},
+		{"RESOURCE STALL", &obs.SparkToHadoopResStall, true},
+		{"DTLB MISS", &obs.SparkToHadoopDTLBMiss, true},
+		{"SNOOP HIT", &obs.SparkToHadoopSnoopHit, true},
+		{"SNOOP HITE", &obs.SparkToHadoopSnoopHitE, true},
+		{"SNOOP HITM", &obs.SparkToHadoopSnoopHitM, true},
+	}
+	for _, p := range pulls {
+		h, s, err := get(p.name)
+		if err != nil {
+			return nil, err
+		}
+		if p.sparkOverHadoop {
+			*p.out = ratio(s, h)
+		} else {
+			*p.out = ratio(h, s)
+		}
+	}
+
+	// STLB hit rate from the two TLB metrics: hits / (hits + full
+	// misses), both per-kilo-instruction so the normalization cancels.
+	stlbJ, err := metricIdx(ds, "DATA HIT STLB")
+	if err != nil {
+		return nil, err
+	}
+	dtlbJ, err := metricIdx(ds, "DTLB MISS")
+	if err != nil {
+		return nil, err
+	}
+	obs.STLBHitRateHadoop = ratio(obs.HadoopMeans[stlbJ], obs.HadoopMeans[stlbJ]+obs.HadoopMeans[dtlbJ])
+	obs.STLBHitRateSpark = ratio(obs.SparkMeans[stlbJ], obs.SparkMeans[stlbJ]+obs.SparkMeans[dtlbJ])
+	return obs, nil
+}
+
+func (a *Analysis) meanPairwiseCophenetic(idx []int) float64 {
+	if len(idx) < 2 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			sum += a.Dendrogram.CopheneticDistance(idx[i], idx[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// Fig5Metric is one bar of the paper's Figure 5: a PC2-dominant metric
+// with the Hadoop mean normalized to the Spark mean.
+type Fig5Metric struct {
+	Name              string
+	Loading           float64 // PC2 factor loading
+	HadoopOverSpark   float64
+	NegativeDominance bool // metric dominates PC2 negatively (Spark side)
+}
+
+// Fig5 selects the metrics that dominate the stack-separating component
+// and reports the Hadoop/Spark mean ratio for each, Spark-normalized as
+// in the figure. pc is the zero-based component index that separates the
+// stacks (see SeparatingPC); frac is the dominance threshold relative to
+// the max |loading| (the paper reads Fig. 4 at roughly half the peak).
+func (a *Analysis) Fig5(obs *Observations, pc int, frac float64) ([]Fig5Metric, error) {
+	pos, neg := a.PCA.DominantLoadings(pc, frac)
+	var out []Fig5Metric
+	add := func(idx []int, negative bool) {
+		for _, m := range idx {
+			ratio := 0.0
+			if obs.SparkMeans[m] != 0 {
+				ratio = obs.HadoopMeans[m] / obs.SparkMeans[m]
+			}
+			out = append(out, Fig5Metric{
+				Name:              a.Dataset.Metrics[m],
+				Loading:           a.PCA.Loadings.At(m, pc),
+				HadoopOverSpark:   ratio,
+				NegativeDominance: negative,
+			})
+		}
+	}
+	add(neg, true)
+	add(pos, false)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no dominant loadings on PC%d at threshold %v", pc+1, frac)
+	}
+	return out, nil
+}
+
+// SeparatingPC finds the principal component that best separates the two
+// stacks: the one maximizing |mean(H scores) − mean(S scores)| / pooled
+// std. The paper identifies PC2 by inspection of Figure 2.
+func (a *Analysis) SeparatingPC() int {
+	ds := a.Dataset
+	bestPC, bestScore := 0, -1.0
+	for pc := 0; pc < a.NumPCs; pc++ {
+		var h, s []float64
+		for i, l := range ds.Labels {
+			switch StackOf(l) {
+			case "Hadoop":
+				h = append(h, a.Scores.At(i, pc))
+			case "Spark":
+				s = append(s, a.Scores.At(i, pc))
+			}
+		}
+		if len(h) < 2 || len(s) < 2 {
+			continue
+		}
+		pooled := (stat.StdDev(h) + stat.StdDev(s)) / 2
+		if pooled == 0 {
+			continue
+		}
+		score := abs(stat.Mean(h)-stat.Mean(s)) / pooled
+		if score > bestScore {
+			bestScore = score
+			bestPC = pc
+		}
+	}
+	return bestPC
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/rng"
+)
+
+// fastCluster is a scaled-down cluster configuration for tests.
+func fastCluster() cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.SlaveNodes = 1
+	cfg.InstructionsPerCore = 2500
+	cfg.Slices = 10
+	return cfg
+}
+
+// syntheticDataset builds a dataset with two metric-space blobs labeled
+// by stack prefix, so analysis behaviour is testable without simulation.
+func syntheticDataset(nPerStack, metrics int, seed uint64) *Dataset {
+	r := rng.New(seed)
+	ds := &Dataset{}
+	for j := 0; j < metrics; j++ {
+		ds.Metrics = append(ds.Metrics, metricName(j))
+	}
+	algos := []string{"Sort", "Grep", "WordCount", "Kmeans", "PageRank", "Bayes", "Filter", "Union"}
+	for i := 0; i < nPerStack; i++ {
+		for s, prefix := range []string{"H-", "S-"} {
+			row := make([]float64, metrics)
+			for j := range row {
+				base := float64(s) * 3 // stack separation
+				row[j] = base + r.NormFloat64()*0.4 + float64(i%3)*0.2
+			}
+			ds.Labels = append(ds.Labels, prefix+algos[i%len(algos)])
+			ds.Rows = append(ds.Rows, row)
+		}
+	}
+	return ds
+}
+
+// metricName maps synthetic columns onto real Table II names so Observe
+// works; extra columns get generic names.
+func metricName(j int) string {
+	names := []string{"L3 MISS", "L1I MISS", "FETCH STALL", "RESOURCE STALL",
+		"DTLB MISS", "SNOOP HIT", "SNOOP HITE", "SNOOP HITM", "DATA HIT STLB", "LOAD"}
+	if j < len(names) {
+		return names[j]
+	}
+	return "M" + string(rune('A'+j-len(names)))
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := syntheticDataset(4, 10, 1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{Labels: []string{"a"}, Metrics: []string{"m"}, Rows: [][]float64{{1}, {2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	bad = &Dataset{Labels: []string{"a", "b"}, Metrics: []string{"m", "n"}, Rows: [][]float64{{1}, {2, 3}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestAnalyzeSyntheticSeparatesStacks(t *testing.T) {
+	ds := syntheticDataset(8, 12, 2)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.NumPCs < 1 {
+		t.Fatalf("NumPCs = %d", an.NumPCs)
+	}
+	if an.Variance <= 0 || an.Variance > 1 {
+		t.Fatalf("Variance = %v", an.Variance)
+	}
+	// Two well-separated stacks: K-means at the BIC optimum should not
+	// mix them when K == 2.
+	if an.KBest.K == 2 {
+		byStack := map[string]int{}
+		for i, l := range ds.Labels {
+			c := an.KBest.Assign[i]
+			if prev, ok := byStack[StackOf(l)]; ok && prev != c {
+				t.Error("stack split across clusters at K=2")
+			}
+			byStack[StackOf(l)] = c
+		}
+	}
+	// Representative sets must have one entry per cluster and belong to
+	// their clusters.
+	if len(an.NearestReps) != an.KBest.K || len(an.FarthestReps) != an.KBest.K {
+		t.Fatalf("representative counts %d/%d for K=%d", len(an.NearestReps), len(an.FarthestReps), an.KBest.K)
+	}
+	for c := 0; c < an.KBest.K; c++ {
+		if an.KBest.Assign[an.NearestReps[c].Index] != c {
+			t.Errorf("nearest rep of cluster %d not in cluster", c)
+		}
+		if an.KBest.Assign[an.FarthestReps[c].Index] != c {
+			t.Errorf("farthest rep of cluster %d not in cluster", c)
+		}
+	}
+}
+
+func TestFarthestPolicyCoversMoreDiversity(t *testing.T) {
+	// The boundary policy should select a representative set with at
+	// least the centroid policy's maximal linkage distance (§VI-B).
+	ds := syntheticDataset(8, 12, 3)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.FarthestMaxLinkage < an.NearestMaxLinkage-1e-9 {
+		t.Errorf("farthest policy max linkage %v < nearest %v", an.FarthestMaxLinkage, an.NearestMaxLinkage)
+	}
+}
+
+func TestAnalyzeValidatesKRange(t *testing.T) {
+	ds := syntheticDataset(4, 10, 4)
+	cfg := DefaultAnalysis()
+	cfg.KMin, cfg.KMax = 5, 2
+	if _, err := Analyze(ds, cfg); err == nil {
+		t.Error("inverted K range accepted")
+	}
+}
+
+func TestAnalyzeVarianceThresholdSelection(t *testing.T) {
+	ds := syntheticDataset(8, 12, 5)
+	cfg := DefaultAnalysis()
+	cfg.PCSelection = VarianceThreshold
+	cfg.VarianceFrac = 0.99
+	an, err := Analyze(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Variance < 0.99-1e-9 {
+		t.Errorf("variance threshold not honored: %v", an.Variance)
+	}
+}
+
+func TestObserveSynthetic(t *testing.T) {
+	ds := syntheticDataset(8, 12, 6)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := an.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.FirstIterPairs == 0 {
+		t.Fatal("no first-iteration pairs found")
+	}
+	// Stacks are separated by 3σ in every metric: all first-iteration
+	// pairs must be same-stack.
+	if obs.SameStackFraction < 0.99 {
+		t.Errorf("SameStackFraction = %v, want 1.0 for separated stacks", obs.SameStackFraction)
+	}
+	if len(obs.HadoopMeans) != len(ds.Metrics) || len(obs.SparkMeans) != len(ds.Metrics) {
+		t.Error("per-stack means have wrong length")
+	}
+}
+
+func TestSeparatingPCOnSynthetic(t *testing.T) {
+	// Stack separation dominates the synthetic data, so the separating
+	// component must be PC1 (index 0).
+	ds := syntheticDataset(8, 12, 7)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.SeparatingPC(); got != 0 {
+		t.Errorf("SeparatingPC = %d, want 0", got)
+	}
+}
+
+func TestFig5OnSynthetic(t *testing.T) {
+	ds := syntheticDataset(8, 12, 8)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := an.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := an.Fig5(obs, an.SeparatingPC(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Fig5 selected no metrics")
+	}
+	for _, r := range rows {
+		if r.Name == "" {
+			t.Error("unnamed Fig5 metric")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := syntheticDataset(4, 10, 9)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Labels) != len(ds.Labels) || len(got.Metrics) != len(ds.Metrics) {
+		t.Fatalf("round trip shape mismatch")
+	}
+	for i := range ds.Rows {
+		if got.Labels[i] != ds.Labels[i] {
+			t.Fatalf("label %d: %q vs %q", i, got.Labels[i], ds.Labels[i])
+		}
+		for j := range ds.Rows[i] {
+			if got.Rows[i][j] != ds.Rows[i][j] {
+				t.Fatalf("value (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("only,one,row\n")); err == nil {
+		t.Error("header-only CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("w,m\na,notanumber\nb,2\n")); err == nil {
+		t.Error("non-numeric CSV accepted")
+	}
+}
+
+func TestEndToEndSmallSuite(t *testing.T) {
+	// Full pipeline on a 6-workload sub-suite at test scale.
+	suite, err := workloads.Suite(workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub []workloads.Workload
+	for _, name := range []string{"H-Sort", "S-Sort", "H-Grep", "S-Grep", "H-Kmeans", "S-Kmeans"} {
+		w, err := workloads.ByName(suite, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub = append(sub, w)
+	}
+	ds, err := CharacterizeSuite(sub, fastCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Rows) != 6 || len(ds.Metrics) != 45 {
+		t.Fatalf("dataset shape %dx%d, want 6x45", len(ds.Rows), len(ds.Metrics))
+	}
+	cfg := DefaultAnalysis()
+	cfg.KMax = 5
+	an, err := Analyze(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.KBest.K < 2 || an.KBest.K > 5 {
+		t.Errorf("KBest.K = %d out of scan range", an.KBest.K)
+	}
+	obs, err := an.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.STLBHitRateHadoop <= 0 || obs.STLBHitRateHadoop > 1 {
+		t.Errorf("STLBHitRateHadoop = %v", obs.STLBHitRateHadoop)
+	}
+	names := an.SubsetNames()
+	if len(names) != an.KBest.K {
+		t.Errorf("SubsetNames returned %d names for K=%d", len(names), an.KBest.K)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestEvaluateSubsetShape(t *testing.T) {
+	ds := syntheticDataset(8, 12, 21)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := an.EvaluateSubset(an.FarthestReps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.PerMetricError) != len(ds.Metrics) {
+		t.Fatalf("PerMetricError has %d entries, want %d", len(q.PerMetricError), len(ds.Metrics))
+	}
+	if q.WeightedMeanError < 0 {
+		t.Errorf("negative error %v", q.WeightedMeanError)
+	}
+	if q.MeanApproximationDistance < 0 || q.MaxApproximationDistance < q.MeanApproximationDistance {
+		t.Errorf("distance stats inconsistent: mean %v max %v",
+			q.MeanApproximationDistance, q.MaxApproximationDistance)
+	}
+}
+
+func TestEvaluateSubsetPerfectWhenKEqualsN(t *testing.T) {
+	ds := syntheticDataset(3, 10, 22)
+	cfg := DefaultAnalysis()
+	cfg.KMin, cfg.KMax = len(ds.Rows), len(ds.Rows)
+	an, err := Analyze(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.KBest.K != len(ds.Rows) {
+		t.Skipf("K=%d not n", an.KBest.K)
+	}
+	q, err := an.EvaluateSubset(an.NearestReps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every workload is its own representative: zero error.
+	if q.WeightedMeanError > 1e-9 || q.MaxApproximationDistance > 1e-9 {
+		t.Errorf("K=n subset should be exact: %+v", q)
+	}
+}
+
+func TestEvaluateSubsetValidates(t *testing.T) {
+	ds := syntheticDataset(6, 10, 23)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.EvaluateSubset(an.FarthestReps[:1]); err == nil && an.KBest.K > 1 {
+		t.Error("short representative list accepted")
+	}
+	bad := append([]Representative(nil), an.FarthestReps...)
+	bad[0].Index = 9999
+	if _, err := an.EvaluateSubset(bad); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestNearestRepsApproximateBetterOnAverage(t *testing.T) {
+	// The centroid policy minimizes distance to members; its mean
+	// approximation distance should not exceed the boundary policy's.
+	ds := syntheticDataset(8, 12, 24)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := an.EvaluateSubset(an.NearestReps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf, err := an.EvaluateSubset(an.FarthestReps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qn.MeanApproximationDistance > qf.MeanApproximationDistance+1e-9 {
+		t.Errorf("nearest mean distance %v > farthest %v",
+			qn.MeanApproximationDistance, qf.MeanApproximationDistance)
+	}
+}
+
+func TestHierarchicalRepresentatives(t *testing.T) {
+	ds := syntheticDataset(8, 12, 25)
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 7} {
+		reps, err := an.HierarchicalRepresentatives(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reps) != k {
+			t.Fatalf("k=%d returned %d reps", k, len(reps))
+		}
+		seen := map[int]bool{}
+		total := 0
+		for _, r := range reps {
+			if r.Index < 0 || r.Workload == "" {
+				t.Fatalf("incomplete representative %+v", r)
+			}
+			if seen[r.Index] {
+				t.Fatalf("duplicate representative %+v", r)
+			}
+			seen[r.Index] = true
+			total += r.ClusterSize
+		}
+		if total != len(ds.Rows) {
+			t.Errorf("k=%d cluster sizes sum to %d, want %d", k, total, len(ds.Rows))
+		}
+	}
+	if _, err := an.HierarchicalRepresentatives(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := an.HierarchicalRepresentatives(len(ds.Rows) + 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+)
+
+// TestPaperShapeInvariants is the calibration regression net: a
+// moderate-scale full-suite run must reproduce the directional findings
+// of the paper (§V Observations). It guards the workload/stack models
+// against changes that silently break the reproduction. Skipped with
+// -short (takes a few seconds).
+func TestPaperShapeInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite characterization")
+	}
+	ccfg := cluster.DefaultConfig()
+	ccfg.SlaveNodes = 1
+	ccfg.InstructionsPerCore = 15000
+	ccfg.Slices = 48
+
+	ds, err := Characterize(workloads.DefaultConfig(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := an.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kaiser regime: several PCs, high variance (paper: 8 PCs, 91%).
+	if an.NumPCs < 4 || an.NumPCs > 12 {
+		t.Errorf("NumPCs = %d, want the paper's regime (≈6-8)", an.NumPCs)
+	}
+	if an.Variance < 0.8 {
+		t.Errorf("retained variance = %v, want ≥ 0.8", an.Variance)
+	}
+
+	// Observation 1: most first-iteration merges are same-stack (paper 80%).
+	if obs.SameStackFraction < 0.8 {
+		t.Errorf("same-stack first-iteration fraction = %v, want ≥ 0.8", obs.SameStackFraction)
+	}
+
+	// Observation 5: Hadoop clusters tighter than Spark.
+	if obs.MeanCopheneticHadoop >= obs.MeanCopheneticSpark {
+		t.Errorf("Hadoop cohesion %v not tighter than Spark %v",
+			obs.MeanCopheneticHadoop, obs.MeanCopheneticSpark)
+	}
+
+	// Observation 6: Spark suffers more L3 misses.
+	if obs.SparkToHadoopL3Miss <= 1 {
+		t.Errorf("Spark/Hadoop L3 miss ratio = %v, want > 1", obs.SparkToHadoopL3Miss)
+	}
+
+	// Observation 7: Hadoop's shared TLB is more effective.
+	if obs.STLBHitRateHadoop <= obs.STLBHitRateSpark {
+		t.Errorf("STLB hit rates H=%v S=%v, want Hadoop higher",
+			obs.STLBHitRateHadoop, obs.STLBHitRateSpark)
+	}
+	if obs.SparkToHadoopDTLBMiss <= 1 {
+		t.Errorf("Spark/Hadoop DTLB miss ratio = %v, want > 1", obs.SparkToHadoopDTLBMiss)
+	}
+
+	// Observation 8: Hadoop frontend-bound, Spark backend-bound.
+	if obs.HadoopToSparkL1IMiss <= 1 {
+		t.Errorf("Hadoop/Spark L1I miss ratio = %v, want > 1", obs.HadoopToSparkL1IMiss)
+	}
+	if obs.HadoopToSparkFetchStall <= 1 {
+		t.Errorf("Hadoop/Spark fetch stall ratio = %v, want > 1", obs.HadoopToSparkFetchStall)
+	}
+	if obs.SparkToHadoopResStall <= 1 {
+		t.Errorf("Spark/Hadoop resource stall ratio = %v, want > 1", obs.SparkToHadoopResStall)
+	}
+
+	// Observation 9: Spark generates more coherence traffic.
+	for name, r := range map[string]float64{
+		"SNOOP HIT":  obs.SparkToHadoopSnoopHit,
+		"SNOOP HITE": obs.SparkToHadoopSnoopHitE,
+		"SNOOP HITM": obs.SparkToHadoopSnoopHitM,
+	} {
+		if r <= 1 {
+			t.Errorf("Spark/Hadoop %s ratio = %v, want > 1", name, r)
+		}
+	}
+
+	// The BIC scan must have an interior structure, not a trivial
+	// endpoint choice at KMin.
+	if an.KBest.K <= 2 {
+		t.Errorf("BIC chose K=%d, want a non-trivial clustering", an.KBest.K)
+	}
+
+	// Boundary policy must cover at least the centroid policy's spread.
+	if an.FarthestMaxLinkage < an.NearestMaxLinkage-1e-9 {
+		t.Errorf("farthest policy covers %v < nearest %v",
+			an.FarthestMaxLinkage, an.NearestMaxLinkage)
+	}
+}
+
+// TestObserveRequiresStackLabels verifies the error path for datasets
+// without the H-/S- naming convention.
+func TestObserveRequiresStackLabels(t *testing.T) {
+	ds := syntheticDataset(4, 10, 31)
+	for i := range ds.Labels {
+		ds.Labels[i] = "X" + ds.Labels[i][1:]
+	}
+	an, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Observe(); err == nil {
+		t.Error("Observe accepted a dataset without stack prefixes")
+	}
+}
+
+// TestAnalysisDeterministic: identical datasets and configs yield
+// identical clustering and representatives.
+func TestAnalysisDeterministic(t *testing.T) {
+	ds := syntheticDataset(8, 12, 32)
+	a1, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(ds, DefaultAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.KBest.K != a2.KBest.K || a1.NumPCs != a2.NumPCs {
+		t.Fatal("analysis not deterministic")
+	}
+	for i := range a1.KBest.Assign {
+		if a1.KBest.Assign[i] != a2.KBest.Assign[i] {
+			t.Fatal("cluster assignments differ across identical runs")
+		}
+	}
+	for i := range a1.FarthestReps {
+		if a1.FarthestReps[i].Workload != a2.FarthestReps[i].Workload {
+			t.Fatal("representatives differ across identical runs")
+		}
+	}
+}

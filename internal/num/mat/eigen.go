@@ -1,0 +1,162 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym holds the eigendecomposition of a real symmetric matrix:
+// A = V diag(Values) Vᵀ, with eigenvalues sorted in descending order and
+// Vectors column j holding the eigenvector for Values[j].
+type EigenSym struct {
+	Values  []float64
+	Vectors *Dense // n×n, orthonormal columns
+}
+
+// jacobiMaxSweeps bounds the cyclic Jacobi iteration. 64 sweeps is far
+// beyond what any well-conditioned covariance matrix of the sizes used
+// here (≤ 64×64) needs; reaching it indicates a pathological input.
+const jacobiMaxSweeps = 64
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. The input must be symmetric within symTol;
+// it is not modified. The method is numerically robust for the small dense
+// symmetric matrices (covariance/correlation) this library works with.
+func SymEigen(a *Dense, symTol float64) (*EigenSym, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("mat: SymEigen requires a square matrix, got %dx%d", n, c)
+	}
+	if !a.IsSymmetric(symTol) {
+		return nil, fmt.Errorf("mat: SymEigen requires a symmetric matrix (tol %g)", symTol)
+	}
+
+	// Work on a copy; accumulate rotations into v.
+	w := a.Clone()
+	v := Identity(n)
+
+	offdiag := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				x := w.At(i, j)
+				s += x * x
+			}
+		}
+		return math.Sqrt(s)
+	}
+
+	// Convergence threshold scales with the matrix magnitude so tiny
+	// matrices and large ones are handled uniformly.
+	scale := w.FrobeniusNorm()
+	if scale == 0 {
+		// Zero matrix: eigenvalues all zero, vectors identity.
+		return sortedEigen(make([]float64, n), v), nil
+	}
+	tol := 1e-12 * scale
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		if offdiag() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= tol/float64(n*n) {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Compute the rotation that annihilates w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cos := 1 / math.Sqrt(1+t*t)
+				sin := t * cos
+
+				// Apply rotation J(p,q,θ): w = Jᵀ w J.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, cos*wkp-sin*wkq)
+					w.Set(k, q, sin*wkp+cos*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, cos*wpk-sin*wqk)
+					w.Set(q, k, sin*wpk+cos*wqk)
+				}
+				// Accumulate eigenvectors: v = v J.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, cos*vkp-sin*vkq)
+					v.Set(k, q, sin*vkp+cos*vkq)
+				}
+			}
+		}
+	}
+
+	if offdiag() > tol*10 {
+		return nil, fmt.Errorf("mat: Jacobi eigendecomposition did not converge after %d sweeps (offdiag %g, tol %g)",
+			jacobiMaxSweeps, offdiag(), tol)
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	return sortedEigen(vals, v), nil
+}
+
+// sortedEigen orders eigenpairs by descending eigenvalue and fixes the sign
+// convention (largest-magnitude component of each eigenvector is positive)
+// so results are deterministic across runs.
+func sortedEigen(vals []float64, vecs *Dense) *EigenSym {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	outVals := make([]float64, n)
+	outVecs := NewDense(n, n)
+	for j, src := range idx {
+		outVals[j] = vals[src]
+		col := vecs.Col(src)
+		// Sign convention.
+		maxAbs, sign := 0.0, 1.0
+		for _, x := range col {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+				if x < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		for i, x := range col {
+			outVecs.Set(i, j, sign*x)
+		}
+	}
+	return &EigenSym{Values: outVals, Vectors: outVecs}
+}
+
+// Reconstruct rebuilds V diag(Values) Vᵀ, which should equal the original
+// matrix. Used by tests to verify decomposition quality.
+func (e *EigenSym) Reconstruct() *Dense {
+	n := len(e.Values)
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, e.Values[i])
+	}
+	return Mul(Mul(e.Vectors, d), e.Vectors.T())
+}

@@ -1,0 +1,219 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 1}})
+	e, err := SymEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Errorf("Values = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Errorf("Values = %v, want [3 1]", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2).
+	v := e.Vectors.Col(0)
+	if math.Abs(math.Abs(v[0])-1/math.Sqrt2) > 1e-10 || math.Abs(v[0]-v[1]) > 1e-10 {
+		t.Errorf("first eigenvector = %v", v)
+	}
+}
+
+func TestSymEigenSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSymmetric(rng, 8)
+	e, err := SymEigen(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", e.Values)
+		}
+	}
+}
+
+func TestSymEigenRejectsNonSquare(t *testing.T) {
+	if _, err := SymEigen(NewDense(2, 3), 1e-9); err == nil {
+		t.Error("expected error for non-square input")
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {5, 1}})
+	if _, err := SymEigen(a, 1e-9); err == nil {
+		t.Error("expected error for asymmetric input")
+	}
+}
+
+func TestSymEigenZeroMatrix(t *testing.T) {
+	e, err := SymEigen(NewDense(4, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Values {
+		if v != 0 {
+			t.Errorf("zero matrix eigenvalue %v, want 0", v)
+		}
+	}
+	if !Equal(e.Vectors, Identity(4), 0) {
+		t.Error("zero matrix eigenvectors should be identity")
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Dense {
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// Property: reconstruction V Λ Vᵀ equals the input.
+func TestQuickEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomSymmetric(rng, n)
+		e, err := SymEigen(a, 1e-12)
+		if err != nil {
+			return false
+		}
+		return Equal(e.Reconstruct(), a, 1e-8*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eigenvectors are orthonormal (VᵀV = I).
+func TestQuickEigenOrthonormal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomSymmetric(rng, n)
+		e, err := SymEigen(a, 1e-12)
+		if err != nil {
+			return false
+		}
+		return Equal(Mul(e.Vectors.T(), e.Vectors), Identity(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace equals sum of eigenvalues.
+func TestQuickEigenTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomSymmetric(rng, n)
+		e, err := SymEigen(a, 1e-12)
+		if err != nil {
+			return false
+		}
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += e.Values[i]
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: A v = λ v for every eigenpair.
+func TestQuickEigenPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSymmetric(rng, n)
+		e, err := SymEigen(a, 1e-12)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			v := e.Vectors.Col(j)
+			av := a.MulVec(v)
+			for i := range av {
+				if math.Abs(av[i]-e.Values[j]*v[i]) > 1e-7*(1+a.MaxAbs()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{3, 4}
+	if got := Norm(a); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := Dot(a, []float64{1, 2}); got != 11 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := Distance([]float64{0, 0}, a); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := SquaredDistance([]float64{0, 0}, a); math.Abs(got-25) > 1e-12 {
+		t.Errorf("SquaredDistance = %v, want 25", got)
+	}
+	y := []float64{1, 1}
+	AXPY(2, a, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v, want [7 9]", y)
+	}
+	v := []float64{3, 4}
+	if !Normalize(v) || math.Abs(Norm(v)-1) > 1e-12 {
+		t.Errorf("Normalize failed: %v", v)
+	}
+	z := []float64{0, 0}
+	if Normalize(z) {
+		t.Error("Normalize of zero vector should report false")
+	}
+}
+
+func TestVectorMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Dot":             func() { Dot([]float64{1}, []float64{1, 2}) },
+		"Distance":        func() { Distance([]float64{1}, []float64{1, 2}) },
+		"SquaredDistance": func() { SquaredDistance([]float64{1}, []float64{1, 2}) },
+		"AXPY":            func() { AXPY(1, []float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,283 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/num/mat"
+	"repro/internal/num/stat"
+)
+
+// syntheticData builds samples with controlled correlated structure:
+// feature 0 and 1 are strongly correlated, feature 2 is independent noise.
+func syntheticData(rng *rand.Rand, n int) *mat.Dense {
+	m := mat.NewDense(n, 3)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64()
+		m.Set(i, 0, base*3+rng.NormFloat64()*0.01)
+		m.Set(i, 1, -base*2+rng.NormFloat64()*0.01)
+		m.Set(i, 2, rng.NormFloat64())
+	}
+	return m
+}
+
+func TestFitRejectsDegenerate(t *testing.T) {
+	if _, err := Fit(mat.NewDense(1, 3)); err == nil {
+		t.Error("expected error for single sample")
+	}
+}
+
+func TestEigenvaluesSumToFeatureCount(t *testing.T) {
+	// After z-scoring, total variance equals the number of non-constant
+	// features (each contributes variance 1).
+	rng := rand.New(rand.NewSource(1))
+	data := syntheticData(rng, 50)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range r.Eigenvalues {
+		sum += v
+	}
+	if math.Abs(sum-3) > 1e-9 {
+		t.Errorf("eigenvalue sum = %v, want 3", sum)
+	}
+}
+
+func TestCorrelatedFeaturesCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := syntheticData(rng, 100)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two strongly correlated features collapse into one dominant
+	// component: first eigenvalue near 2, third near 0.
+	if r.Eigenvalues[0] < 1.8 {
+		t.Errorf("first eigenvalue = %v, want ≈2", r.Eigenvalues[0])
+	}
+	if r.Eigenvalues[2] > 0.2 {
+		t.Errorf("last eigenvalue = %v, want ≈0", r.Eigenvalues[2])
+	}
+}
+
+func TestKaiserCriterion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := syntheticData(rng, 100)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components: eigenvalues ≈ [2, 1, 0] → Kaiser keeps ~2.
+	k := r.KaiserComponents()
+	if k < 1 || k > 2 {
+		t.Errorf("KaiserComponents = %d, want 1..2 (eigenvalues %v)", k, r.Eigenvalues)
+	}
+}
+
+func TestKaiserNeverZero(t *testing.T) {
+	// Nearly identical samples: all eigenvalues < 1 is impossible after
+	// z-scoring with >1 feature unless degenerate, so craft perfectly
+	// correlated features where one eigenvalue takes everything; still ≥1
+	// is returned.
+	data := mat.FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KaiserComponents() < 1 {
+		t.Error("KaiserComponents returned 0")
+	}
+}
+
+func TestExplainedVarianceMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := syntheticData(rng, 60)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for k := 0; k <= 3; k++ {
+		ev := r.ExplainedVariance(k)
+		if ev < prev-1e-12 {
+			t.Errorf("ExplainedVariance(%d) = %v < previous %v", k, ev, prev)
+		}
+		prev = ev
+	}
+	if math.Abs(r.ExplainedVariance(3)-1) > 1e-9 {
+		t.Errorf("full variance = %v, want 1", r.ExplainedVariance(3))
+	}
+}
+
+func TestComponentsForVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := syntheticData(rng, 60)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := r.ComponentsForVariance(0.6)
+	if k != 1 {
+		t.Errorf("ComponentsForVariance(0.6) = %d, want 1 (eigenvalues %v)", k, r.Eigenvalues)
+	}
+	if got := r.ComponentsForVariance(1.0); got > 3 {
+		t.Errorf("ComponentsForVariance(1.0) = %d", got)
+	}
+}
+
+func TestScoresKShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := syntheticData(rng, 20)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.ScoresK(2)
+	rows, cols := s.Dims()
+	if rows != 20 || cols != 2 {
+		t.Errorf("ScoresK dims = %dx%d, want 20x2", rows, cols)
+	}
+	// The truncated scores must match the full score matrix.
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if s.At(i, j) != r.Scores.At(i, j) {
+				t.Fatal("ScoresK disagrees with Scores")
+			}
+		}
+	}
+}
+
+func TestProjectMatchesScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := syntheticData(rng, 25)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		p := r.Project(data.Row(i), 3)
+		for j := 0; j < 3; j++ {
+			if math.Abs(p[j]-r.Scores.At(i, j)) > 1e-9 {
+				t.Fatalf("Project(row %d)[%d] = %v, scores %v", i, j, p[j], r.Scores.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDominantLoadings(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := syntheticData(rng, 100)
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := r.DominantLoadings(0, 0.5)
+	// Features 0 and 1 are anti-correlated so they dominate PC1 with
+	// opposite signs; feature 2 should not appear.
+	seen := map[int]bool{}
+	for _, m := range pos {
+		seen[m] = true
+	}
+	for _, m := range neg {
+		seen[m] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("dominant loadings pos=%v neg=%v, want features 0 and 1", pos, neg)
+	}
+	if seen[2] {
+		t.Errorf("noise feature 2 dominates PC1: pos=%v neg=%v", pos, neg)
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		t.Errorf("anti-correlated features should split signs: pos=%v neg=%v", pos, neg)
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	data := mat.FromRows([][]float64{{1, 5, 2}, {2, 5, 4}, {3, 5, 6}})
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant column contributes zero variance; eigenvalue sum is 2.
+	sum := 0.0
+	for _, v := range r.Eigenvalues {
+		sum += v
+	}
+	if math.Abs(sum-2) > 1e-9 {
+		t.Errorf("eigenvalue sum with constant col = %v, want 2", sum)
+	}
+}
+
+// Property: scores of distinct components are uncorrelated (the whole
+// point of PCA — paper §III-C "the resulting data is ensured to be
+// uncorrelated").
+func TestQuickScoresUncorrelated(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 10+rng.Intn(30), 2+rng.Intn(5)
+		data := mat.NewDense(n, d)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				data.Set(i, j, rng.NormFloat64()*(1+float64(j)))
+			}
+		}
+		r, err := Fit(data)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				ca, cb := r.Scores.Col(a), r.Scores.Col(b)
+				// Covariance of two score columns must be ~0 when both
+				// components carry variance.
+				if r.Eigenvalues[a] > 1e-6 && r.Eigenvalues[b] > 1e-6 {
+					cov := 0.0
+					ma, mb := stat.Mean(ca), stat.Mean(cb)
+					for i := range ca {
+						cov += (ca[i] - ma) * (cb[i] - mb)
+					}
+					cov /= float64(len(ca))
+					if math.Abs(cov) > 1e-7 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance of score column j equals eigenvalue j.
+func TestQuickScoreVarianceIsEigenvalue(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 10+rng.Intn(30), 2+rng.Intn(5)
+		data := mat.NewDense(n, d)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				data.Set(i, j, rng.NormFloat64())
+			}
+		}
+		r, err := Fit(data)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < d; j++ {
+			v := stat.Variance(r.Scores.Col(j))
+			if math.Abs(v-r.Eigenvalues[j]) > 1e-7*(1+r.Eigenvalues[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/num/mat"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mean of empty did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almost(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := SampleVariance(xs); !almost(got, 1, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 1", got)
+	}
+}
+
+func TestSampleVarianceSinglePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleVariance of 1 element did not panic")
+		}
+	}()
+	SampleVariance([]float64{1})
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", min, max)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Pearson(a, b); !almost(got, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	c := []float64{8, 6, 4, 2}
+	if got := Pearson(a, c); !almost(got, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("Pearson with constant series = %v, want 0", got)
+	}
+}
+
+func TestZScoreColumns(t *testing.T) {
+	m := mat.FromRows([][]float64{{1, 10}, {2, 20}, {3, 30}})
+	res := ZScoreColumns(m)
+	for j := 0; j < 2; j++ {
+		col := res.Normalized.Col(j)
+		if !almost(Mean(col), 0, 1e-12) {
+			t.Errorf("col %d mean = %v, want 0", j, Mean(col))
+		}
+		if !almost(StdDev(col), 1, 1e-12) {
+			t.Errorf("col %d stddev = %v, want 1", j, StdDev(col))
+		}
+	}
+}
+
+func TestZScoreConstantColumn(t *testing.T) {
+	m := mat.FromRows([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	res := ZScoreColumns(m)
+	if len(res.ConstantCols) != 1 || res.ConstantCols[0] != 0 {
+		t.Fatalf("ConstantCols = %v, want [0]", res.ConstantCols)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Normalized.At(i, 0) != 0 {
+			t.Error("constant column should normalize to zeros")
+		}
+	}
+}
+
+func TestZScoreApply(t *testing.T) {
+	m := mat.FromRows([][]float64{{1, 5}, {3, 5}})
+	res := ZScoreColumns(m)
+	out := res.Apply([]float64{2, 5})
+	if !almost(out[0], 0, 1e-12) {
+		t.Errorf("Apply mean value = %v, want 0", out[0])
+	}
+	if out[1] != 0 {
+		t.Errorf("Apply constant col = %v, want 0", out[1])
+	}
+}
+
+func TestCovarianceMatrixKnown(t *testing.T) {
+	m := mat.FromRows([][]float64{{1, 2}, {3, 6}})
+	cov := CovarianceMatrix(m)
+	// var(x)=1, var(y)=4, cov=2 (population).
+	if !almost(cov.At(0, 0), 1, 1e-12) || !almost(cov.At(1, 1), 4, 1e-12) || !almost(cov.At(0, 1), 2, 1e-12) {
+		t.Errorf("covariance =\n%v", cov)
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	m := mat.FromRows([][]float64{{1, 2, 5}, {2, 4, 5}, {3, 6, 5}})
+	c := CorrelationMatrix(m)
+	if !almost(c.At(0, 1), 1, 1e-12) {
+		t.Errorf("corr(0,1) = %v, want 1", c.At(0, 1))
+	}
+	if c.At(0, 2) != 0 {
+		t.Errorf("corr with constant col = %v, want 0", c.At(0, 2))
+	}
+	if c.At(2, 2) != 1 {
+		t.Errorf("diagonal = %v, want 1", c.At(2, 2))
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Med != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Describe = %+v", s)
+	}
+}
+
+// Property: z-scored columns have mean ~0 and stddev ~1 (or are constant).
+func TestQuickZScoreInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(20), 1+rng.Intn(10)
+		m := mat.NewDense(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64()*10+5)
+			}
+		}
+		res := ZScoreColumns(m)
+		for j := 0; j < cols; j++ {
+			col := res.Normalized.Col(j)
+			if !almost(Mean(col), 0, 1e-9) {
+				return false
+			}
+			sd := StdDev(col)
+			if sd != 0 && !almost(sd, 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pearson is symmetric and bounded in [-1, 1].
+func TestQuickPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r := Pearson(a, b)
+		if r < -1-1e-12 || r > 1+1e-12 {
+			return false
+		}
+		return almost(r, Pearson(b, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: covariance matrix is symmetric positive semi-definite
+// (checked via non-negative eigenvalues).
+func TestQuickCovariancePSD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 3+rng.Intn(10), 2+rng.Intn(5)
+		m := mat.NewDense(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		cov := CovarianceMatrix(m)
+		if !cov.IsSymmetric(1e-10) {
+			return false
+		}
+		e, err := mat.SymEigen(cov, 1e-10)
+		if err != nil {
+			return false
+		}
+		for _, v := range e.Values {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package perf models the measurement infrastructure of the paper's §IV-C:
+// a per-core performance-monitoring-counter (PMC) file programmed with
+// event selectors, perf-style time multiplexing with scaling when more
+// events are requested than counters exist, ramp-up skipping, multi-run
+// averaging — and the derivation of the 45 microarchitectural metrics of
+// Table II from raw event counts.
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/sim/event"
+)
+
+// Category groups metrics as in Table II.
+type Category string
+
+// Table II categories.
+const (
+	CatInstructionMix Category = "Instruction Mix"
+	CatCache          Category = "Cache Behavior"
+	CatTLB            Category = "TLB Behavior"
+	CatBranch         Category = "Branch Execution"
+	CatPipeline       Category = "Pipeline Behavior"
+	CatOffcore        Category = "Offcore Request"
+	CatSnoop          Category = "Snoop Response"
+	CatParallelism    Category = "Parallelism"
+	CatOpIntensity    Category = "Operation Intensity"
+)
+
+// Metric is one of the 45 Table II metrics.
+type Metric struct {
+	No          int // 1-based Table II numbering
+	Name        string
+	Category    Category
+	Description string
+	// Events lists the raw events this metric needs (used by the PMC
+	// scheduler to know what to program).
+	Events []event.ID
+	// Compute derives the metric value from event counts.
+	Compute func(c *event.Counts) float64
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func pki(n, inst uint64) float64 {
+	if inst == 0 {
+		return 0
+	}
+	return float64(n) / float64(inst) * 1000
+}
+
+// Catalog returns the 45 metrics in Table II order. The slice is freshly
+// allocated; callers may reorder it.
+func Catalog() []Metric {
+	offcoreTotal := func(c *event.Counts) uint64 {
+		return c.Get(event.OffcoreData) + c.Get(event.OffcoreCode) +
+			c.Get(event.OffcoreRFO) + c.Get(event.OffcoreWB)
+	}
+	return []Metric{
+		// Instruction mix.
+		{1, "LOAD", CatInstructionMix, "load operations' percentage",
+			[]event.ID{event.Loads, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.Loads), c.Get(event.InstRetired)) }},
+		{2, "STORE", CatInstructionMix, "store operations' percentage",
+			[]event.ID{event.Stores, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.Stores), c.Get(event.InstRetired)) }},
+		{3, "BRANCH", CatInstructionMix, "branch operations' percentage",
+			[]event.ID{event.Branches, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.Branches), c.Get(event.InstRetired)) }},
+		{4, "INTEGER", CatInstructionMix, "integer operations' percentage",
+			[]event.ID{event.IntOps, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.IntOps), c.Get(event.InstRetired)) }},
+		{5, "FP", CatInstructionMix, "X87 floating point operations' percentage",
+			[]event.ID{event.FPX87Ops, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.FPX87Ops), c.Get(event.InstRetired)) }},
+		{6, "SSE FP", CatInstructionMix, "SSE floating point operations' percentage",
+			[]event.ID{event.SSEFPOps, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.SSEFPOps), c.Get(event.InstRetired)) }},
+		{7, "KERNEL MODE", CatInstructionMix, "ratio of instructions running in kernel mode",
+			[]event.ID{event.InstKernel, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.InstKernel), c.Get(event.InstRetired)) }},
+		{8, "USER MODE", CatInstructionMix, "ratio of instructions running in user mode",
+			[]event.ID{event.InstKernel, event.InstRetired},
+			func(c *event.Counts) float64 {
+				return ratio(c.Get(event.InstRetired)-c.Get(event.InstKernel), c.Get(event.InstRetired))
+			}},
+		{9, "UOPS TO INS", CatInstructionMix, "ratio of micro operations to instructions",
+			[]event.ID{event.UopsRetired, event.InstRetired},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.UopsRetired), c.Get(event.InstRetired)) }},
+
+		// Cache behavior.
+		{10, "L1I MISS", CatCache, "L1 instruction cache misses per K instructions",
+			[]event.ID{event.L1IMiss, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.L1IMiss), c.Get(event.InstRetired)) }},
+		{11, "L1I HIT", CatCache, "L1 instruction cache hits per K instructions",
+			[]event.ID{event.L1IHit, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.L1IHit), c.Get(event.InstRetired)) }},
+		{12, "L2 MISS", CatCache, "L2 cache misses per K instructions",
+			[]event.ID{event.L2Miss, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.L2Miss), c.Get(event.InstRetired)) }},
+		{13, "L2 HIT", CatCache, "L2 cache hits per K instructions",
+			[]event.ID{event.L2Hit, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.L2Hit), c.Get(event.InstRetired)) }},
+		{14, "L3 MISS", CatCache, "L3 cache misses per K instructions",
+			[]event.ID{event.L3Miss, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.L3Miss), c.Get(event.InstRetired)) }},
+		{15, "L3 HIT", CatCache, "L3 cache hits per K instructions",
+			[]event.ID{event.L3Hit, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.L3Hit), c.Get(event.InstRetired)) }},
+		{16, "LOAD HIT LFB", CatCache, "loads missing L1D that hit the line fill buffer per K instructions",
+			[]event.ID{event.LoadHitLFB, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.LoadHitLFB), c.Get(event.InstRetired)) }},
+		{17, "LOAD HIT L2", CatCache, "loads that hit the L2 cache per K instructions",
+			[]event.ID{event.LoadHitL2, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.LoadHitL2), c.Get(event.InstRetired)) }},
+		{18, "LOAD HIT SIBE", CatCache, "loads that hit a sibling core's cache per K instructions",
+			[]event.ID{event.LoadHitSibling, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.LoadHitSibling), c.Get(event.InstRetired)) }},
+		{19, "LOAD HIT L3", CatCache, "loads that hit unshared lines in L3 per K instructions",
+			[]event.ID{event.LoadHitL3, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.LoadHitL3), c.Get(event.InstRetired)) }},
+		{20, "LOAD LLC MISS", CatCache, "loads that miss the L3 cache per K instructions",
+			[]event.ID{event.LoadLLCMiss, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.LoadLLCMiss), c.Get(event.InstRetired)) }},
+
+		// TLB behavior.
+		{21, "ITLB MISS", CatTLB, "misses in all levels of the instruction TLB per K instructions",
+			[]event.ID{event.ITLBMiss, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.ITLBMiss), c.Get(event.InstRetired)) }},
+		{22, "ITLB CYCLE", CatTLB, "ratio of ITLB page-walk cycles to total cycles",
+			[]event.ID{event.ITLBWalkCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.ITLBWalkCycles), c.Get(event.Cycles)) }},
+		{23, "DTLB MISS", CatTLB, "misses in all levels of the data TLB per K instructions",
+			[]event.ID{event.DTLBMiss, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.DTLBMiss), c.Get(event.InstRetired)) }},
+		{24, "DTLB CYCLE", CatTLB, "ratio of DTLB page-walk cycles to total cycles",
+			[]event.ID{event.DTLBWalkCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.DTLBWalkCycles), c.Get(event.Cycles)) }},
+		{25, "DATA HIT STLB", CatTLB, "first-level DTLB misses hitting the shared second-level TLB per K instructions",
+			[]event.ID{event.DataHitSTLB, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.DataHitSTLB), c.Get(event.InstRetired)) }},
+
+		// Branch execution.
+		{26, "BR MISS", CatBranch, "branch misprediction ratio",
+			[]event.ID{event.BranchMisses, event.Branches},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.BranchMisses), c.Get(event.Branches)) }},
+		{27, "BR EXE TO RE", CatBranch, "ratio of executed to retired branch instructions",
+			[]event.ID{event.BranchesExecuted, event.Branches},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.BranchesExecuted), c.Get(event.Branches)) }},
+
+		// Pipeline behavior.
+		{28, "FETCH STALL", CatPipeline, "ratio of instruction-fetch stalled cycles to total cycles",
+			[]event.ID{event.FetchStallCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.FetchStallCycles), c.Get(event.Cycles)) }},
+		{29, "ILD STALL", CatPipeline, "ratio of instruction-length-decoder stalled cycles to total cycles",
+			[]event.ID{event.ILDStallCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.ILDStallCycles), c.Get(event.Cycles)) }},
+		{30, "DECODER STALL", CatPipeline, "ratio of decoder stalled cycles to total cycles",
+			[]event.ID{event.DecoderStallCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.DecoderStallCycles), c.Get(event.Cycles)) }},
+		{31, "RAT STALL", CatPipeline, "ratio of register-allocation-table stalled cycles to total cycles",
+			[]event.ID{event.RATStallCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.RATStallCycles), c.Get(event.Cycles)) }},
+		{32, "RESOURCE STALL", CatPipeline, "ratio of resource-related stall cycles to total cycles",
+			[]event.ID{event.ResourceStallCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.ResourceStallCycles), c.Get(event.Cycles)) }},
+		{33, "UOPS EXE CYCLE", CatPipeline, "ratio of cycles with micro-ops executed to total cycles",
+			[]event.ID{event.UopsExeCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.UopsExeCycles), c.Get(event.Cycles)) }},
+		{34, "UOPS STALL", CatPipeline, "ratio of cycles with no micro-op executed to total cycles",
+			[]event.ID{event.UopsStallCycles, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.UopsStallCycles), c.Get(event.Cycles)) }},
+
+		// Offcore requests.
+		{35, "OFFCORE DATA", CatOffcore, "percentage of offcore data requests",
+			[]event.ID{event.OffcoreData, event.OffcoreCode, event.OffcoreRFO, event.OffcoreWB},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.OffcoreData), offcoreTotal(c)) }},
+		{36, "OFFCORE CODE", CatOffcore, "percentage of offcore code requests",
+			[]event.ID{event.OffcoreData, event.OffcoreCode, event.OffcoreRFO, event.OffcoreWB},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.OffcoreCode), offcoreTotal(c)) }},
+		{37, "OFFCORE RFO", CatOffcore, "percentage of offcore requests-for-ownership",
+			[]event.ID{event.OffcoreData, event.OffcoreCode, event.OffcoreRFO, event.OffcoreWB},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.OffcoreRFO), offcoreTotal(c)) }},
+		{38, "OFFCORE WB", CatOffcore, "percentage of data write-backs to uncore",
+			[]event.ID{event.OffcoreData, event.OffcoreCode, event.OffcoreRFO, event.OffcoreWB},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.OffcoreWB), offcoreTotal(c)) }},
+
+		// Snoop responses.
+		{39, "SNOOP HIT", CatSnoop, "HIT snoop responses per K instructions",
+			[]event.ID{event.SnoopHit, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.SnoopHit), c.Get(event.InstRetired)) }},
+		{40, "SNOOP HITE", CatSnoop, "HIT-Exclusive snoop responses per K instructions",
+			[]event.ID{event.SnoopHitE, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.SnoopHitE), c.Get(event.InstRetired)) }},
+		{41, "SNOOP HITM", CatSnoop, "HIT-Modified snoop responses per K instructions",
+			[]event.ID{event.SnoopHitM, event.InstRetired},
+			func(c *event.Counts) float64 { return pki(c.Get(event.SnoopHitM), c.Get(event.InstRetired)) }},
+
+		// Parallelism.
+		{42, "ILP", CatParallelism, "instruction-level parallelism (IPC)",
+			[]event.ID{event.InstRetired, event.Cycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.InstRetired), c.Get(event.Cycles)) }},
+		{43, "MLP", CatParallelism, "memory-level parallelism (mean outstanding misses)",
+			[]event.ID{event.MLPWeighted, event.MLPCycles},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.MLPWeighted), c.Get(event.MLPCycles)) }},
+
+		// Operation intensity.
+		{44, "INT TO MEM", CatOpIntensity, "integer computation to memory access ratio",
+			[]event.ID{event.IntOps, event.MemAccesses},
+			func(c *event.Counts) float64 { return ratio(c.Get(event.IntOps), c.Get(event.MemAccesses)) }},
+		{45, "FP TO MEM", CatOpIntensity, "floating point computation to memory access ratio",
+			[]event.ID{event.FPX87Ops, event.SSEFPOps, event.MemAccesses},
+			func(c *event.Counts) float64 {
+				return ratio(c.Get(event.FPX87Ops)+c.Get(event.SSEFPOps), c.Get(event.MemAccesses))
+			}},
+	}
+}
+
+// NumMetrics is the size of the Table II metric set.
+const NumMetrics = 45
+
+// MetricNames returns the 45 metric names in Table II order.
+func MetricNames() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, m := range cat {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// MetricVector computes all 45 metrics from event counts, in Table II
+// order.
+func MetricVector(c *event.Counts) []float64 {
+	cat := Catalog()
+	out := make([]float64, len(cat))
+	for i, m := range cat {
+		out[i] = m.Compute(c)
+	}
+	return out
+}
+
+// MetricIndex returns the zero-based index of the named metric, or an
+// error if unknown.
+func MetricIndex(name string) (int, error) {
+	for i, m := range Catalog() {
+		if m.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("perf: unknown metric %q", name)
+}
+
+// DataSTLBHitRate returns the fraction of first-level DTLB misses served
+// by the shared second-level TLB — the statistic behind the paper's
+// Observation 7 discussion (61.48 % for Hadoop vs 50.80 % for Spark).
+func DataSTLBHitRate(c *event.Counts) float64 {
+	l1miss := c.Get(event.DataHitSTLB) + c.Get(event.DTLBMiss)
+	return ratio(c.Get(event.DataHitSTLB), l1miss)
+}

@@ -1,0 +1,336 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim/event"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != NumMetrics {
+		t.Fatalf("catalog has %d metrics, want %d", len(cat), NumMetrics)
+	}
+	seen := map[string]bool{}
+	for i, m := range cat {
+		if m.No != i+1 {
+			t.Errorf("metric %q numbered %d at position %d", m.Name, m.No, i)
+		}
+		if m.Name == "" || m.Description == "" || m.Category == "" {
+			t.Errorf("metric %d incomplete: %+v", m.No, m)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate metric name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if len(m.Events) == 0 {
+			t.Errorf("metric %q lists no events", m.Name)
+		}
+		if m.Compute == nil {
+			t.Errorf("metric %q has no Compute", m.Name)
+		}
+	}
+}
+
+func TestCatalogCategories(t *testing.T) {
+	counts := map[Category]int{}
+	for _, m := range Catalog() {
+		counts[m.Category]++
+	}
+	want := map[Category]int{
+		CatInstructionMix: 9,
+		CatCache:          11,
+		CatTLB:            5,
+		CatBranch:         2,
+		CatPipeline:       7,
+		CatOffcore:        4,
+		CatSnoop:          3,
+		CatParallelism:    2,
+		CatOpIntensity:    2,
+	}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("category %q has %d metrics, want %d (Table II)", cat, counts[cat], n)
+		}
+	}
+}
+
+// sampleCounts builds an internally consistent event vector.
+func sampleCounts() event.Counts {
+	var c event.Counts
+	c[event.InstRetired] = 10000
+	c[event.InstKernel] = 2000
+	c[event.UopsRetired] = 15000
+	c[event.UopsExecuted] = 16000
+	c[event.Cycles] = 8000
+	c[event.Loads] = 3000
+	c[event.Stores] = 1000
+	c[event.Branches] = 1500
+	c[event.IntOps] = 4000
+	c[event.FPX87Ops] = 200
+	c[event.SSEFPOps] = 300
+	c[event.BranchesExecuted] = 1600
+	c[event.BranchMisses] = 150
+	c[event.L1IMiss] = 400
+	c[event.L1IHit] = 9600
+	c[event.L2Miss] = 300
+	c[event.L2Hit] = 200
+	c[event.L3Miss] = 100
+	c[event.L3Hit] = 150
+	c[event.MemAccesses] = 4000
+	c[event.OffcoreData] = 60
+	c[event.OffcoreCode] = 20
+	c[event.OffcoreRFO] = 10
+	c[event.OffcoreWB] = 10
+	c[event.MLPWeighted] = 600
+	c[event.MLPCycles] = 200
+	c[event.DataHitSTLB] = 60
+	c[event.DTLBMiss] = 40
+	return c
+}
+
+func TestMetricValues(t *testing.T) {
+	c := sampleCounts()
+	v := MetricVector(&c)
+	idx := func(name string) int {
+		i, err := MetricIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return i
+	}
+	checks := map[string]float64{
+		"LOAD":         0.3,
+		"STORE":        0.1,
+		"KERNEL MODE":  0.2,
+		"USER MODE":    0.8,
+		"UOPS TO INS":  1.5,
+		"L1I MISS":     40,
+		"L2 MISS":      30,
+		"BR MISS":      0.1,
+		"BR EXE TO RE": 1600.0 / 1500.0,
+		"OFFCORE DATA": 0.6,
+		"OFFCORE CODE": 0.2,
+		"ILP":          1.25,
+		"MLP":          3.0,
+		"INT TO MEM":   1.0,
+		"FP TO MEM":    0.125,
+	}
+	for name, want := range checks {
+		if got := v[idx(name)]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	var c event.Counts
+	for i, x := range MetricVector(&c) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("metric %d is %v on zero counts", i+1, x)
+		}
+	}
+}
+
+func TestMetricIndexUnknown(t *testing.T) {
+	if _, err := MetricIndex("NOPE"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestDataSTLBHitRate(t *testing.T) {
+	c := sampleCounts()
+	if got := DataSTLBHitRate(&c); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("DataSTLBHitRate = %v, want 0.6", got)
+	}
+	var zero event.Counts
+	if got := DataSTLBHitRate(&zero); got != 0 {
+		t.Errorf("DataSTLBHitRate on zero counts = %v", got)
+	}
+}
+
+// buildSnapshots creates cumulative snapshots with per-slice deltas equal
+// to `delta` for all events.
+func buildSnapshots(nslices int, delta uint64) []event.Counts {
+	out := make([]event.Counts, nslices+1)
+	for i := 1; i <= nslices; i++ {
+		for id := 0; id < int(event.NumEvents); id++ {
+			out[i][id] = out[i-1][id] + delta
+		}
+	}
+	return out
+}
+
+func TestMeasureExactWithoutMultiplex(t *testing.T) {
+	snaps := buildSnapshots(10, 100)
+	got, err := Measure(snaps, MonitorConfig{Counters: 4, Multiplex: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < int(event.NumEvents); id++ {
+		if got[id] != 1000 {
+			t.Fatalf("event %v = %d, want 1000", event.ID(id), got[id])
+		}
+	}
+}
+
+func TestMeasureRampUpSkip(t *testing.T) {
+	snaps := buildSnapshots(10, 100)
+	got, err := Measure(snaps, MonitorConfig{Counters: 4, Multiplex: false, RampUpFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 of 10 slices skipped.
+	if got[event.InstRetired] != 800 {
+		t.Errorf("InstRetired = %d, want 800 after 20%% ramp-up skip", got[event.InstRetired])
+	}
+}
+
+func TestMeasureMultiplexUnbiasedOnUniformRates(t *testing.T) {
+	// With uniform per-slice rates, multiplex scaling recovers the exact
+	// total regardless of grouping.
+	snaps := buildSnapshots(90, 10)
+	got, err := Measure(snaps, MonitorConfig{Counters: 4, Multiplex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < int(event.NumEvents); id++ {
+		if got[id] != 900 {
+			t.Fatalf("event %v = %d, want 900", event.ID(id), got[id])
+		}
+	}
+}
+
+func TestMeasureMultiplexIntroducesErrorOnBurstyRates(t *testing.T) {
+	// Event activity concentrated in a few slices: a multiplexed counter
+	// that misses the burst under- or over-estimates.
+	nslices := 24
+	snaps := make([]event.Counts, nslices+1)
+	r := rng.New(42)
+	for i := 1; i <= nslices; i++ {
+		snaps[i] = snaps[i-1]
+		for id := 0; id < int(event.NumEvents); id++ {
+			if r.Bool(0.2) {
+				snaps[i][id] += 500 // burst
+			} else {
+				snaps[i][id] += 10
+			}
+		}
+	}
+	exact, err := Measure(snaps, MonitorConfig{Counters: 4, Multiplex: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muxed, err := Measure(snaps, MonitorConfig{Counters: 4, Multiplex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for id := 0; id < int(event.NumEvents); id++ {
+		if exact[id] != muxed[id] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("multiplexing produced zero estimation error on bursty input")
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	snaps := buildSnapshots(4, 1)
+	if _, err := Measure(snaps, MonitorConfig{Counters: 0}); err == nil {
+		t.Error("0 counters accepted")
+	}
+	if _, err := Measure(snaps, MonitorConfig{Counters: 4, RampUpFraction: 1.5}); err == nil {
+		t.Error("ramp-up 1.5 accepted")
+	}
+	if _, err := Measure(snaps[:1], MonitorConfig{Counters: 4}); err == nil {
+		t.Error("single snapshot accepted")
+	}
+}
+
+func TestAverageRuns(t *testing.T) {
+	a := sampleCounts()
+	b := sampleCounts()
+	b[event.Loads] = 5000 // LOAD becomes 0.5 in run b
+	avg := AverageRuns([]event.Counts{a, b})
+	i, _ := MetricIndex("LOAD")
+	if math.Abs(avg[i]-0.4) > 1e-12 {
+		t.Errorf("averaged LOAD = %v, want 0.4", avg[i])
+	}
+}
+
+func TestAverageVectors(t *testing.T) {
+	got := AverageVectors([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("AverageVectors = %v, want [2 3]", got)
+	}
+}
+
+func TestAverageVectorsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched vectors did not panic")
+		}
+	}()
+	AverageVectors([][]float64{{1}, {1, 2}})
+}
+
+// Property: without multiplexing and without ramp-up, Measure returns the
+// final snapshot exactly.
+func TestQuickMeasureExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		snaps := make([]event.Counts, n+1)
+		for i := 1; i <= n; i++ {
+			snaps[i] = snaps[i-1]
+			for id := 0; id < int(event.NumEvents); id++ {
+				snaps[i][id] += uint64(r.Intn(100))
+			}
+		}
+		got, err := Measure(snaps, MonitorConfig{Counters: 4, Multiplex: false})
+		if err != nil {
+			return false
+		}
+		return got == snaps[n]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplexed estimates are within a factor of the number of
+// groups of the truth for arbitrary inputs (scaling bound) and exact on
+// constant-rate streams.
+func TestQuickMultiplexScalingBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 12 + r.Intn(24)
+		rate := uint64(1 + r.Intn(50))
+		snaps := make([]event.Counts, n+1)
+		for i := 1; i <= n; i++ {
+			snaps[i] = snaps[i-1]
+			for id := 0; id < int(event.NumEvents); id++ {
+				snaps[i][id] += rate
+			}
+		}
+		got, err := Measure(snaps, MonitorConfig{Counters: 4, Multiplex: true})
+		if err != nil {
+			return false
+		}
+		want := rate * uint64(n)
+		for id := 0; id < int(event.NumEvents); id++ {
+			if got[id] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

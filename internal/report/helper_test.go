@@ -1,0 +1,6 @@
+package report
+
+import "repro/internal/perf"
+
+// metricNamesForTest exposes the real Table II metric names to fixtures.
+func metricNamesForTest() []string { return perf.MetricNames() }

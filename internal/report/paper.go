@@ -1,0 +1,253 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/sim/machine"
+)
+
+// Table1 reproduces the workload inventory (data analysis workloads with
+// problem sizes, data types and software stacks).
+func Table1(suite []workloads.Workload) string {
+	headers := []string{"Category", "Workload", "Problem Size", "Data Type", "Software Stack"}
+	seen := map[string]bool{}
+	var rows [][]string
+	for _, w := range suite {
+		if seen[w.Algorithm] {
+			continue
+		}
+		seen[w.Algorithm] = true
+		stackPair := "Hadoop & Spark"
+		if w.Category == workloads.CategoryInteractive {
+			stackPair = "Hive & Shark"
+		}
+		rows = append(rows, []string{w.Category, w.Algorithm, w.ProblemSize, w.DataType, stackPair})
+	}
+	return "TABLE I. REPRESENTATIVE DATA ANALYSIS WORKLOADS\n" + Table(headers, rows)
+}
+
+// Table2 reproduces the 45-metric catalog.
+func Table2() string {
+	headers := []string{"Category", "No.", "Metric Name", "Description"}
+	var rows [][]string
+	for _, m := range perf.Catalog() {
+		rows = append(rows, []string{string(m.Category), strconv.Itoa(m.No), m.Name, m.Description})
+	}
+	return "TABLE II. MICROARCHITECTURE LEVEL METRICS\n" + Table(headers, rows)
+}
+
+// Table3 reproduces the hardware configuration details.
+func Table3(cfg machine.Config) string {
+	kb := func(b int) string { return fmt.Sprintf("%d KB", b>>10) }
+	rows := [][]string{
+		{"CPU Type", "Simulated Intel Xeon E5645 (Westmere) model"},
+		{"# Cores", fmt.Sprintf("%d cores per socket", cfg.CoresPerSocket)},
+		{"# Threads per Core", "1 thread (hyperthreading disabled)"},
+		{"# Sockets", strconv.Itoa(cfg.Sockets)},
+		{"ITLB", fmt.Sprintf("%d-way set associative, %d entries", cfg.ITLB.Ways, cfg.ITLB.Entries)},
+		{"DTLB", fmt.Sprintf("%d-way set associative, %d entries", cfg.DTLB.Ways, cfg.DTLB.Entries)},
+		{"L2 Shared TLB", fmt.Sprintf("%d-way associative, %d entries", cfg.STLB.Ways, cfg.STLB.Entries)},
+		{"L1 DCache", fmt.Sprintf("%s, %d-way associative, %d byte/line", kb(cfg.L1D.SizeB), cfg.L1D.Ways, cfg.L1D.LineB)},
+		{"L1 ICache", fmt.Sprintf("%s, %d-way associative, %d byte/line", kb(cfg.L1I.SizeB), cfg.L1I.Ways, cfg.L1I.LineB)},
+		{"L2 Cache", fmt.Sprintf("%s, %d-way associative, %d byte/line", kb(cfg.L2.SizeB), cfg.L2.Ways, cfg.L2.LineB)},
+		{"L3 Cache", fmt.Sprintf("%d MB, %d-way associative, %d byte/line", cfg.L3.SizeB>>20, cfg.L3.Ways, cfg.L3.LineB)},
+		{"Turbo-Boost / HT", "Disabled (not modeled)"},
+	}
+	return "TABLE III. DETAILS OF THE HARDWARE CONFIGURATION\n" + Table([]string{"Item", "Value"}, rows)
+}
+
+// Figure1 reproduces the similarity dendrogram of Hadoop and Spark
+// workloads.
+func Figure1(an *core.Analysis) string {
+	return "FIGURE 1. Similarity of Hadoop (H) and Spark (S) workloads\n" +
+		fmt.Sprintf("(%d PCs retaining %.2f%% variance, %s linkage)\n\n",
+			an.NumPCs, an.Variance*100, "single") +
+		an.Dendrogram.Render(56)
+}
+
+// scatterOf builds the PCa-vs-PCb plot.
+func scatterOf(an *core.Analysis, a, b int, title string) string {
+	var pts []Point
+	for i, l := range an.Dataset.Labels {
+		mark := byte('*')
+		switch core.StackOf(l) {
+		case "Hadoop":
+			mark = 'H'
+		case "Spark":
+			mark = 'S'
+		}
+		pts = append(pts, Point{X: an.Scores.At(i, a), Y: an.Scores.At(i, b), Label: l, Mark: mark})
+	}
+	out := Scatter(title, fmt.Sprintf("PC%d", a+1), fmt.Sprintf("PC%d", b+1), pts, 64, 20)
+	var coords []string
+	for _, p := range pts {
+		coords = append(coords, fmt.Sprintf("  %-16s PC%d=%8.3f PC%d=%8.3f", p.Label, a+1, p.X, b+1, p.Y))
+	}
+	return out + strings.Join(coords, "\n") + "\n"
+}
+
+// Figure2 reproduces the PC1/PC2 scatter plot.
+func Figure2(an *core.Analysis) string {
+	if an.NumPCs < 2 {
+		return fmt.Sprintf("FIGURE 2. Skipped: only %d PC retained by Kaiser's criterion\n", an.NumPCs)
+	}
+	return "FIGURE 2. Workloads on the first and second principal components\n" +
+		scatterOf(an, 0, 1, "H = Hadoop-based, S = Spark-based")
+}
+
+// Figure3 reproduces the PC3/PC4 scatter plot (requires ≥4 PCs; with
+// fewer it reports the limitation).
+func Figure3(an *core.Analysis) string {
+	if an.NumPCs < 4 {
+		return fmt.Sprintf("FIGURE 3. Skipped: only %d PCs retained by Kaiser's criterion\n", an.NumPCs)
+	}
+	return "FIGURE 3. Workloads on the third and fourth principal components\n" +
+		scatterOf(an, 2, 3, "H = Hadoop-based, S = Spark-based")
+}
+
+// Figure4 reproduces the factor loadings of the first four PCs.
+func Figure4(an *core.Analysis) string {
+	n := an.NumPCs
+	if n > 4 {
+		n = 4
+	}
+	var b strings.Builder
+	b.WriteString("FIGURE 4. Factor loadings for all workloads (first four PCs)\n\n")
+	headers := []string{"Metric"}
+	for pc := 0; pc < n; pc++ {
+		headers = append(headers, fmt.Sprintf("PC%d", pc+1))
+	}
+	var rows [][]string
+	for m, name := range an.Dataset.Metrics {
+		row := []string{name}
+		for pc := 0; pc < n; pc++ {
+			row = append(row, fmt.Sprintf("%+.3f", an.PCA.Loadings.At(m, pc)))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(Table(headers, rows))
+	return b.String()
+}
+
+// Figure5 reproduces the Hadoop-vs-Spark comparison on the metrics that
+// dominate the stack-separating component, Spark-normalized.
+func Figure5(an *core.Analysis, obs *core.Observations) (string, error) {
+	pc := an.SeparatingPC()
+	rows, err := an.Fig5(obs, pc, 0.5)
+	if err != nil {
+		return "", err
+	}
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		side := "neg"
+		if !r.NegativeDominance {
+			side = "pos"
+		}
+		labels[i] = fmt.Sprintf("%s (%s)", r.Name, side)
+		values[i] = r.HadoopOverSpark
+	}
+	title := fmt.Sprintf("FIGURE 5. Metrics causing Hadoop and Spark to behave differently\n"+
+		"(PC%d dominates the stack split; bars = Hadoop mean / Spark mean)", pc+1)
+	return Bars(title, labels, values, 40), nil
+}
+
+// Table4 reproduces the K-means clustering result.
+func Table4(an *core.Analysis) string {
+	headers := []string{"Cluster", "Workloads", "Number"}
+	var rows [][]string
+	for c := 0; c < an.KBest.K; c++ {
+		var members []string
+		for _, i := range an.KBest.Members(c) {
+			members = append(members, an.Dataset.Labels[i])
+		}
+		rows = append(rows, []string{strconv.Itoa(c + 1), strings.Join(members, ", "), strconv.Itoa(len(members))})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE IV. THE RESULT OF K-MEANS CLUSTERING ALGORITHM (K=%d by BIC)\n", an.KBest.K)
+	b.WriteString(Table(headers, rows))
+	b.WriteString("\nBIC scan:\n")
+	for _, r := range an.KAll {
+		fmt.Fprintf(&b, "  K=%2d  BIC=%10.2f\n", r.K, r.BIC)
+	}
+	return b.String()
+}
+
+// Table5 reproduces the representative selection under both policies.
+func Table5(an *core.Analysis) string {
+	headers := []string{"Approach", "Representative Workloads", "Maximal Linkage Distance"}
+	fmtReps := func(reps []core.Representative) string {
+		var parts []string
+		for _, r := range reps {
+			parts = append(parts, fmt.Sprintf("%s (%d)", r.Workload, r.ClusterSize))
+		}
+		return strings.Join(parts, ", ")
+	}
+	rows := [][]string{
+		{"Nearest to Cluster Center", fmtReps(an.NearestReps), fmt.Sprintf("%.2f", an.NearestMaxLinkage)},
+		{"Farthest from Cluster Center", fmtReps(an.FarthestReps), fmt.Sprintf("%.2f", an.FarthestMaxLinkage)},
+	}
+	return "TABLE V. REPRESENTATIVE WORKLOADS CHOSEN BY DIFFERENT APPROACHES\n" + Table(headers, rows)
+}
+
+// Figure6 reproduces the Kiviat diagrams of the representative workloads
+// (farthest-from-center policy, as the paper selects).
+func Figure6(an *core.Analysis) string {
+	axes := make([]string, an.NumPCs)
+	for i := range axes {
+		axes[i] = fmt.Sprintf("PC%d", i+1)
+	}
+	var b strings.Builder
+	b.WriteString("FIGURE 6. Kiviat diagrams of the representative workloads\n\n")
+	for _, r := range an.FarthestReps {
+		vals := make([]float64, an.NumPCs)
+		for pc := 0; pc < an.NumPCs; pc++ {
+			vals[pc] = an.Scores.At(r.Index, pc)
+		}
+		b.WriteString(Kiviat(r.Workload, axes, vals, 24))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ObservationsReport renders the §V observation statistics with the
+// paper's reference values alongside.
+func ObservationsReport(obs *core.Observations) string {
+	rows := [][]string{
+		{"Obs 1: same-stack fraction of first-iteration pairs",
+			fmt.Sprintf("%.0f%%", obs.SameStackFraction*100), "80%"},
+		{"Obs 2: same-algorithm cross-stack first-iteration pairs",
+			strings.Join(obs.SameAlgorithmCrossStackPairs, ", "), "Projection only"},
+		{"Obs 5: mean within-stack linkage distance Hadoop",
+			fmt.Sprintf("%.2f", obs.MeanCopheneticHadoop), "lower than Spark"},
+		{"Obs 5: mean within-stack linkage distance Spark",
+			fmt.Sprintf("%.2f", obs.MeanCopheneticSpark), "higher than Hadoop"},
+		{"Obs 6: Spark/Hadoop L3 miss ratio",
+			fmt.Sprintf("%.2f", obs.SparkToHadoopL3Miss), "≈2"},
+		{"Obs 7: data STLB hit rate (Hadoop)",
+			fmt.Sprintf("%.2f%%", obs.STLBHitRateHadoop*100), "61.48%"},
+		{"Obs 7: data STLB hit rate (Spark)",
+			fmt.Sprintf("%.2f%%", obs.STLBHitRateSpark*100), "50.80%"},
+		{"Obs 7: Spark/Hadoop DTLB miss ratio",
+			fmt.Sprintf("%.2f", obs.SparkToHadoopDTLBMiss), ">1"},
+		{"Obs 8: Hadoop/Spark L1I miss ratio",
+			fmt.Sprintf("%.2f", obs.HadoopToSparkL1IMiss), "≈1.3"},
+		{"Obs 8: Hadoop/Spark fetch stall ratio",
+			fmt.Sprintf("%.2f", obs.HadoopToSparkFetchStall), ">1"},
+		{"Obs 8: Spark/Hadoop resource stall ratio",
+			fmt.Sprintf("%.2f", obs.SparkToHadoopResStall), ">1"},
+		{"Obs 9: Spark/Hadoop SNOOP HIT ratio",
+			fmt.Sprintf("%.2f", obs.SparkToHadoopSnoopHit), ">1"},
+		{"Obs 9: Spark/Hadoop SNOOP HITE ratio",
+			fmt.Sprintf("%.2f", obs.SparkToHadoopSnoopHitE), ">1"},
+		{"Obs 9: Spark/Hadoop SNOOP HITM ratio",
+			fmt.Sprintf("%.2f", obs.SparkToHadoopSnoopHitM), ">1"},
+	}
+	return "SECTION V OBSERVATIONS (measured vs paper)\n" +
+		Table([]string{"Observation", "Measured", "Paper"}, rows)
+}

@@ -1,0 +1,155 @@
+// Package report renders the paper's tables and figures as text: fixed-
+// width tables, ASCII scatter plots (Figs. 2–3), horizontal bar charts
+// (Figs. 4–5), and Kiviat-style profiles (Fig. 6). The dendrogram of
+// Fig. 1 is rendered by the hier package itself.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders a fixed-width text table with a header rule.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Point is one labeled scatter point.
+type Point struct {
+	X, Y  float64
+	Label string
+	// Mark distinguishes series ('H' vs 'S' in Figs. 2–3).
+	Mark byte
+}
+
+// Scatter renders points on a width×height character grid with axis
+// ranges annotated. Points landing on the same cell show the later mark.
+func Scatter(title, xlabel, ylabel string, points []Point, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if len(points) == 0 || minX == maxX {
+		minX, maxX = -1, 1
+	}
+	if len(points) == 0 || minY == maxY {
+		minY, maxY = -1, 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		x := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		y := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - y
+		mark := p.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		grid[row][x] = mark
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s range [%.3g, %.3g] (vertical), %s range [%.3g, %.3g] (horizontal)\n",
+		ylabel, minY, maxY, xlabel, minX, maxX)
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return b.String()
+}
+
+// Bars renders a labeled horizontal bar chart. Values may be negative;
+// bars extend from a center axis. width is the half-width in characters
+// for the largest |value|.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("report: %d labels for %d values", len(labels), len(values)))
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (full bar = %.4g)\n", title, maxAbs)
+	for i, v := range values {
+		n := int(math.Abs(v) / maxAbs * float64(width))
+		var bar string
+		if v >= 0 {
+			bar = strings.Repeat(" ", width) + "|" + strings.Repeat("#", n)
+		} else {
+			bar = strings.Repeat(" ", width-n) + strings.Repeat("#", n) + "|"
+		}
+		fmt.Fprintf(&b, "%-*s %s %9.4g\n", labelW, labels[i], bar, v)
+	}
+	return b.String()
+}
+
+// Kiviat renders one workload's profile over the given axes (the paper's
+// Fig. 6 Kiviat diagrams, shown as a signed bar profile per axis — the
+// same information radially plotted in the paper).
+func Kiviat(name string, axes []string, values []float64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kiviat: %s\n", name)
+	b.WriteString(Bars("", axes, values, width))
+	return b.String()
+}

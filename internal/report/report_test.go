@@ -1,0 +1,196 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim/machine"
+)
+
+func TestTableAligned(t *testing.T) {
+	out := Table([]string{"A", "LongHeader"}, [][]string{{"x", "1"}, {"longer", "2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "LongHeader") || !strings.Contains(lines[3], "longer") {
+		t.Errorf("table content missing:\n%s", out)
+	}
+}
+
+func TestScatterMarks(t *testing.T) {
+	pts := []Point{
+		{X: -1, Y: -1, Mark: 'H'},
+		{X: 1, Y: 1, Mark: 'S'},
+	}
+	out := Scatter("t", "x", "y", pts, 20, 10)
+	if !strings.Contains(out, "H") || !strings.Contains(out, "S") {
+		t.Errorf("scatter missing marks:\n%s", out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	out := Scatter("t", "x", "y", []Point{{X: 0, Y: 0, Mark: '*'}}, 20, 10)
+	if !strings.Contains(out, "*") {
+		t.Errorf("degenerate scatter missing point:\n%s", out)
+	}
+	if Scatter("t", "x", "y", nil, 20, 10) == "" {
+		t.Error("empty scatter should still render a frame")
+	}
+}
+
+func TestBarsSigned(t *testing.T) {
+	out := Bars("title", []string{"pos", "neg"}, []float64{2, -1}, 10)
+	if !strings.Contains(out, "pos") || !strings.Contains(out, "#") {
+		t.Errorf("bars missing content:\n%s", out)
+	}
+}
+
+func TestBarsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Bars did not panic")
+		}
+	}()
+	Bars("t", []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestTable2ListsAll45(t *testing.T) {
+	out := Table2()
+	for _, name := range []string{"LOAD", "SNOOP HITM", "FP TO MEM", "UOPS TO INS"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table2 missing %q", name)
+		}
+	}
+	if !strings.Contains(out, "45") {
+		t.Errorf("Table2 missing numbering")
+	}
+}
+
+func TestTable3MatchesConfig(t *testing.T) {
+	out := Table3(machine.Westmere())
+	for _, want := range []string{"12 MB", "32 KB", "512 entries", "64 entries", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1FromSuite(t *testing.T) {
+	suite, err := workloads.Suite(workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table1(suite)
+	for _, want := range []string{"Sort", "PageRank", "Hadoop & Spark", "Hive & Shark", "80 GB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	// 16 algorithms, one row each.
+	if got := strings.Count(out, "\n"); got < 17 {
+		t.Errorf("Table1 too short: %d lines", got)
+	}
+}
+
+// analysisFixture builds a small end-to-end analysis for rendering tests.
+func analysisFixture(t *testing.T) (*core.Analysis, *core.Observations) {
+	t.Helper()
+	r := rng.New(99)
+	ds := &core.Dataset{}
+	// Use the real 45 metric names so Observe works.
+	names := []string{}
+	suite, err := workloads.Suite(workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = suite
+	cfg := cluster.DefaultConfig()
+	_ = cfg
+	for _, m := range coreMetricNames() {
+		names = append(names, m)
+	}
+	ds.Metrics = names
+	algos := []string{"Sort", "Grep", "WordCount", "Kmeans", "PageRank", "Bayes"}
+	for i := 0; i < 6; i++ {
+		for s, prefix := range []string{"H-", "S-"} {
+			row := make([]float64, len(names))
+			// Several independent latent factors so the fixture retains
+			// multiple PCs under Kaiser's criterion.
+			f1 := float64(s)*2 + r.NormFloat64()*0.3
+			f2 := float64(i) * 0.5
+			f3 := r.NormFloat64()
+			f4 := r.NormFloat64()
+			for j := range row {
+				switch j % 4 {
+				case 0:
+					row[j] = f1 + r.NormFloat64()*0.2
+				case 1:
+					row[j] = f2 + r.NormFloat64()*0.2
+				case 2:
+					row[j] = f3 + r.NormFloat64()*0.2
+				default:
+					row[j] = f4 + f1*0.3 + r.NormFloat64()*0.2
+				}
+			}
+			ds.Labels = append(ds.Labels, prefix+algos[i])
+			ds.Rows = append(ds.Rows, row)
+		}
+	}
+	acfg := core.DefaultAnalysis()
+	acfg.KMax = 6
+	an, err := core.Analyze(ds, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := an.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an, obs
+}
+
+func coreMetricNames() []string {
+	// Use the real catalog names for fidelity of rendering tests.
+	return metricNamesForTest()
+}
+
+func TestPaperArtifactsRender(t *testing.T) {
+	an, obs := analysisFixture(t)
+	if out := Figure1(an); !strings.Contains(out, "H-Sort") || !strings.Contains(out, "merge") {
+		t.Errorf("Figure1 incomplete:\n%.300s", out)
+	}
+	if out := Figure2(an); !strings.Contains(out, "PC1") {
+		t.Errorf("Figure2 incomplete:\n%.300s", out)
+	}
+	_ = Figure3(an) // may be skipped for few PCs; must not panic
+	if out := Figure4(an); !strings.Contains(out, "PC1") || !strings.Contains(out, "LOAD") {
+		t.Errorf("Figure4 incomplete:\n%.300s", out)
+	}
+	if out, err := Figure5(an, obs); err != nil || !strings.Contains(out, "FIGURE 5") {
+		t.Errorf("Figure5 err=%v out:\n%.300s", err, out)
+	}
+	if out := Table4(an); !strings.Contains(out, "Cluster") || !strings.Contains(out, "BIC") {
+		t.Errorf("Table4 incomplete:\n%.300s", out)
+	}
+	if out := Table5(an); !strings.Contains(out, "Farthest") || !strings.Contains(out, "Nearest") {
+		t.Errorf("Table5 incomplete:\n%.300s", out)
+	}
+	if out := Figure6(an); !strings.Contains(out, "Kiviat") {
+		t.Errorf("Figure6 incomplete:\n%.300s", out)
+	}
+	if out := ObservationsReport(obs); !strings.Contains(out, "Obs 6") || !strings.Contains(out, "61.48%") {
+		t.Errorf("ObservationsReport incomplete:\n%.300s", out)
+	}
+}
+
+func TestKiviatRenders(t *testing.T) {
+	out := Kiviat("S-Kmeans", []string{"PC1", "PC2"}, []float64{3, -2}, 12)
+	if !strings.Contains(out, "S-Kmeans") || !strings.Contains(out, "PC2") {
+		t.Errorf("Kiviat incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,77 @@
+// Package branch models a gshare direction predictor with a global history
+// register and a table of 2-bit saturating counters, plus the
+// executed-vs-retired branch accounting the paper's BR_EXE_TO_RE metric
+// needs: mispredictions cause wrong-path work whose branches execute but
+// never retire.
+package branch
+
+import "fmt"
+
+// Predictor is a gshare branch direction predictor.
+type Predictor struct {
+	historyBits uint
+	history     uint64
+	table       []uint8 // 2-bit saturating counters
+
+	// Stats.
+	Retired      uint64 // conditional branches retired
+	Mispredicted uint64
+}
+
+// New builds a predictor with 2^historyBits counters. historyBits must be
+// in [1, 24].
+func New(historyBits uint) *Predictor {
+	if historyBits < 1 || historyBits > 24 {
+		panic(fmt.Sprintf("branch: historyBits %d out of [1,24]", historyBits))
+	}
+	return &Predictor{
+		historyBits: historyBits,
+		table:       make([]uint8, 1<<historyBits),
+	}
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	mask := uint64(1)<<p.historyBits - 1
+	return ((pc >> 2) ^ p.history) & mask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (p *Predictor) Predict(pc uint64) bool {
+	return p.table[p.index(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved direction and returns
+// whether the prediction was correct. Counters saturate at [0,3]; history
+// shifts in the outcome.
+func (p *Predictor) Update(pc uint64, taken bool) (correct bool) {
+	idx := p.index(pc)
+	pred := p.table[idx] >= 2
+	correct = pred == taken
+	if taken {
+		if p.table[idx] < 3 {
+			p.table[idx]++
+		}
+	} else {
+		if p.table[idx] > 0 {
+			p.table[idx]--
+		}
+	}
+	p.history = (p.history << 1) & (uint64(1)<<p.historyBits - 1)
+	if taken {
+		p.history |= 1
+	}
+	p.Retired++
+	if !correct {
+		p.Mispredicted++
+	}
+	return correct
+}
+
+// MissRatio returns mispredicted/retired, or 0 before any branch retires.
+func (p *Predictor) MissRatio() float64 {
+	if p.Retired == 0 {
+		return 0
+	}
+	return float64(p.Mispredicted) / float64(p.Retired)
+}

@@ -1,0 +1,132 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bits := range []uint{0, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bits)
+				}
+			}()
+			New(bits)
+		}()
+	}
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(12)
+	pc := uint64(0x400000)
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Update(pc, true) {
+			miss++
+		}
+	}
+	// The global history register perturbs the index for the first
+	// ~historyBits updates, so allow a short warmup.
+	if miss > 20 {
+		t.Errorf("always-taken branch mispredicted %d/1000 times", miss)
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	// T,N,T,N... is perfectly predictable with global history.
+	p := New(12)
+	pc := uint64(0x400100)
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		if !p.Update(pc, i%2 == 0) {
+			miss++
+		}
+	}
+	// Allow warmup mispredictions only.
+	if miss > 100 {
+		t.Errorf("alternating branch mispredicted %d/2000 times", miss)
+	}
+}
+
+func TestRandomBranchesMispredictHalf(t *testing.T) {
+	p := New(12)
+	r := rng.New(1)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p.Update(uint64(r.Intn(64))<<2+0x1000, r.Bool(0.5))
+	}
+	ratio := p.MissRatio()
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("random branches miss ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestBiasedBranchesMispredictLess(t *testing.T) {
+	p := New(12)
+	r := rng.New(2)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p.Update(uint64(r.Intn(64))<<2+0x1000, r.Bool(0.95))
+	}
+	if ratio := p.MissRatio(); ratio > 0.15 {
+		t.Errorf("95%%-biased branches miss ratio = %v, want < 0.15", ratio)
+	}
+}
+
+func TestMissRatioEmptyIsZero(t *testing.T) {
+	if got := New(8).MissRatio(); got != 0 {
+		t.Errorf("MissRatio with no branches = %v, want 0", got)
+	}
+}
+
+func TestPredictDoesNotTrain(t *testing.T) {
+	p := New(8)
+	before := p.table[p.index(0x1000)]
+	for i := 0; i < 10; i++ {
+		p.Predict(0x1000)
+	}
+	if p.table[p.index(0x1000)] != before || p.Retired != 0 {
+		t.Error("Predict modified predictor state")
+	}
+}
+
+// Property: Mispredicted ≤ Retired, and MissRatio ∈ [0,1].
+func TestQuickCounterInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := New(10)
+		for i := 0; i < 500; i++ {
+			p.Update(uint64(r.Intn(256))<<2, r.Bool(r.Float64()))
+		}
+		return p.Mispredicted <= p.Retired && p.MissRatio() >= 0 && p.MissRatio() <= 1 && p.Retired == 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Update returns correct==true exactly when Predict beforehand
+// matched the outcome.
+func TestQuickUpdateConsistentWithPredict(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := New(10)
+		for i := 0; i < 300; i++ {
+			pc := uint64(r.Intn(128)) << 2
+			taken := r.Bool(0.5)
+			pred := p.Predict(pc)
+			correct := p.Update(pc, taken)
+			if correct != (pred == taken) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package cache models set-associative write-back caches with true LRU
+// replacement and MESI line states, matching the Table III hierarchy of
+// the paper's Xeon E5645: split 32 KB L1I/L1D, 256 KB private unified L2,
+// and a 12 MB shared L3 per socket.
+package cache
+
+import "fmt"
+
+// State is a MESI coherence state.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the MESI letter.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Line is one cache line's tag state.
+type Line struct {
+	Tag   uint64
+	State State
+	lru   uint64 // larger = more recently used
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	Name  string
+	SizeB int // total bytes
+	Ways  int
+	LineB int // line size in bytes
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeB <= 0 || c.Ways <= 0 || c.LineB <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry %+v", c.Name, c)
+	}
+	lines := c.SizeB / c.LineB
+	if lines*c.LineB != c.SizeB {
+		return fmt.Errorf("cache %q: size %d not a multiple of line size %d", c.Name, c.SizeB, c.LineB)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+	}
+	return nil
+}
+
+// Stats aggregates a cache's access counters.
+type Stats struct {
+	Hits, Misses    uint64
+	Evictions       uint64
+	DirtyWritebacks uint64
+	Invalidations   uint64
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg      Config
+	sets     [][]Line
+	nsets    uint64
+	lineBits uint
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache from cfg. It panics on invalid geometry, since
+// configurations are compile-time constants in this repository.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeB / cfg.LineB
+	nsets := lines / cfg.Ways
+	sets := make([][]Line, nsets)
+	backing := make([]Line, lines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	lb := uint(0)
+	for 1<<lb < cfg.LineB {
+		lb++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		nsets:    uint64(nsets),
+		lineBits: lb,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.lineBits
+	// Modulo set indexing: the paper's 12 MB L3 has 12288 sets, which is
+	// not a power of two. The full block address is kept as the tag,
+	// which is simple and unambiguous.
+	return blk % c.nsets, blk
+}
+
+// Lookup probes for addr without modifying replacement state or counters.
+// It returns the line's state (Invalid if absent).
+func (c *Cache) Lookup(addr uint64) State {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.State != Invalid && l.Tag == tag {
+			return l.State
+		}
+	}
+	return Invalid
+}
+
+// Access performs a demand access for addr. If the line is present it is
+// promoted to MRU and (for writes) upgraded to Modified; hit=true is
+// returned. Otherwise hit=false and the caller is responsible for filling
+// via Fill after consulting the next level.
+func (c *Cache) Access(addr uint64, write bool) (hit bool) {
+	set, tag := c.index(addr)
+	c.clock++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.State != Invalid && l.Tag == tag {
+			l.lru = c.clock
+			if write {
+				l.State = Modified
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Evicted describes a line displaced by Fill.
+type Evicted struct {
+	Addr  uint64
+	State State
+	Valid bool
+}
+
+// Fill installs addr with the given state, evicting the LRU line if the
+// set is full. The evicted line (if any) is returned so the caller can
+// propagate write-backs and maintain inclusion.
+func (c *Cache) Fill(addr uint64, st State) Evicted {
+	set, tag := c.index(addr)
+	c.clock++
+	// Prefer an invalid way.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.State == Invalid {
+			victim = i
+			break
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			victim = i
+		}
+	}
+	l := &c.sets[set][victim]
+	var ev Evicted
+	if l.State != Invalid {
+		ev = Evicted{Addr: l.Tag << c.lineBits, State: l.State, Valid: true}
+		c.stats.Evictions++
+		if l.State == Modified {
+			c.stats.DirtyWritebacks++
+		}
+	}
+	l.Tag = tag
+	l.State = st
+	l.lru = c.clock
+	return ev
+}
+
+// Invalidate removes addr if present, returning its prior state. Used by
+// snoops (RFO from another core) and inclusion enforcement.
+func (c *Cache) Invalidate(addr uint64) State {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.State != Invalid && l.Tag == tag {
+			st := l.State
+			l.State = Invalid
+			c.stats.Invalidations++
+			return st
+		}
+	}
+	return Invalid
+}
+
+// Downgrade moves addr to Shared if present in E or M state (snoop read
+// hit), returning the prior state.
+func (c *Cache) Downgrade(addr uint64) State {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.State != Invalid && l.Tag == tag {
+			st := l.State
+			if st == Exclusive || st == Modified {
+				l.State = Shared
+			}
+			return st
+		}
+	}
+	return Invalid
+}
+
+// MarkDirty sets addr's line to Modified if present (write-back received
+// from an inner level under inclusion), returning whether it was present.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.State != Invalid && l.Tag == tag {
+			l.State = Modified
+			return true
+		}
+	}
+	return false
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineB }

@@ -1,0 +1,188 @@
+// Package event defines the hardware event vocabulary shared between the
+// microarchitecture simulator (which produces ground-truth counts) and the
+// perf layer (which samples them through simulated PMCs and derives the
+// paper's 45 metrics).
+//
+// The set mirrors the ~50 Westmere events the paper programs through MSRs
+// (§IV-C: "We collect more than 50 events (some metrics require multiple
+// events)").
+package event
+
+import "fmt"
+
+// ID identifies one countable hardware event.
+type ID int
+
+// The event catalog. Order is stable; Count arrays are indexed by ID.
+const (
+	// Retirement and cycles.
+	InstRetired  ID = iota
+	InstKernel      // instructions retired in ring 0
+	UopsRetired     // micro-ops retired
+	UopsExecuted    // micro-ops executed (incl. wrong path)
+	Cycles          // core clock cycles
+
+	// Instruction mix (retired).
+	Loads
+	Stores
+	Branches
+	IntOps
+	FPX87Ops
+	SSEFPOps
+
+	// Branch execution.
+	BranchesExecuted // executed incl. wrong path
+	BranchMisses
+
+	// L1 instruction cache.
+	L1IMiss
+	L1IHit
+
+	// L2 (private, unified).
+	L2Miss
+	L2Hit
+
+	// L3 (shared, per socket).
+	L3Miss
+	L3Hit
+
+	// Load source breakdown (demand loads).
+	LoadHitLFB
+	LoadHitL2
+	LoadHitSibling // another core's private cache (cross-core forward)
+	LoadHitL3      // unshared line in L3
+	LoadLLCMiss
+
+	// TLBs.
+	ITLBMiss
+	ITLBWalkCycles
+	DTLBMiss
+	DTLBWalkCycles
+	DataHitSTLB // L1 DTLB misses that hit the shared second-level TLB
+
+	// Pipeline stall cycle attribution.
+	FetchStallCycles
+	ILDStallCycles
+	DecoderStallCycles
+	RATStallCycles
+	ResourceStallCycles
+	UopsExeCycles   // cycles with ≥1 µop executing
+	UopsStallCycles // cycles with no µop executing
+
+	// Offcore requests (leaving the core's private hierarchy).
+	OffcoreData
+	OffcoreCode
+	OffcoreRFO
+	OffcoreWB
+
+	// Snoop responses observed on the coherence interconnect.
+	SnoopHit
+	SnoopHitE
+	SnoopHitM
+
+	// Memory-level parallelism bookkeeping: MLPWeighted accumulates the
+	// number of outstanding misses integrated over cycles with ≥1 miss
+	// outstanding; MLPCycles counts those cycles. MLP = weighted/cycles.
+	MLPWeighted
+	MLPCycles
+
+	// Memory accesses (loads+stores) for operation-intensity ratios.
+	MemAccesses
+
+	NumEvents // sentinel: number of events
+)
+
+var names = [NumEvents]string{
+	InstRetired:         "INST_RETIRED",
+	InstKernel:          "INST_RETIRED.KERNEL",
+	UopsRetired:         "UOPS_RETIRED",
+	UopsExecuted:        "UOPS_EXECUTED",
+	Cycles:              "CPU_CLK_UNHALTED",
+	Loads:               "MEM_INST_RETIRED.LOADS",
+	Stores:              "MEM_INST_RETIRED.STORES",
+	Branches:            "BR_INST_RETIRED.ALL",
+	IntOps:              "ARITH.INT",
+	FPX87Ops:            "FP_COMP_OPS_EXE.X87",
+	SSEFPOps:            "FP_COMP_OPS_EXE.SSE_FP",
+	BranchesExecuted:    "BR_INST_EXEC.ALL",
+	BranchMisses:        "BR_MISP_RETIRED.ALL",
+	L1IMiss:             "L1I.MISSES",
+	L1IHit:              "L1I.HITS",
+	L2Miss:              "L2_RQSTS.MISS",
+	L2Hit:               "L2_RQSTS.HIT",
+	L3Miss:              "LLC.MISSES",
+	L3Hit:               "LLC.HITS",
+	LoadHitLFB:          "MEM_LOAD_RETIRED.HIT_LFB",
+	LoadHitL2:           "MEM_LOAD_RETIRED.L2_HIT",
+	LoadHitSibling:      "MEM_LOAD_RETIRED.OTHER_CORE_L2_HIT_HITM",
+	LoadHitL3:           "MEM_LOAD_RETIRED.LLC_UNSHARED_HIT",
+	LoadLLCMiss:         "MEM_LOAD_RETIRED.LLC_MISS",
+	ITLBMiss:            "ITLB_MISSES.ANY",
+	ITLBWalkCycles:      "ITLB_MISSES.WALK_CYCLES",
+	DTLBMiss:            "DTLB_MISSES.ANY",
+	DTLBWalkCycles:      "DTLB_MISSES.WALK_CYCLES",
+	DataHitSTLB:         "DTLB_MISSES.STLB_HIT",
+	FetchStallCycles:    "ILD_STALL.IQ_FULL", // fetch-side stall proxy
+	ILDStallCycles:      "ILD_STALL.ANY",
+	DecoderStallCycles:  "DECODER_STALL",
+	RATStallCycles:      "RAT_STALLS.ANY",
+	ResourceStallCycles: "RESOURCE_STALLS.ANY",
+	UopsExeCycles:       "UOPS_EXECUTED.CORE_ACTIVE_CYCLES",
+	UopsStallCycles:     "UOPS_EXECUTED.CORE_STALL_CYCLES",
+	OffcoreData:         "OFFCORE_REQUESTS.DEMAND_READ_DATA",
+	OffcoreCode:         "OFFCORE_REQUESTS.DEMAND_READ_CODE",
+	OffcoreRFO:          "OFFCORE_REQUESTS.DEMAND_RFO",
+	OffcoreWB:           "OFFCORE_REQUESTS.WRITEBACK",
+	SnoopHit:            "SNOOP_RESPONSE.HIT",
+	SnoopHitE:           "SNOOP_RESPONSE.HITE",
+	SnoopHitM:           "SNOOP_RESPONSE.HITM",
+	MLPWeighted:         "OFFCORE_OUTSTANDING.WEIGHTED_CYCLES",
+	MLPCycles:           "OFFCORE_OUTSTANDING.ACTIVE_CYCLES",
+	MemAccesses:         "MEM_INST_RETIRED.ANY",
+}
+
+// String returns the perf-style event mnemonic.
+func (id ID) String() string {
+	if id < 0 || id >= NumEvents {
+		return fmt.Sprintf("EVENT(%d)", int(id))
+	}
+	return names[id]
+}
+
+// Counts is a fixed-size event-count vector indexed by ID.
+type Counts [NumEvents]uint64
+
+// Add accumulates other into c.
+func (c *Counts) Add(other *Counts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Sub returns c - other element-wise (for slice deltas). Underflow panics,
+// since counts are monotone within a run.
+func (c *Counts) Sub(other *Counts) Counts {
+	var out Counts
+	for i := range c {
+		if c[i] < other[i] {
+			panic(fmt.Sprintf("event: count %v went backwards (%d < %d)", ID(i), c[i], other[i]))
+		}
+		out[i] = c[i] - other[i]
+	}
+	return out
+}
+
+// Get returns the count for id.
+func (c *Counts) Get(id ID) uint64 { return c[id] }
+
+// Inc adds n to event id.
+func (c *Counts) Inc(id ID, n uint64) { c[id] += n }
+
+// All returns the list of all event IDs in catalog order.
+func All() []ID {
+	out := make([]ID, NumEvents)
+	for i := range out {
+		out[i] = ID(i)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim/event"
+)
+
+// TestOffcoreClassification checks that the four offcore request classes
+// are attributed correctly: data reads, code reads, RFOs, and dirty
+// write-backs.
+func TestOffcoreClassification(t *testing.T) {
+	m := tiny(t)
+	// Core 0: a load (offcore data read), a store to a different line
+	// (offcore RFO), then enough conflicting loads to evict the dirty
+	// line from the small L2 (offcore write-back). Code addresses jump
+	// across a range far beyond the 1 KB L1I/4 KB L2 to force offcore
+	// code reads.
+	var ins []Instr
+	ins = append(ins, Instr{PC: 0x100000, Kind: KindLoad, Addr: 0x40000, Uops: 1})
+	ins = append(ins, Instr{PC: 0x200000, Kind: KindStore, Addr: 0x80000, Uops: 1})
+	// Evict: the tiny L2 is 4 KB/8-way → 8 sets; lines mapping to the
+	// same set as 0x80000 (set index (0x80000>>6)%8 = 0).
+	for i := 1; i <= 16; i++ {
+		addr := uint64(0x80000) + uint64(i)*8*64 // same set, different tags
+		ins = append(ins, Instr{PC: 0x300000 + uint64(i)*4096, Kind: KindLoad, Addr: addr, Uops: 1})
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 100)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.OffcoreData) == 0 {
+		t.Error("no offcore data reads")
+	}
+	if f.Get(event.OffcoreRFO) == 0 {
+		t.Error("no offcore RFOs")
+	}
+	if f.Get(event.OffcoreCode) == 0 {
+		t.Error("no offcore code reads")
+	}
+	if f.Get(event.OffcoreWB) == 0 {
+		t.Error("no offcore write-backs after dirty eviction")
+	}
+}
+
+// TestMLPRecorded checks that overlapping long-latency misses register
+// memory-level parallelism above 1.
+func TestMLPRecorded(t *testing.T) {
+	m := tiny(t)
+	// Independent loads to distinct far-apart lines: all miss to memory
+	// and overlap in the MSHRs.
+	var ins []Instr
+	for i := 0; i < 64; i++ {
+		ins = append(ins, Instr{PC: 0x1000 + uint64(i%8)*4, Kind: KindLoad,
+			Addr: uint64(0x100000) + uint64(i)*64*1024, Uops: 1})
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 100)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.MLPCycles) == 0 {
+		t.Fatal("no MLP cycles recorded")
+	}
+	mlp := float64(f.Get(event.MLPWeighted)) / float64(f.Get(event.MLPCycles))
+	if mlp <= 1.0 {
+		t.Errorf("MLP = %v, want > 1 for independent overlapping misses", mlp)
+	}
+}
+
+// TestUopsAreCallerProvided documents the contract that the machine
+// retires exactly the µops the instruction carries (the trace layer, not
+// the machine, decides kernel paths' µop expansion).
+func TestUopsAreCallerProvided(t *testing.T) {
+	m := tiny(t)
+	ins := []Instr{{PC: 0, Kind: KindInt, Uops: 3, Kernel: true}}
+	res := run(t, m, map[int][]Instr{0: ins}, 10)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.UopsRetired) != 3 {
+		t.Errorf("UopsRetired = %d, want 3", f.Get(event.UopsRetired))
+	}
+}
+
+// TestCrossSocketTransferCounted: a read served by the remote socket
+// counts a snoop response and leaves both L3s holding the line.
+func TestCrossSocketTransfer(t *testing.T) {
+	m := tiny(t) // 2 sockets × 2 cores: cores 0,1 on socket 0; 2,3 on socket 1
+	addr := uint64(0x70000)
+	perCore := map[int][]Instr{
+		0: {{PC: 0x100, Kind: KindLoad, Addr: addr, Uops: 1}},
+		2: {{PC: 0x200, Kind: KindLoad, Addr: addr, Uops: 1}},
+	}
+	run(t, m, perCore, 10)
+	blk := m.block(addr)
+	if m.sockets[0].l3.Lookup(blk) == 0 {
+		t.Error("socket 0 L3 lost the line")
+	}
+	if m.sockets[1].l3.Lookup(blk) == 0 {
+		t.Error("socket 1 L3 did not cache the remotely fetched line")
+	}
+}
+
+// TestRemoteRFOInvalidatesBothL3s: after a store from the other socket,
+// the first socket must hold no copy anywhere.
+func TestRemoteRFOInvalidatesBothL3s(t *testing.T) {
+	m := tiny(t)
+	addr := uint64(0x70000)
+	perCore := map[int][]Instr{
+		0: {{PC: 0x100, Kind: KindLoad, Addr: addr, Uops: 1}},
+		2: {{PC: 0x200, Kind: KindStore, Addr: addr, Uops: 1}},
+	}
+	run(t, m, perCore, 10)
+	blk := m.block(addr)
+	if st := m.sockets[0].l3.Lookup(blk); st != 0 {
+		t.Errorf("socket 0 L3 still holds the line in state %v after remote RFO", st)
+	}
+	if st := m.cores[0].l2.Lookup(blk); st != 0 {
+		t.Errorf("core 0 L2 still holds the line in state %v after remote RFO", st)
+	}
+}
+
+// TestQuickNoSharingNoSnoops: cores touching disjoint code AND data
+// ranges must never produce snoop responses or sibling hits. (Shared
+// code alone legitimately snoops — real text segments are shared.)
+func TestQuickNoSharingNoSnoops(t *testing.T) {
+	m := tiny(t)
+	r := rng.New(5)
+	perCore := map[int][]Instr{}
+	for c := 0; c < 4; c++ {
+		base := uint64(c+1) << 24
+		codeBase := uint64(c+1) << 20
+		ins := make([]Instr, 400)
+		for i := range ins {
+			k := KindLoad
+			if r.Bool(0.3) {
+				k = KindStore
+			}
+			ins[i] = Instr{PC: codeBase + uint64(r.Intn(256))*4, Kind: k,
+				Addr: base + uint64(r.Intn(1<<16))&^7, Uops: 1}
+		}
+		perCore[c] = ins
+	}
+	res := run(t, m, perCore, 500)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.SnoopHit)+f.Get(event.SnoopHitE)+f.Get(event.SnoopHitM) != 0 {
+		t.Error("snoop responses on disjoint working sets")
+	}
+	if f.Get(event.LoadHitSibling) != 0 {
+		t.Error("sibling hits on disjoint working sets")
+	}
+}

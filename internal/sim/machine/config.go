@@ -1,0 +1,111 @@
+// Package machine assembles the microarchitecture substrate — caches,
+// TLBs, branch prediction, MESI coherence, and interval-model pipeline
+// accounting — into the five-node cluster of the paper's Table III, and
+// runs synthetic instruction streams over it producing ground-truth
+// hardware event counts.
+//
+// The pipeline model follows the first-order ("interval") superscalar
+// model of Karkhanis & Smith, which the paper cites ([19]): a balanced
+// out-of-order core sustains its issue width except for miss events —
+// instruction-cache misses and ITLB walks stall the in-order frontend,
+// branch mispredictions flush the pipeline, and long-latency data misses
+// fill the reorder buffer and stall the backend (resource stalls), with
+// overlap between outstanding misses captured as MLP.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim/cache"
+	"repro/internal/sim/tlb"
+)
+
+// Config describes one node's hardware, mirroring Table III.
+type Config struct {
+	Sockets        int
+	CoresPerSocket int
+
+	L1I, L1D, L2, L3 cache.Config
+	ITLB, DTLB, STLB tlb.Config
+
+	// Latencies in cycles.
+	L1Latency          uint64
+	L2Latency          uint64
+	L3Latency          uint64
+	SiblingLatency     uint64 // cache-to-cache forward within a socket
+	CrossSocketLatency uint64 // remote socket L3 / cache hit
+	MemLatency         uint64
+	TLBWalkCycles      uint64
+	MispredictPenalty  uint64
+
+	IssueWidth int // µops per cycle the frontend/backend sustain
+	MSHRs      int // max outstanding misses per core (line fill buffers)
+
+	BranchHistoryBits uint
+}
+
+// Westmere returns the configuration of the paper's Intel Xeon E5645
+// node: 2 sockets × 6 cores, 32 KB L1I (4-way) and L1D (8-way), 256 KB
+// 8-way L2, 12 MB 16-way shared L3, 64 B lines, 4-way 64-entry L1 TLBs
+// and 4-way 512-entry shared L2 TLB.
+func Westmere() Config {
+	it, dt, st := tlb.WestmereConfig()
+	return Config{
+		Sockets:        2,
+		CoresPerSocket: 6,
+		L1I:            cache.Config{Name: "L1I", SizeB: 32 << 10, Ways: 4, LineB: 64},
+		L1D:            cache.Config{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L2:             cache.Config{Name: "L2", SizeB: 256 << 10, Ways: 8, LineB: 64},
+		L3:             cache.Config{Name: "L3", SizeB: 12 << 20, Ways: 16, LineB: 64},
+		ITLB:           it,
+		DTLB:           dt,
+		STLB:           st,
+
+		L1Latency:          4,
+		L2Latency:          12,
+		L3Latency:          40,
+		SiblingLatency:     60,
+		CrossSocketLatency: 100,
+		MemLatency:         200,
+		TLBWalkCycles:      30,
+		MispredictPenalty:  17,
+
+		IssueWidth: 4,
+		MSHRs:      10,
+
+		BranchHistoryBits: 12,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sockets < 1 || c.CoresPerSocket < 1 {
+		return fmt.Errorf("machine: need ≥1 socket and core, got %d×%d", c.Sockets, c.CoresPerSocket)
+	}
+	if c.Sockets*c.CoresPerSocket > 16 {
+		return fmt.Errorf("machine: directory bitmask supports ≤16 cores, got %d", c.Sockets*c.CoresPerSocket)
+	}
+	for _, cc := range []cache.Config{c.L1I, c.L1D, c.L2, c.L3} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, tc := range []tlb.Config{c.ITLB, c.DTLB, c.STLB} {
+		if err := tc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.L1I.LineB != c.L1D.LineB || c.L1D.LineB != c.L2.LineB || c.L2.LineB != c.L3.LineB {
+		return fmt.Errorf("machine: all cache levels must share a line size")
+	}
+	if c.IssueWidth < 1 || c.MSHRs < 1 {
+		return fmt.Errorf("machine: IssueWidth and MSHRs must be ≥1")
+	}
+	if c.BranchHistoryBits < 1 {
+		return fmt.Errorf("machine: BranchHistoryBits must be ≥1")
+	}
+	return nil
+}
+
+// Cores returns the total core count.
+func (c Config) Cores() int { return c.Sockets * c.CoresPerSocket }

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim/cache"
+)
+
+// TestQuickL3Inclusion verifies the inclusive-hierarchy invariant after
+// arbitrary multicore runs: every block present in a core's private L2
+// must also be present in its socket's L3, and the socket directory must
+// exactly reflect L2 presence.
+func TestQuickL3Inclusion(t *testing.T) {
+	cfg := Westmere()
+	cfg.Sockets = 2
+	cfg.CoresPerSocket = 2
+	cfg.L1I.SizeB = 1 << 10
+	cfg.L1D.SizeB = 1 << 10
+	cfg.L2.SizeB = 2 << 10
+	cfg.L3.SizeB = 8 << 10 // tiny L3 to force back-invalidations
+
+	f := func(seed uint64) bool {
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		sources := make([]Source, 4)
+		for c := 0; c < 4; c++ {
+			ins := make([]Instr, 600)
+			for i := range ins {
+				k := KindLoad
+				if r.Bool(0.3) {
+					k = KindStore
+				}
+				ins[i] = Instr{
+					PC:   uint64(r.Intn(512)) * 4,
+					Kind: k,
+					// Narrow address range so cores contend and L3 sets
+					// overflow.
+					Addr: uint64(r.Intn(1<<15)) &^ 7,
+					Uops: 1,
+				}
+			}
+			sources[c] = &SliceSource{Instrs: ins}
+		}
+		if _, err := m.Run(sources, 600, 2); err != nil {
+			return false
+		}
+
+		// Check inclusion and directory consistency over the address
+		// range used.
+		for blk := uint64(0); blk < 1<<15; blk += 64 {
+			for _, c := range m.cores {
+				st := c.l2.Lookup(blk)
+				s := m.sockets[c.sock]
+				if st != cache.Invalid {
+					if s.l3.Lookup(blk) == cache.Invalid {
+						t.Logf("block %#x in core %d L2 (%v) but not in socket %d L3", blk, c.id, st, c.sock)
+						return false
+					}
+					if s.dir[blk]&(1<<uint(c.id)) == 0 {
+						t.Logf("block %#x in core %d L2 but missing from directory", blk, c.id)
+						return false
+					}
+				} else if s.dir[blk]&(1<<uint(c.id)) != 0 {
+					t.Logf("directory claims core %d holds %#x but its L2 does not", c.id, blk)
+					return false
+				}
+				// L1D inclusion within the private hierarchy.
+				if c.l1d.Lookup(blk) != cache.Invalid && st == cache.Invalid {
+					t.Logf("block %#x in core %d L1D but not L2", blk, c.id)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSingleWriterInvariant: a block in Modified state in one core's
+// L2 must not be valid in any other core's private cache.
+func TestQuickSingleWriterInvariant(t *testing.T) {
+	cfg := Westmere()
+	cfg.Sockets = 2
+	cfg.CoresPerSocket = 2
+	cfg.L2.SizeB = 4 << 10
+	cfg.L3.SizeB = 32 << 10
+
+	f := func(seed uint64) bool {
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		sources := make([]Source, 4)
+		for c := 0; c < 4; c++ {
+			ins := make([]Instr, 400)
+			for i := range ins {
+				k := KindLoad
+				if r.Bool(0.5) {
+					k = KindStore
+				}
+				// Small shared range: heavy contention.
+				ins[i] = Instr{PC: uint64(r.Intn(64)) * 4, Kind: k, Addr: uint64(r.Intn(1<<12)) &^ 7, Uops: 1}
+			}
+			sources[c] = &SliceSource{Instrs: ins}
+		}
+		if _, err := m.Run(sources, 400, 1); err != nil {
+			return false
+		}
+		for blk := uint64(0); blk < 1<<12; blk += 64 {
+			writer := -1
+			for _, c := range m.cores {
+				if c.l2.Lookup(blk) == cache.Modified {
+					if writer >= 0 {
+						t.Logf("block %#x modified in cores %d and %d", blk, writer, c.id)
+						return false
+					}
+					writer = c.id
+				}
+			}
+			if writer < 0 {
+				continue
+			}
+			for _, c := range m.cores {
+				if c.id == writer {
+					continue
+				}
+				if c.l2.Lookup(blk) != cache.Invalid || c.l1d.Lookup(blk) != cache.Invalid {
+					t.Logf("block %#x modified in core %d but valid in core %d", blk, writer, c.id)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

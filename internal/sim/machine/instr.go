@@ -1,0 +1,74 @@
+package machine
+
+// Kind classifies an instruction for the mix metrics of Table II.
+type Kind uint8
+
+const (
+	KindInt Kind = iota
+	KindLoad
+	KindStore
+	KindBranch
+	KindFP  // x87 floating point
+	KindSSE // SSE floating point
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	case KindFP:
+		return "fp"
+	case KindSSE:
+		return "sse"
+	default:
+		return "?"
+	}
+}
+
+// Instr is one dynamic instruction presented to a core.
+type Instr struct {
+	PC     uint64 // code virtual address
+	Kind   Kind
+	Addr   uint64 // data address for loads/stores
+	Taken  bool   // branch outcome
+	Kernel bool   // ring-0 execution
+	Uops   uint8  // micro-ops this instruction decodes into (≥1)
+	// Complex marks instructions that stress the length decoder /
+	// decoder (long encodings, microcoded ops); drives ILD and decoder
+	// stall accounting.
+	Complex bool
+	// Dependent marks the instruction as consuming the value of the most
+	// recent load, which forces the backend to wait if that load is still
+	// outstanding (resource stall).
+	Dependent bool
+}
+
+// Source produces the dynamic instruction stream for one core. Next fills
+// in and returns true, or returns false when the stream is exhausted.
+type Source interface {
+	Next(*Instr) bool
+}
+
+// SliceSource adapts a pre-recorded instruction slice to Source (used by
+// tests).
+type SliceSource struct {
+	Instrs []Instr
+	pos    int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(out *Instr) bool {
+	if s.pos >= len(s.Instrs) {
+		return false
+	}
+	*out = s.Instrs[s.pos]
+	s.pos++
+	return true
+}

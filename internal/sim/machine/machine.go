@@ -1,0 +1,741 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim/branch"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/event"
+	"repro/internal/sim/tlb"
+)
+
+// Machine is one simulated node: sockets of cores around shared L3s,
+// kept coherent with a MESI snoop protocol.
+type Machine struct {
+	cfg     Config
+	sockets []*socket
+	cores   []*core
+	lineB   uint64
+}
+
+// socket groups cores around a shared, inclusive L3. dir tracks, for each
+// block present in the socket's private caches, the bitmask of global core
+// IDs holding it (the core-valid bits of the real L3's directory).
+type socket struct {
+	id  int
+	l3  *cache.Cache
+	dir map[uint64]uint16
+}
+
+// core is one out-of-order core plus its private hierarchy and the
+// interval-model accounting state.
+type core struct {
+	id   int
+	sock int
+
+	l1i, l1d, l2 *cache.Cache
+	tlbs         *tlb.Hierarchy
+	bp           *branch.Predictor
+
+	ev event.Counts
+
+	// Time and stall attribution, in fractional cycles.
+	cycles     float64
+	fetchStall float64
+	ildStall   float64
+	decStall   float64
+	ratStall   float64
+	resStall   float64
+
+	uopsExecuted     float64
+	branchesExecuted float64
+
+	// Outstanding long-latency misses (completion times) for MLP and
+	// MSHR pressure; pendingFill maps blocks to completion for LFB hits.
+	outstanding        []float64
+	pendingFill        map[uint64]float64
+	lastLoadCompletion float64
+
+	mlpWeighted float64
+	mlpCycles   float64
+}
+
+// New builds a node from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, lineB: uint64(cfg.L2.LineB)}
+	for s := 0; s < cfg.Sockets; s++ {
+		m.sockets = append(m.sockets, &socket{
+			id:  s,
+			l3:  cache.New(cfg.L3),
+			dir: make(map[uint64]uint16),
+		})
+	}
+	for c := 0; c < cfg.Cores(); c++ {
+		m.cores = append(m.cores, &core{
+			id:          c,
+			sock:        c / cfg.CoresPerSocket,
+			l1i:         cache.New(cfg.L1I),
+			l1d:         cache.New(cfg.L1D),
+			l2:          cache.New(cfg.L2),
+			tlbs:        tlb.New(cfg.ITLB, cfg.DTLB, cfg.STLB, cfg.TLBWalkCycles),
+			bp:          branch.New(cfg.BranchHistoryBits),
+			pendingFill: make(map[uint64]float64),
+		})
+	}
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+func (m *Machine) block(addr uint64) uint64 { return addr &^ (m.lineB - 1) }
+
+// advance moves the core's clock by dt cycles, integrating MLP over the
+// window and pruning completed misses.
+func (c *core) advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	start := c.cycles
+	end := start + dt
+	// Count outstanding misses alive anywhere in the window. A finer
+	// integration is unnecessary at this fidelity.
+	alive := 0
+	kept := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > start {
+			alive++
+		}
+		if t > end {
+			kept = append(kept, t)
+		}
+	}
+	c.outstanding = kept
+	if alive > 0 {
+		c.mlpWeighted += float64(alive) * dt
+		c.mlpCycles += dt
+	}
+	c.cycles = end
+}
+
+// stall advances time by dt and attributes it to the given bucket.
+func (c *core) stall(bucket *float64, dt float64) {
+	*bucket += dt
+	c.advance(dt)
+}
+
+// fetchSource classifies where a block was served from.
+type fetchSource int
+
+const (
+	srcL2 fetchSource = iota
+	srcSibling
+	srcL3Unshared
+	srcL3Shared
+	srcRemote
+	srcMemory
+)
+
+// fetchBlock resolves a block that missed the private L2: it consults the
+// socket directory (snooping sibling cores), the local L3, the remote
+// socket, and finally memory; fills the line into L3/L2/L1 of the
+// requester; and returns the source and latency. rfo requests invalidate
+// all other copies; code requests fill the L1I instead of the L1D.
+func (m *Machine) fetchBlock(c *core, blk uint64, rfo, code bool) (fetchSource, uint64) {
+	own := m.sockets[c.sock]
+	myBit := uint16(1) << uint(c.id)
+
+	src := srcMemory
+	latency := m.cfg.MemLatency
+
+	// Snoop sibling cores in the owning socket.
+	holders := own.dir[blk] &^ myBit
+	bestState := cache.Invalid
+	if holders != 0 {
+		for cid := 0; cid < len(m.cores); cid++ {
+			if holders&(1<<uint(cid)) == 0 {
+				continue
+			}
+			st := m.cores[cid].l2.Lookup(blk)
+			if st > bestState {
+				bestState = st
+			}
+		}
+	}
+
+	l3Hit := own.l3.Access(blk, false)
+	switch {
+	case bestState == cache.Modified:
+		c.ev.Inc(event.SnoopHitM, 1)
+		src, latency = srcSibling, m.cfg.SiblingLatency
+	case bestState == cache.Exclusive:
+		c.ev.Inc(event.SnoopHitE, 1)
+		src, latency = srcSibling, m.cfg.SiblingLatency
+	case bestState == cache.Shared:
+		c.ev.Inc(event.SnoopHit, 1)
+		src, latency = srcL3Shared, m.cfg.L3Latency
+	case l3Hit:
+		src, latency = srcL3Unshared, m.cfg.L3Latency
+	}
+
+	if src == srcSibling || src == srcL3Shared {
+		// Downgrade or invalidate the sibling copies.
+		m.adjustHolders(own, blk, myBit, rfo)
+	}
+	if l3Hit {
+		c.ev.Inc(event.L3Hit, 1)
+	}
+
+	if src == srcMemory {
+		// Local socket had nothing; try the remote socket(s).
+		for _, rs := range m.sockets {
+			if rs == own {
+				continue
+			}
+			rHolders := rs.dir[blk]
+			rBest := cache.Invalid
+			if rHolders != 0 {
+				for cid := 0; cid < len(m.cores); cid++ {
+					if rHolders&(1<<uint(cid)) == 0 {
+						continue
+					}
+					st := m.cores[cid].l2.Lookup(blk)
+					if st > rBest {
+						rBest = st
+					}
+				}
+			}
+			rL3 := rs.l3.Lookup(blk) != cache.Invalid
+			if rBest == cache.Invalid && !rL3 {
+				continue
+			}
+			switch rBest {
+			case cache.Modified:
+				c.ev.Inc(event.SnoopHitM, 1)
+			case cache.Exclusive:
+				c.ev.Inc(event.SnoopHitE, 1)
+			default:
+				c.ev.Inc(event.SnoopHit, 1)
+			}
+			m.adjustHolders(rs, blk, 0, rfo)
+			if rfo {
+				rs.l3.Invalidate(blk)
+			} else {
+				rs.l3.Downgrade(blk)
+			}
+			src, latency = srcRemote, m.cfg.CrossSocketLatency
+			break
+		}
+	}
+
+	if src == srcMemory {
+		c.ev.Inc(event.L3Miss, 1)
+	} else if !l3Hit && src != srcRemote {
+		// Served by a sibling while L3 missed — cannot happen under
+		// inclusion, but count the L3 miss if it did.
+		c.ev.Inc(event.L3Miss, 1)
+	}
+	if src == srcRemote && !l3Hit {
+		c.ev.Inc(event.L3Miss, 1)
+	}
+
+	// An RFO must invalidate every remaining copy machine-wide, even when
+	// the data was served locally: a line read earlier across sockets is
+	// resident in both L3s (and possibly remote private caches).
+	if rfo {
+		for _, rs := range m.sockets {
+			if rs == own {
+				continue
+			}
+			rBest := cache.Invalid
+			for cid := 0; cid < len(m.cores); cid++ {
+				if rs.dir[blk]&(1<<uint(cid)) == 0 {
+					continue
+				}
+				if st := m.cores[cid].l2.Lookup(blk); st > rBest {
+					rBest = st
+				}
+			}
+			rL3 := rs.l3.Lookup(blk) != cache.Invalid
+			if rBest == cache.Invalid && !rL3 {
+				continue
+			}
+			// Invalidation snoop response (unless this socket already
+			// responded as the data source above).
+			if src != srcRemote {
+				switch rBest {
+				case cache.Modified:
+					c.ev.Inc(event.SnoopHitM, 1)
+				case cache.Exclusive:
+					c.ev.Inc(event.SnoopHitE, 1)
+				default:
+					c.ev.Inc(event.SnoopHit, 1)
+				}
+			}
+			m.adjustHolders(rs, blk, 0, true)
+			rs.l3.Invalidate(blk)
+		}
+	}
+
+	// Install into the local L3 (inclusive) if absent.
+	if !l3Hit {
+		m.l3Fill(own, blk, rfo)
+	} else if rfo {
+		// Upgrade in place: other sockets already invalidated above.
+	}
+
+	// Fill the private hierarchy.
+	st := cache.Exclusive
+	if rfo {
+		st = cache.Modified
+	} else if src == srcSibling || src == srcL3Shared || src == srcRemote {
+		st = cache.Shared
+	}
+	m.l2Fill(c, blk, st)
+	if code {
+		m.l1Fill(c, c.l1i, blk, st)
+	} else {
+		m.l1Fill(c, c.l1d, blk, st)
+	}
+	return src, latency
+}
+
+// adjustHolders downgrades (read) or invalidates (RFO) every private copy
+// of blk in socket s other than keepBit, maintaining the directory.
+func (m *Machine) adjustHolders(s *socket, blk uint64, keepBit uint16, rfo bool) {
+	holders := s.dir[blk] &^ keepBit
+	if holders == 0 {
+		return
+	}
+	for cid := 0; cid < len(m.cores); cid++ {
+		bit := uint16(1) << uint(cid)
+		if holders&bit == 0 {
+			continue
+		}
+		oc := m.cores[cid]
+		if rfo {
+			oc.l2.Invalidate(blk)
+			oc.l1d.Invalidate(blk)
+			oc.l1i.Invalidate(blk)
+			s.dir[blk] &^= bit
+		} else {
+			oc.l2.Downgrade(blk)
+			oc.l1d.Downgrade(blk)
+		}
+	}
+	if s.dir[blk] == 0 {
+		delete(s.dir, blk)
+	}
+}
+
+// l3Fill installs blk in the socket's L3, enforcing inclusion on eviction:
+// any private copies of the victim are invalidated.
+func (m *Machine) l3Fill(s *socket, blk uint64, rfo bool) {
+	st := cache.Exclusive
+	if rfo {
+		st = cache.Modified
+	}
+	ev := s.l3.Fill(blk, st)
+	if !ev.Valid {
+		return
+	}
+	if holders, ok := s.dir[ev.Addr]; ok {
+		for cid := 0; cid < len(m.cores); cid++ {
+			if holders&(1<<uint(cid)) == 0 {
+				continue
+			}
+			oc := m.cores[cid]
+			oc.l2.Invalidate(ev.Addr)
+			oc.l1d.Invalidate(ev.Addr)
+			oc.l1i.Invalidate(ev.Addr)
+		}
+		delete(s.dir, ev.Addr)
+	}
+}
+
+// l2Fill installs blk in the core's private L2, maintaining the directory
+// and handling the victim (write-back of dirty data, back-invalidation of
+// the L1s).
+func (m *Machine) l2Fill(c *core, blk uint64, st cache.State) {
+	ev := c.l2.Fill(blk, st)
+	s := m.sockets[c.sock]
+	s.dir[blk] |= 1 << uint(c.id)
+	if !ev.Valid {
+		return
+	}
+	bit := uint16(1) << uint(c.id)
+	s.dir[ev.Addr] &^= bit
+	if s.dir[ev.Addr] == 0 {
+		delete(s.dir, ev.Addr)
+	}
+	c.l1d.Invalidate(ev.Addr)
+	c.l1i.Invalidate(ev.Addr)
+	if ev.State == cache.Modified {
+		c.ev.Inc(event.OffcoreWB, 1)
+		s.l3.MarkDirty(ev.Addr)
+	}
+}
+
+// l1Fill installs blk in an L1, ignoring the victim (the L2 is inclusive,
+// so no state is lost).
+func (m *Machine) l1Fill(c *core, l1 *cache.Cache, blk uint64, st cache.State) {
+	l1.Fill(blk, st)
+}
+
+// instructionFetch runs the frontend for one instruction: ITLB, L1I, and
+// the memory hierarchy below on a miss. Penalties stall the frontend.
+func (m *Machine) instructionFetch(c *core, in *Instr) {
+	tr := c.tlbs.TranslateI(in.PC)
+	if tr.WalkCycles > 0 {
+		c.stall(&c.fetchStall, float64(tr.WalkCycles))
+	}
+	if c.l1i.Access(in.PC, false) {
+		c.ev.Inc(event.L1IHit, 1)
+		return
+	}
+	c.ev.Inc(event.L1IMiss, 1)
+	blk := m.block(in.PC)
+	if c.l2.Access(blk, false) {
+		c.ev.Inc(event.L2Hit, 1)
+		m.l1Fill(c, c.l1i, blk, c.l2.Lookup(blk))
+		c.stall(&c.fetchStall, float64(m.cfg.L2Latency))
+		return
+	}
+	c.ev.Inc(event.L2Miss, 1)
+	c.ev.Inc(event.OffcoreCode, 1)
+	_, lat := m.fetchBlock(c, blk, false, true)
+	c.stall(&c.fetchStall, float64(lat))
+}
+
+// dataAccess runs a load or store through the data hierarchy and returns
+// the access latency. Long-latency load misses register as outstanding
+// for MLP and dependence stalls.
+func (m *Machine) dataAccess(c *core, in *Instr) {
+	write := in.Kind == KindStore
+	tr := c.tlbs.TranslateD(in.Addr)
+	if tr.WalkCycles > 0 {
+		// Data page walks overlap with the backend but occupy resources;
+		// charge them as resource stalls (the paper attributes DTLB walk
+		// cycles to backend pressure, §V-C).
+		c.stall(&c.resStall, float64(tr.WalkCycles))
+	}
+	blk := m.block(in.Addr)
+
+	// A fill still in flight for this block means the access is absorbed
+	// by the line fill buffer, even though the model installs lines
+	// eagerly: architecturally the data has not arrived yet.
+	if done, ok := c.pendingFill[blk]; ok {
+		if done > c.cycles {
+			if !write {
+				c.ev.Inc(event.LoadHitLFB, 1)
+				c.lastLoadCompletion = done
+			}
+			return
+		}
+		delete(c.pendingFill, blk)
+	}
+
+	if c.l1d.Access(in.Addr, write) {
+		if write {
+			switch c.l2.Lookup(blk) {
+			case cache.Shared:
+				// Upgrade: invalidate other copies machine-wide.
+				c.ev.Inc(event.OffcoreRFO, 1)
+				m.upgradeToModified(c, blk)
+				c.l2.MarkDirty(blk)
+			case cache.Exclusive:
+				// Silent E→M upgrade; keep L2 consistent with L1.
+				c.l2.MarkDirty(blk)
+			}
+		}
+		return
+	}
+
+	var latency uint64
+	if c.l2.Access(blk, write) {
+		c.ev.Inc(event.L2Hit, 1)
+		st := c.l2.Lookup(blk)
+		if write && st != cache.Modified {
+			// Lookup after a write Access returns Modified already; the
+			// Shared→Modified upgrade path is handled inside Access via
+			// state promotion, but other copies must still be dropped.
+			st = cache.Modified
+		}
+		if write {
+			m.upgradeToModified(c, blk)
+		}
+		m.l1Fill(c, c.l1d, blk, st)
+		if !write {
+			c.ev.Inc(event.LoadHitL2, 1)
+		}
+		latency = m.cfg.L2Latency
+	} else {
+		c.ev.Inc(event.L2Miss, 1)
+		if write {
+			c.ev.Inc(event.OffcoreRFO, 1)
+		} else {
+			c.ev.Inc(event.OffcoreData, 1)
+		}
+		src, lat := m.fetchBlock(c, blk, write, false)
+		latency = lat
+		if !write {
+			switch src {
+			case srcSibling:
+				c.ev.Inc(event.LoadHitSibling, 1)
+			case srcL3Unshared:
+				c.ev.Inc(event.LoadHitL3, 1)
+			case srcMemory, srcRemote:
+				if src == srcMemory {
+					c.ev.Inc(event.LoadLLCMiss, 1)
+				}
+			}
+		}
+	}
+
+	if write {
+		// Stores retire through the store buffer; latency is hidden.
+		return
+	}
+	if latency > m.cfg.L2Latency {
+		// Long-latency load: becomes an outstanding miss.
+		if len(c.outstanding) >= m.cfg.MSHRs {
+			// MSHRs full: stall until the earliest completes.
+			earliest := c.outstanding[0]
+			for _, t := range c.outstanding {
+				if t < earliest {
+					earliest = t
+				}
+			}
+			if wait := earliest - c.cycles; wait > 0 {
+				c.stall(&c.resStall, wait)
+			}
+		}
+		done := c.cycles + float64(latency)
+		c.outstanding = append(c.outstanding, done)
+		c.pendingFill[blk] = done
+		c.lastLoadCompletion = done
+		if len(c.pendingFill) > 4*m.cfg.MSHRs {
+			for b, t := range c.pendingFill {
+				if t <= c.cycles {
+					delete(c.pendingFill, b)
+				}
+			}
+		}
+	} else {
+		c.lastLoadCompletion = c.cycles + float64(latency)
+	}
+}
+
+// upgradeToModified invalidates all other copies of blk (both sockets).
+func (m *Machine) upgradeToModified(c *core, blk uint64) {
+	myBit := uint16(1) << uint(c.id)
+	for _, s := range m.sockets {
+		keep := uint16(0)
+		if s.id == c.sock {
+			keep = myBit
+		}
+		// Snoop responses from invalidation: report the best holder.
+		holders := s.dir[blk] &^ keep
+		best := cache.Invalid
+		for cid := 0; cid < len(m.cores); cid++ {
+			if holders&(1<<uint(cid)) == 0 {
+				continue
+			}
+			if st := m.cores[cid].l2.Lookup(blk); st > best {
+				best = st
+			}
+		}
+		switch best {
+		case cache.Modified:
+			c.ev.Inc(event.SnoopHitM, 1)
+		case cache.Exclusive:
+			c.ev.Inc(event.SnoopHitE, 1)
+		case cache.Shared:
+			c.ev.Inc(event.SnoopHit, 1)
+		}
+		m.adjustHolders(s, blk, keep, true)
+		if s.id != c.sock {
+			s.l3.Invalidate(blk)
+		} else {
+			s.l3.MarkDirty(blk)
+		}
+	}
+}
+
+// execute runs one instruction on core c with full accounting.
+func (m *Machine) execute(c *core, in *Instr) {
+	m.instructionFetch(c, in)
+
+	uops := float64(in.Uops)
+	if uops < 1 {
+		uops = 1
+	}
+	c.ev.Inc(event.InstRetired, 1)
+	if in.Kernel {
+		c.ev.Inc(event.InstKernel, 1)
+	}
+	c.ev.Inc(event.UopsRetired, uint64(uops))
+	c.uopsExecuted += uops
+
+	// Base issue time.
+	c.advance(uops / float64(m.cfg.IssueWidth))
+
+	// Decode-side friction.
+	if in.Complex {
+		c.stall(&c.ildStall, 0.6)
+		c.stall(&c.decStall, 0.35)
+	}
+	if uops > 1 {
+		c.stall(&c.ratStall, 0.18*(uops-1))
+	}
+
+	switch in.Kind {
+	case KindLoad:
+		c.ev.Inc(event.Loads, 1)
+		c.ev.Inc(event.MemAccesses, 1)
+		m.dataAccess(c, in)
+	case KindStore:
+		c.ev.Inc(event.Stores, 1)
+		c.ev.Inc(event.MemAccesses, 1)
+		m.dataAccess(c, in)
+	case KindBranch:
+		c.ev.Inc(event.Branches, 1)
+		c.branchesExecuted++
+		correct := c.bp.Update(in.PC, in.Taken)
+		if !correct {
+			c.ev.Inc(event.BranchMisses, 1)
+			p := float64(m.cfg.MispredictPenalty)
+			// Flush: half the penalty is frontend refill, half wasted
+			// backend slots. Wrong-path work executes but never retires.
+			c.stall(&c.fetchStall, p/2)
+			c.advance(p / 2)
+			c.uopsExecuted += p // ≈ issueWidth × p/4 wrong-path µops
+			c.branchesExecuted += p / 8
+		}
+	case KindInt:
+		c.ev.Inc(event.IntOps, 1)
+	case KindFP:
+		c.ev.Inc(event.FPX87Ops, 1)
+	case KindSSE:
+		c.ev.Inc(event.SSEFPOps, 1)
+	}
+
+	// Dependence on an outstanding load stalls the backend.
+	if in.Dependent && c.lastLoadCompletion > c.cycles {
+		c.stall(&c.resStall, c.lastLoadCompletion-c.cycles)
+	}
+}
+
+// snapshot folds the core's floating-point accounting into an event.Counts
+// copy and returns it.
+func (c *core) snapshot() event.Counts {
+	ev := c.ev
+	ev[event.Cycles] = uint64(c.cycles)
+	ev[event.FetchStallCycles] = uint64(c.fetchStall)
+	ev[event.ILDStallCycles] = uint64(c.ildStall)
+	ev[event.DecoderStallCycles] = uint64(c.decStall)
+	ev[event.RATStallCycles] = uint64(c.ratStall)
+	ev[event.ResourceStallCycles] = uint64(c.resStall)
+	ev[event.UopsExecuted] = uint64(c.uopsExecuted)
+	ev[event.BranchesExecuted] = uint64(c.branchesExecuted)
+	ev[event.MLPWeighted] = uint64(c.mlpWeighted)
+	ev[event.MLPCycles] = uint64(c.mlpCycles)
+
+	stall := c.fetchStall + c.resStall + 0.5*(c.ildStall+c.decStall+c.ratStall)
+	if stall > c.cycles {
+		stall = c.cycles
+	}
+	ev[event.UopsStallCycles] = uint64(stall)
+	ev[event.UopsExeCycles] = uint64(c.cycles - stall)
+
+	// TLB statistics.
+	ev[event.ITLBMiss] = tlb.MissesAllLevels(c.tlbs.IStats)
+	ev[event.ITLBWalkCycles] = c.tlbs.IStats.WalkCycles
+	ev[event.DTLBMiss] = tlb.MissesAllLevels(c.tlbs.DStats)
+	ev[event.DTLBWalkCycles] = c.tlbs.DStats.WalkCycles
+	ev[event.DataHitSTLB] = c.tlbs.DStats.STLBHits
+	return ev
+}
+
+// Snapshot returns machine-wide cumulative event counts (sum over cores).
+func (m *Machine) Snapshot() event.Counts {
+	var total event.Counts
+	for _, c := range m.cores {
+		ev := c.snapshot()
+		total.Add(&ev)
+	}
+	return total
+}
+
+// RunResult holds the outcome of a Run: cumulative machine-wide event
+// snapshots at each slice boundary (len Slices+1; entry 0 is all-zero at
+// start, the last entry is the final total).
+type RunResult struct {
+	Snapshots    []event.Counts
+	Instructions uint64
+}
+
+// Run executes the per-core sources round-robin (64-instruction quanta,
+// which lets lines migrate between cores like a real multithreaded run)
+// until every core has executed up to maxInstrPerCore instructions or its
+// source is exhausted. It records `slices` evenly spaced cumulative
+// snapshots for the PMC multiplexing layer.
+func (m *Machine) Run(sources []Source, maxInstrPerCore int, slices int) (*RunResult, error) {
+	if len(sources) != len(m.cores) {
+		return nil, fmt.Errorf("machine: %d sources for %d cores", len(sources), len(m.cores))
+	}
+	if maxInstrPerCore < 1 {
+		return nil, fmt.Errorf("machine: maxInstrPerCore must be ≥1")
+	}
+	if slices < 1 {
+		slices = 1
+	}
+
+	const quantum = 64
+	total := uint64(len(m.cores)) * uint64(maxInstrPerCore)
+	sliceEvery := total / uint64(slices)
+	if sliceEvery == 0 {
+		sliceEvery = 1
+	}
+
+	res := &RunResult{}
+	res.Snapshots = append(res.Snapshots, event.Counts{})
+
+	done := make([]bool, len(m.cores))
+	executedPer := make([]int, len(m.cores))
+	var executed, nextSlice uint64
+	nextSlice = sliceEvery
+
+	var in Instr
+	for {
+		anyLive := false
+		for ci, c := range m.cores {
+			if done[ci] {
+				continue
+			}
+			anyLive = true
+			for q := 0; q < quantum; q++ {
+				if executedPer[ci] >= maxInstrPerCore || !sources[ci].Next(&in) {
+					done[ci] = true
+					break
+				}
+				m.execute(c, &in)
+				executedPer[ci]++
+				executed++
+			}
+		}
+		for executed >= nextSlice && len(res.Snapshots) < slices {
+			res.Snapshots = append(res.Snapshots, m.Snapshot())
+			nextSlice += sliceEvery
+		}
+		if !anyLive {
+			break
+		}
+	}
+	res.Snapshots = append(res.Snapshots, m.Snapshot())
+	res.Instructions = executed
+	return res, nil
+}

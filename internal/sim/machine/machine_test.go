@@ -1,0 +1,421 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim/event"
+)
+
+// tiny returns a 2-socket, 2-cores-per-socket machine with small caches so
+// tests exercise evictions cheaply.
+func tiny(t *testing.T) *Machine {
+	t.Helper()
+	cfg := Westmere()
+	cfg.Sockets = 2
+	cfg.CoresPerSocket = 2
+	cfg.L1I.SizeB = 1 << 10
+	cfg.L1D.SizeB = 1 << 10
+	cfg.L2.SizeB = 4 << 10
+	cfg.L3.SizeB = 32 << 10
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// run executes the given instruction slices, one per core (missing cores
+// get empty streams).
+func run(t *testing.T, m *Machine, perCore map[int][]Instr, max int) *RunResult {
+	t.Helper()
+	sources := make([]Source, len(m.cores))
+	for i := range sources {
+		sources[i] = &SliceSource{Instrs: perCore[i]}
+	}
+	res, err := m.Run(sources, max, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func loads(addrs []uint64, pc uint64) []Instr {
+	out := make([]Instr, len(addrs))
+	for i, a := range addrs {
+		out[i] = Instr{PC: pc, Kind: KindLoad, Addr: a, Uops: 1}
+	}
+	return out
+}
+
+func TestWestmereConfigValid(t *testing.T) {
+	if err := Westmere().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Westmere().Cores() != 12 {
+		t.Errorf("Cores = %d, want 12", Westmere().Cores())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cfg := Westmere()
+	cfg.Sockets = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("0 sockets accepted")
+	}
+	cfg = Westmere()
+	cfg.Sockets = 4
+	cfg.CoresPerSocket = 6
+	if err := cfg.Validate(); err == nil {
+		t.Error("24 cores accepted (directory bitmask is 16 bits)")
+	}
+	cfg = Westmere()
+	cfg.L1I.LineB = 32
+	if err := cfg.Validate(); err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := tiny(t)
+	if _, err := m.Run([]Source{&SliceSource{}}, 10, 1); err == nil {
+		t.Error("wrong source count accepted")
+	}
+	srcs := make([]Source, 4)
+	for i := range srcs {
+		srcs[i] = &SliceSource{}
+	}
+	if _, err := m.Run(srcs, 0, 1); err == nil {
+		t.Error("zero instruction budget accepted")
+	}
+}
+
+func TestInstructionCountsRetired(t *testing.T) {
+	m := tiny(t)
+	res := run(t, m, map[int][]Instr{0: loads([]uint64{0, 64, 128}, 0x1000)}, 100)
+	final := res.Snapshots[len(res.Snapshots)-1]
+	if final.Get(event.InstRetired) != 3 {
+		t.Errorf("InstRetired = %d, want 3", final.Get(event.InstRetired))
+	}
+	if final.Get(event.Loads) != 3 {
+		t.Errorf("Loads = %d, want 3", final.Get(event.Loads))
+	}
+	if res.Instructions != 3 {
+		t.Errorf("Instructions = %d, want 3", res.Instructions)
+	}
+}
+
+func TestColdLoadsMissThenHit(t *testing.T) {
+	m := tiny(t)
+	// Two accesses to the same line: first misses everywhere, second hits L1D.
+	res := run(t, m, map[int][]Instr{0: loads([]uint64{0x4000, 0x4000}, 0x100)}, 100)
+	final := res.Snapshots[len(res.Snapshots)-1]
+	if final.Get(event.LoadLLCMiss) != 1 {
+		t.Errorf("LoadLLCMiss = %d, want 1", final.Get(event.LoadLLCMiss))
+	}
+	if final.Get(event.OffcoreData) != 1 {
+		t.Errorf("OffcoreData = %d, want 1", final.Get(event.OffcoreData))
+	}
+}
+
+func TestKernelModeCounted(t *testing.T) {
+	m := tiny(t)
+	ins := []Instr{
+		{PC: 0x1000, Kind: KindInt, Uops: 1, Kernel: true},
+		{PC: 0x1004, Kind: KindInt, Uops: 1},
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 100)
+	final := res.Snapshots[len(res.Snapshots)-1]
+	if final.Get(event.InstKernel) != 1 {
+		t.Errorf("InstKernel = %d, want 1", final.Get(event.InstKernel))
+	}
+}
+
+func TestInstructionMixCounted(t *testing.T) {
+	m := tiny(t)
+	ins := []Instr{
+		{PC: 0, Kind: KindInt, Uops: 1},
+		{PC: 4, Kind: KindFP, Uops: 1},
+		{PC: 8, Kind: KindSSE, Uops: 1},
+		{PC: 12, Kind: KindBranch, Taken: true, Uops: 1},
+		{PC: 16, Kind: KindStore, Addr: 0x9000, Uops: 1},
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 100)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	checks := map[event.ID]uint64{
+		event.IntOps: 1, event.FPX87Ops: 1, event.SSEFPOps: 1,
+		event.Branches: 1, event.Stores: 1, event.MemAccesses: 1,
+	}
+	for id, want := range checks {
+		if got := f.Get(id); got != want {
+			t.Errorf("%v = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestSnoopHitMOnSharedModifiedLine(t *testing.T) {
+	m := tiny(t)
+	addr := uint64(0x8000)
+	// Core 0 writes the line (Modified); core 1 then reads it.
+	perCore := map[int][]Instr{
+		0: {{PC: 0x100, Kind: KindStore, Addr: addr, Uops: 1}},
+		1: {{PC: 0x200, Kind: KindLoad, Addr: addr, Uops: 1}},
+	}
+	res := run(t, m, perCore, 100)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.SnoopHitM) == 0 {
+		t.Error("no SNOOP_HITM after cross-core read of modified line")
+	}
+	if f.Get(event.LoadHitSibling) == 0 {
+		t.Error("no sibling-cache load hit recorded")
+	}
+}
+
+func TestSnoopHitEOnCleanExclusiveLine(t *testing.T) {
+	m := tiny(t)
+	addr := uint64(0x8000)
+	perCore := map[int][]Instr{
+		0: {{PC: 0x100, Kind: KindLoad, Addr: addr, Uops: 1}},
+		1: {{PC: 0x200, Kind: KindLoad, Addr: addr, Uops: 1}},
+	}
+	res := run(t, m, perCore, 100)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.SnoopHitE) == 0 {
+		t.Error("no SNOOP_HITE after cross-core read of exclusive line")
+	}
+}
+
+func TestRFOInvalidatesOtherCopy(t *testing.T) {
+	m := tiny(t)
+	addr := uint64(0x8000)
+	// Core 0 loads (E), core 1 stores: must invalidate core 0's copy.
+	perCore := map[int][]Instr{
+		0: {{PC: 0x100, Kind: KindLoad, Addr: addr, Uops: 1}},
+		1: {{PC: 0x200, Kind: KindStore, Addr: addr, Uops: 1}},
+	}
+	run(t, m, perCore, 100)
+	if st := m.cores[0].l2.Lookup(m.block(addr)); st != 0 /* Invalid */ {
+		t.Errorf("core 0 L2 state after remote RFO = %v, want Invalid", st)
+	}
+}
+
+func TestL1IHitsDominateForTightLoop(t *testing.T) {
+	m := tiny(t)
+	ins := make([]Instr, 500)
+	for i := range ins {
+		ins[i] = Instr{PC: 0x4000 + uint64(i%16)*4, Kind: KindInt, Uops: 1}
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 1000)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.L1IHit) < 490 {
+		t.Errorf("L1IHit = %d, want ≥490 for a 1-line loop", f.Get(event.L1IHit))
+	}
+}
+
+func TestBranchMispredictsAccounted(t *testing.T) {
+	m := tiny(t)
+	r := rng.New(3)
+	ins := make([]Instr, 2000)
+	for i := range ins {
+		ins[i] = Instr{PC: 0x4000 + uint64(r.Intn(64))*4, Kind: KindBranch, Taken: r.Bool(0.5), Uops: 1}
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 4000)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	misses := f.Get(event.BranchMisses)
+	if misses < 400 {
+		t.Errorf("BranchMisses = %d, want ≈1000 for random branches", misses)
+	}
+	if f.Get(event.BranchesExecuted) <= f.Get(event.Branches) {
+		t.Error("executed branches should exceed retired after mispredicts")
+	}
+	if f.Get(event.FetchStallCycles) == 0 {
+		t.Error("mispredicts should produce fetch stalls")
+	}
+}
+
+func TestCyclesAdvance(t *testing.T) {
+	m := tiny(t)
+	ins := make([]Instr, 100)
+	for i := range ins {
+		ins[i] = Instr{PC: uint64(i) * 4, Kind: KindInt, Uops: 2}
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 200)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	cycles := f.Get(event.Cycles)
+	// 100 instructions × 2 µops / width 4 = 50 base cycles minimum.
+	if cycles < 50 {
+		t.Errorf("Cycles = %d, want ≥ 50", cycles)
+	}
+	if f.Get(event.UopsRetired) != 200 {
+		t.Errorf("UopsRetired = %d, want 200", f.Get(event.UopsRetired))
+	}
+}
+
+func TestResourceStallFromDependentLoad(t *testing.T) {
+	m := tiny(t)
+	ins := []Instr{
+		{PC: 0, Kind: KindLoad, Addr: 0x100000, Uops: 1},
+		{PC: 4, Kind: KindInt, Uops: 1, Dependent: true},
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 100)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.ResourceStallCycles) == 0 {
+		t.Error("dependent use of a memory-latency load produced no resource stall")
+	}
+}
+
+func TestLFBHitOnBackToBackMisses(t *testing.T) {
+	m := tiny(t)
+	// Two loads to the same line: the first misses to memory, the second
+	// arrives while the fill is outstanding.
+	ins := []Instr{
+		{PC: 0, Kind: KindLoad, Addr: 0x200000, Uops: 1},
+		{PC: 4, Kind: KindLoad, Addr: 0x200008, Uops: 1},
+	}
+	res := run(t, m, map[int][]Instr{0: ins}, 100)
+	f := res.Snapshots[len(res.Snapshots)-1]
+	if f.Get(event.LoadHitLFB) != 1 {
+		t.Errorf("LoadHitLFB = %d, want 1", f.Get(event.LoadHitLFB))
+	}
+}
+
+func TestSnapshotsMonotone(t *testing.T) {
+	m := tiny(t)
+	r := rng.New(9)
+	perCore := map[int][]Instr{}
+	for c := 0; c < 4; c++ {
+		ins := make([]Instr, 800)
+		for i := range ins {
+			ins[i] = Instr{
+				PC:   uint64(r.Intn(4096)) * 4,
+				Kind: KindLoad, Addr: uint64(r.Intn(1 << 20)),
+				Uops: 1,
+			}
+		}
+		perCore[c] = ins
+	}
+	res := run(t, m, perCore, 1000)
+	if len(res.Snapshots) < 2 {
+		t.Fatalf("snapshots = %d, want ≥ 2", len(res.Snapshots))
+	}
+	for i := 1; i < len(res.Snapshots); i++ {
+		prev, cur := res.Snapshots[i-1], res.Snapshots[i]
+		for id := 0; id < int(event.NumEvents); id++ {
+			if cur[id] < prev[id] {
+				t.Fatalf("event %v decreased between slices %d and %d", event.ID(id), i-1, i)
+			}
+		}
+	}
+}
+
+// Property: conservation laws hold for arbitrary random streams —
+// loads+stores = mem accesses, L1I hits+misses = instructions fetched,
+// load source breakdown ≤ loads, stall attributions ≤ cycles.
+func TestQuickConservation(t *testing.T) {
+	cfg := Westmere()
+	cfg.Sockets = 1
+	cfg.CoresPerSocket = 2
+	cfg.L1I.SizeB = 1 << 10
+	cfg.L1D.SizeB = 1 << 10
+	cfg.L2.SizeB = 4 << 10
+	cfg.L3.SizeB = 32 << 10
+
+	f := func(seed uint64) bool {
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		sources := make([]Source, 2)
+		for c := 0; c < 2; c++ {
+			ins := make([]Instr, 400)
+			for i := range ins {
+				k := KindInt
+				switch r.Intn(5) {
+				case 0:
+					k = KindLoad
+				case 1:
+					k = KindStore
+				case 2:
+					k = KindBranch
+				}
+				ins[i] = Instr{
+					PC:        uint64(r.Intn(2048)) * 4,
+					Kind:      k,
+					Addr:      uint64(r.Intn(1 << 18)),
+					Taken:     r.Bool(0.5),
+					Kernel:    r.Bool(0.2),
+					Uops:      uint8(1 + r.Intn(3)),
+					Complex:   r.Bool(0.1),
+					Dependent: r.Bool(0.3),
+				}
+			}
+			sources[c] = &SliceSource{Instrs: ins}
+		}
+		res, err := m.Run(sources, 500, 3)
+		if err != nil {
+			return false
+		}
+		f := res.Snapshots[len(res.Snapshots)-1]
+		if f.Get(event.Loads)+f.Get(event.Stores) != f.Get(event.MemAccesses) {
+			return false
+		}
+		if f.Get(event.L1IHit)+f.Get(event.L1IMiss) != f.Get(event.InstRetired) {
+			return false
+		}
+		srcSum := f.Get(event.LoadHitLFB) + f.Get(event.LoadHitL2) +
+			f.Get(event.LoadHitSibling) + f.Get(event.LoadHitL3) + f.Get(event.LoadLLCMiss)
+		if srcSum > f.Get(event.Loads) {
+			return false
+		}
+		if f.Get(event.InstKernel) > f.Get(event.InstRetired) {
+			return false
+		}
+		cycles := f.Get(event.Cycles)
+		if f.Get(event.UopsStallCycles) > cycles {
+			return false
+		}
+		if f.Get(event.UopsExeCycles)+f.Get(event.UopsStallCycles) > cycles+1 {
+			return false
+		}
+		return f.Get(event.BranchMisses) <= f.Get(event.Branches)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinism — identical configs and streams produce identical
+// final snapshots.
+func TestQuickDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		mk := func() event.Counts {
+			cfg := Westmere()
+			cfg.Sockets = 1
+			cfg.CoresPerSocket = 2
+			cfg.L2.SizeB = 4 << 10
+			cfg.L3.SizeB = 32 << 10
+			m, _ := New(cfg)
+			r := rng.New(seed)
+			sources := make([]Source, 2)
+			for c := 0; c < 2; c++ {
+				ins := make([]Instr, 300)
+				for i := range ins {
+					ins[i] = Instr{
+						PC:   uint64(r.Intn(1024)) * 4,
+						Kind: KindLoad, Addr: uint64(r.Intn(1 << 16)),
+						Uops: 1,
+					}
+				}
+				sources[c] = &SliceSource{Instrs: ins}
+			}
+			res, _ := m.Run(sources, 300, 2)
+			return res.Snapshots[len(res.Snapshots)-1]
+		}
+		return mk() == mk()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package tlb models the two-level TLB of the paper's Xeon E5645
+// (Table III): 4-way 64-entry L1 ITLB and DTLB, and a 4-way 512-entry
+// unified second-level TLB (STLB) shared between instruction and data
+// translations. A miss in both levels triggers a page walk whose cycles
+// are accounted (ITLB_CYCLE / DTLB_CYCLE metrics).
+package tlb
+
+import "fmt"
+
+// PageBits is log2 of the 4 KiB page size.
+const PageBits = 12
+
+// Config describes one TLB level's geometry.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 || c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb %q: invalid geometry %+v", c.Name, c)
+	}
+	sets := c.Entries / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tlb %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type entry struct {
+	vpn   uint64
+	valid bool
+	lru   uint64
+}
+
+type level struct {
+	sets    [][]entry
+	setMask uint64
+	clock   uint64
+}
+
+func newLevel(cfg Config) *level {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Entries / cfg.Ways
+	sets := make([][]entry, nsets)
+	backing := make([]entry, cfg.Entries)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &level{sets: sets, setMask: uint64(nsets - 1)}
+}
+
+func (l *level) lookup(vpn uint64) bool {
+	set := vpn & l.setMask
+	l.clock++
+	for i := range l.sets[set] {
+		e := &l.sets[set][i]
+		if e.valid && e.vpn == vpn {
+			e.lru = l.clock
+			return true
+		}
+	}
+	return false
+}
+
+func (l *level) fill(vpn uint64) {
+	set := vpn & l.setMask
+	l.clock++
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range l.sets[set] {
+		e := &l.sets[set][i]
+		if !e.valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if e.lru < oldest {
+			oldest = e.lru
+			victim = i
+		}
+	}
+	l.sets[set][victim] = entry{vpn: vpn, valid: true, lru: l.clock}
+}
+
+// Stats aggregates translation outcomes for one access stream (I or D).
+type Stats struct {
+	Accesses   uint64
+	L1Hits     uint64
+	STLBHits   uint64 // L1 miss that hit the shared L2 TLB
+	Walks      uint64 // missed both levels
+	WalkCycles uint64
+}
+
+// Hierarchy is a split-L1 + shared-STLB TLB system for one core.
+type Hierarchy struct {
+	itlb, dtlb, stlb *level
+	walkCycles       uint64
+	IStats, DStats   Stats
+}
+
+// WestmereConfig returns the Table III TLB geometry.
+func WestmereConfig() (itlb, dtlb, stlb Config) {
+	itlb = Config{Name: "ITLB", Entries: 64, Ways: 4}
+	dtlb = Config{Name: "DTLB", Entries: 64, Ways: 4}
+	stlb = Config{Name: "STLB", Entries: 512, Ways: 4}
+	return
+}
+
+// New builds a TLB hierarchy. walkCycles is the page-walk cost charged on
+// a full miss (both levels).
+func New(itlb, dtlb, stlb Config, walkCycles uint64) *Hierarchy {
+	return &Hierarchy{
+		itlb:       newLevel(itlb),
+		dtlb:       newLevel(dtlb),
+		stlb:       newLevel(stlb),
+		walkCycles: walkCycles,
+	}
+}
+
+// Result reports one translation's outcome.
+type Result struct {
+	L1Hit      bool
+	STLBHit    bool
+	WalkCycles uint64 // nonzero only on full miss
+}
+
+// TranslateI translates an instruction-fetch address.
+func (h *Hierarchy) TranslateI(addr uint64) Result {
+	return h.translate(addr, h.itlb, &h.IStats)
+}
+
+// TranslateD translates a data address.
+func (h *Hierarchy) TranslateD(addr uint64) Result {
+	return h.translate(addr, h.dtlb, &h.DStats)
+}
+
+func (h *Hierarchy) translate(addr uint64, l1 *level, st *Stats) Result {
+	vpn := addr >> PageBits
+	st.Accesses++
+	if l1.lookup(vpn) {
+		st.L1Hits++
+		return Result{L1Hit: true}
+	}
+	if h.stlb.lookup(vpn) {
+		st.STLBHits++
+		l1.fill(vpn)
+		return Result{STLBHit: true}
+	}
+	st.Walks++
+	st.WalkCycles += h.walkCycles
+	h.stlb.fill(vpn)
+	l1.fill(vpn)
+	return Result{WalkCycles: h.walkCycles}
+}
+
+// MissesAllLevels returns, for the given stream stats, the count the paper's
+// ITLB_MISS / DTLB_MISS metrics use: misses in all levels of the TLB
+// (i.e., page walks).
+func MissesAllLevels(s Stats) uint64 { return s.Walks }
+
+// L1Misses returns misses at the first level (STLB hits + walks).
+func L1Misses(s Stats) uint64 { return s.STLBHits + s.Walks }

@@ -1,0 +1,160 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func newSmall() *Hierarchy {
+	return New(
+		Config{Name: "ITLB", Entries: 8, Ways: 2},
+		Config{Name: "DTLB", Entries: 8, Ways: 2},
+		Config{Name: "STLB", Entries: 32, Ways: 4},
+		30,
+	)
+}
+
+func page(n uint64) uint64 { return n << PageBits }
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Name: "bad", Entries: 0, Ways: 1}).Validate(); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if err := (Config{Name: "bad", Entries: 6, Ways: 2}).Validate(); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	it, dt, st := WestmereConfig()
+	for _, c := range []Config{it, dt, st} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Westmere config %q invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestColdMissWalksAndFills(t *testing.T) {
+	h := newSmall()
+	r := h.TranslateD(page(5))
+	if r.L1Hit || r.STLBHit || r.WalkCycles != 30 {
+		t.Fatalf("cold translate = %+v, want walk of 30 cycles", r)
+	}
+	r = h.TranslateD(page(5))
+	if !r.L1Hit {
+		t.Fatalf("second translate = %+v, want L1 hit", r)
+	}
+	if h.DStats.Walks != 1 || h.DStats.L1Hits != 1 || h.DStats.WalkCycles != 30 {
+		t.Errorf("DStats = %+v", h.DStats)
+	}
+}
+
+func TestSamePageDifferentOffsets(t *testing.T) {
+	h := newSmall()
+	h.TranslateD(page(7))
+	if r := h.TranslateD(page(7) + 4095); !r.L1Hit {
+		t.Error("same-page access missed")
+	}
+	if r := h.TranslateD(page(8)); r.L1Hit {
+		t.Error("next-page access hit L1 cold")
+	}
+}
+
+func TestSTLBHitAfterL1Eviction(t *testing.T) {
+	h := newSmall()
+	// L1 DTLB: 4 sets × 2 ways. Pages 0, 4, 8 map to set 0.
+	h.TranslateD(page(0))
+	h.TranslateD(page(4))
+	h.TranslateD(page(8)) // evicts page 0 from L1 DTLB, but STLB (8 sets) holds it
+	r := h.TranslateD(page(0))
+	if !r.STLBHit {
+		t.Fatalf("translate after L1 eviction = %+v, want STLB hit", r)
+	}
+	if h.DStats.STLBHits != 1 {
+		t.Errorf("STLBHits = %d, want 1", h.DStats.STLBHits)
+	}
+}
+
+func TestInstructionAndDataSeparateL1(t *testing.T) {
+	h := newSmall()
+	h.TranslateI(page(3))
+	// Data stream should not see the ITLB entry at L1... but the STLB is
+	// shared, so it hits there.
+	r := h.TranslateD(page(3))
+	if r.L1Hit {
+		t.Error("DTLB hit on a page only the ITLB translated")
+	}
+	if !r.STLBHit {
+		t.Error("shared STLB should hold the page")
+	}
+	if h.IStats.Walks != 1 || h.DStats.STLBHits != 1 {
+		t.Errorf("IStats=%+v DStats=%+v", h.IStats, h.DStats)
+	}
+}
+
+func TestMissAccessorHelpers(t *testing.T) {
+	s := Stats{Accesses: 10, L1Hits: 6, STLBHits: 3, Walks: 1}
+	if MissesAllLevels(s) != 1 {
+		t.Errorf("MissesAllLevels = %d, want 1", MissesAllLevels(s))
+	}
+	if L1Misses(s) != 4 {
+		t.Errorf("L1Misses = %d, want 4", L1Misses(s))
+	}
+}
+
+// Property: accesses = L1 hits + STLB hits + walks.
+func TestQuickStatsConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := newSmall()
+		const n = 500
+		for i := 0; i < n; i++ {
+			p := page(uint64(r.Intn(100)))
+			if r.Bool(0.2) {
+				h.TranslateI(p)
+			} else {
+				h.TranslateD(p)
+			}
+		}
+		tot := func(s Stats) bool { return s.L1Hits+s.STLBHits+s.Walks == s.Accesses }
+		return tot(h.IStats) && tot(h.DStats) &&
+			h.IStats.Accesses+h.DStats.Accesses == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set within L1 capacity never walks after warmup.
+func TestQuickSmallWorkingSetNoWalks(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := newSmall() // L1 DTLB 8 entries, use 4 pages spread over sets
+		pages := []uint64{page(0), page(1), page(2), page(3)}
+		for _, p := range pages {
+			h.TranslateD(p)
+		}
+		walksAfterWarmup := h.DStats.Walks
+		for i := 0; i < 200; i++ {
+			h.TranslateD(pages[r.Intn(len(pages))])
+		}
+		return h.DStats.Walks == walksAfterWarmup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: walk cycles = walks × configured cost.
+func TestQuickWalkCycleAccounting(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := newSmall()
+		for i := 0; i < 300; i++ {
+			h.TranslateD(page(uint64(r.Intn(500))))
+		}
+		return h.DStats.WalkCycles == 30*h.DStats.Walks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

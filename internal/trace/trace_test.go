@@ -1,0 +1,405 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/machine"
+)
+
+// baseParams returns a valid parameter set for tests.
+func baseParams() Params {
+	return Params{
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.15, FPFrac: 0.02, SSEFrac: 0.03,
+		KernelFrac:     0.1,
+		UopsPerInstr:   1.5,
+		ComplexFrac:    0.1,
+		DepFrac:        0.3,
+		BranchEntropy:  0.2,
+		CodeFootprintB: 1 << 20, CodeJumpFrac: 0.1, CodeSkew: 0.5,
+		DataFootprintB: 8 << 20, DataSkew: 0.5, SeqFrac: 0.4,
+		SharedFrac: 0.05, SharedFootprintB: 1 << 20, SharedWriteFrac: 0.2,
+	}
+}
+
+func baseProfile() Profile {
+	return Profile{
+		Name:        "test",
+		Compute:     baseParams(),
+		Shuffle:     baseParams(),
+		ShuffleFrac: 0.25,
+		PhasePeriod: 1000,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := baseParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := baseParams()
+	bad.LoadFrac = 0.9 // mix sum > 1
+	if err := bad.Validate(); err == nil {
+		t.Error("mix sum > 1 accepted")
+	}
+	bad = baseParams()
+	bad.UopsPerInstr = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("UopsPerInstr < 1 accepted")
+	}
+	bad = baseParams()
+	bad.DataFootprintB = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero data footprint accepted")
+	}
+	bad = baseParams()
+	bad.SharedFrac = 0.1
+	bad.SharedFootprintB = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("shared traffic without footprint accepted")
+	}
+	bad = baseParams()
+	bad.DataSkew = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Error("DataSkew = 1 accepted")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	p := baseProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := baseProfile()
+	bad.ShuffleFrac = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("ShuffleFrac > 1 accepted")
+	}
+}
+
+func TestBlendEndpoints(t *testing.T) {
+	a, b := baseParams(), baseParams()
+	b.LoadFrac = 0.5
+	b.DataFootprintB = 64 << 20
+	if got := Blend(a, b, 0); got.LoadFrac != a.LoadFrac || got.DataFootprintB != a.DataFootprintB {
+		t.Errorf("Blend(w=0) != a: %+v", got)
+	}
+	got := Blend(a, b, 1)
+	if got.LoadFrac != b.LoadFrac {
+		t.Errorf("Blend(w=1).LoadFrac = %v, want %v", got.LoadFrac, b.LoadFrac)
+	}
+	// Geometric blending of footprints tolerates rounding.
+	if math.Abs(float64(got.DataFootprintB)-float64(b.DataFootprintB)) > 2 {
+		t.Errorf("Blend(w=1).DataFootprintB = %d, want %d", got.DataFootprintB, b.DataFootprintB)
+	}
+}
+
+func TestBlendMidpointIsBetween(t *testing.T) {
+	a, b := baseParams(), baseParams()
+	b.LoadFrac = 0.5
+	got := Blend(a, b, 0.5)
+	if got.LoadFrac <= a.LoadFrac || got.LoadFrac >= b.LoadFrac {
+		t.Errorf("midpoint LoadFrac = %v not in (%v,%v)", got.LoadFrac, a.LoadFrac, b.LoadFrac)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() []machine.Instr {
+		g, err := NewGenerator(baseProfile(), 42, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]machine.Instr, 500)
+		var in machine.Instr
+		for i := range out {
+			g.Next(&in)
+			out[i] = in
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs between identical generators", i)
+		}
+	}
+}
+
+func TestGeneratorCoresDiffer(t *testing.T) {
+	g0, _ := NewGenerator(baseProfile(), 42, 0, 2)
+	g1, _ := NewGenerator(baseProfile(), 42, 1, 2)
+	var a, b machine.Instr
+	same := 0
+	for i := 0; i < 100; i++ {
+		g0.Next(&a)
+		g1.Next(&b)
+		if a == b {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Errorf("different cores produced %d/100 identical instructions", same)
+	}
+}
+
+func TestMixFractionsRealized(t *testing.T) {
+	prof := baseProfile()
+	prof.ShuffleFrac = 0 // single phase for clean statistics
+	g, err := NewGenerator(prof, 7, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	counts := map[machine.Kind]int{}
+	var in machine.Instr
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		counts[in.Kind]++
+	}
+	// Loads can convert to stores in the shared region; allow slack.
+	loadFrac := float64(counts[machine.KindLoad]) / n
+	if math.Abs(loadFrac-0.3) > 0.03 {
+		t.Errorf("load fraction = %v, want ≈0.3", loadFrac)
+	}
+	branchFrac := float64(counts[machine.KindBranch]) / n
+	if math.Abs(branchFrac-0.15) > 0.02 {
+		t.Errorf("branch fraction = %v, want ≈0.15", branchFrac)
+	}
+}
+
+func TestKernelFractionRealized(t *testing.T) {
+	prof := baseProfile()
+	prof.ShuffleFrac = 0
+	prof.Compute.KernelFrac = 0.2
+	g, _ := NewGenerator(prof, 8, 0, 1)
+	const n = 300000
+	kernel := 0
+	var in machine.Instr
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		if in.Kernel {
+			kernel++
+		}
+	}
+	frac := float64(kernel) / n
+	if math.Abs(frac-0.2) > 0.06 {
+		t.Errorf("kernel fraction = %v, want ≈0.2", frac)
+	}
+}
+
+func TestAddressesStayInRegions(t *testing.T) {
+	prof := baseProfile()
+	g, _ := NewGenerator(prof, 9, 2, 4)
+	var in machine.Instr
+	for i := 0; i < 50000; i++ {
+		g.Next(&in)
+		if in.Kind == machine.KindLoad || in.Kind == machine.KindStore {
+			a := in.Addr
+			perCore := prof.Compute.DataFootprintB / 4
+			if perCore < 256<<10 {
+				perCore = 256 << 10
+			}
+			private := a >= privateRegion(2) && a < privateRegion(2)+perCore
+			shared := a >= sharedBase && a < sharedBase+prof.Compute.SharedFootprintB
+			kernelEnd := uint64(kernelDataBase) + kernelDataShared + 4*kernelDataPerCore
+			kernel := a >= kernelDataBase && a < kernelEnd
+			if !private && !shared && !kernel {
+				t.Fatalf("data address %#x outside all regions", a)
+			}
+		}
+		if in.Kernel {
+			if in.PC < kernelCodeBase || in.PC >= kernelCodeBase+kernelCodeFootprint {
+				t.Fatalf("kernel PC %#x outside kernel text", in.PC)
+			}
+		} else if in.PC < userCodeBase || in.PC >= userCodeBase+prof.Compute.CodeFootprintB+4 {
+			t.Fatalf("user PC %#x outside user text", in.PC)
+		}
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	for c := 0; c < 12; c++ {
+		lo, hi := privateRegion(c), privateRegion(c)+privateStride
+		next := privateRegion(c + 1)
+		if next < hi || lo >= next {
+			t.Fatalf("core %d region [%#x,%#x) overlaps core %d at %#x", c, lo, hi, c+1, next)
+		}
+	}
+}
+
+func TestSkewConcentratesAccesses(t *testing.T) {
+	prof := baseProfile()
+	prof.ShuffleFrac = 0
+	prof.Compute.SeqFrac = 0
+	prof.Compute.SharedFrac = 0
+	prof.Compute.KernelFrac = 0
+	prof.Compute.DataSkew = 0.8
+	g, _ := NewGenerator(prof, 10, 0, 1)
+	base := privateRegion(0)
+	size := prof.Compute.DataFootprintB
+	// The hot region is footprint/4 clamped to [64 KB, 2 MB].
+	hot := size / 4
+	if hot > 2<<20 {
+		hot = 2 << 20
+	}
+	inHot := 0
+	total := 0
+	var in machine.Instr
+	for i := 0; i < 100000; i++ {
+		g.Next(&in)
+		if in.Kind != machine.KindLoad && in.Kind != machine.KindStore {
+			continue
+		}
+		total++
+		if in.Addr-base < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(total)
+	// skew 0.8 → 80% hot + uniform spillover.
+	if frac < 0.7 {
+		t.Errorf("skew 0.8: only %v of accesses in hot region, want > 0.7", frac)
+	}
+}
+
+func TestZeroSkewIsUniform(t *testing.T) {
+	prof := baseProfile()
+	prof.ShuffleFrac = 0
+	prof.Compute.SeqFrac = 0
+	prof.Compute.SharedFrac = 0
+	prof.Compute.KernelFrac = 0
+	prof.Compute.DataSkew = 0
+	g, _ := NewGenerator(prof, 11, 0, 1)
+	base := privateRegion(0)
+	size := prof.Compute.DataFootprintB
+	inFirstTenth, total := 0, 0
+	var in machine.Instr
+	for i := 0; i < 100000; i++ {
+		g.Next(&in)
+		if in.Kind != machine.KindLoad && in.Kind != machine.KindStore {
+			continue
+		}
+		total++
+		if in.Addr-base < size/10 {
+			inFirstTenth++
+		}
+	}
+	frac := float64(inFirstTenth) / float64(total)
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Errorf("skew 0: %v of accesses in first tenth, want ≈0.1", frac)
+	}
+}
+
+func TestSharedTrafficAppears(t *testing.T) {
+	prof := baseProfile()
+	prof.ShuffleFrac = 0
+	prof.Compute.SharedFrac = 0.5
+	prof.Compute.KernelFrac = 0
+	g, _ := NewGenerator(prof, 12, 0, 1)
+	shared, total := 0, 0
+	var in machine.Instr
+	for i := 0; i < 50000; i++ {
+		g.Next(&in)
+		if in.Kind != machine.KindLoad && in.Kind != machine.KindStore {
+			continue
+		}
+		total++
+		if in.Addr >= sharedBase && in.Addr < sharedBase+prof.Compute.SharedFootprintB {
+			shared++
+		}
+	}
+	frac := float64(shared) / float64(total)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("shared fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestUopsMeanRealized(t *testing.T) {
+	prof := baseProfile()
+	prof.ShuffleFrac = 0
+	prof.Compute.KernelFrac = 0
+	prof.Compute.UopsPerInstr = 2.0
+	g, _ := NewGenerator(prof, 13, 0, 1)
+	var in machine.Instr
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		sum += float64(in.Uops)
+	}
+	if mean := sum / n; math.Abs(mean-2.0) > 0.1 {
+		t.Errorf("mean uops = %v, want ≈2.0", mean)
+	}
+}
+
+func TestSourcesBuildsPerCore(t *testing.T) {
+	srcs, err := Sources(baseProfile(), 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 12 {
+		t.Fatalf("Sources returned %d, want 12", len(srcs))
+	}
+	var in machine.Instr
+	if !srcs[0].Next(&in) {
+		t.Error("source exhausted immediately")
+	}
+}
+
+func TestSourcesRejectsInvalidProfile(t *testing.T) {
+	bad := baseProfile()
+	bad.Compute.UopsPerInstr = 99
+	if _, err := Sources(bad, 1, 2); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+// Property: Blend output of two valid parameter sets is valid for any
+// weight.
+func TestQuickBlendValid(t *testing.T) {
+	f := func(w float64) bool {
+		w = math.Mod(math.Abs(w), 1)
+		a := baseParams()
+		b := baseParams()
+		b.LoadFrac, b.StoreFrac = 0.4, 0.2
+		b.DataFootprintB = 256 << 20
+		b.UopsPerInstr = 3
+		return Blend(a, b, w).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated instructions are always well-formed (uops ≥ 1,
+// loads/stores carry addresses, branches never carry data addresses).
+func TestQuickInstructionsWellFormed(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := NewGenerator(baseProfile(), seed, int(seed%8), 8)
+		if err != nil {
+			return false
+		}
+		var in machine.Instr
+		for i := 0; i < 2000; i++ {
+			g.Next(&in)
+			if in.Uops < 1 || in.Uops > 4 {
+				return false
+			}
+			switch in.Kind {
+			case machine.KindLoad, machine.KindStore:
+				if in.Addr == 0 {
+					return false
+				}
+			case machine.KindBranch:
+				if in.Addr != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
