@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/benchio"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+)
+
+// The end-to-end pipeline benchmarks (EXPERIMENTS.md §3) time core.Run —
+// characterization grid + PCA + hierarchical clustering + BIC-driven
+// K-means + representative selection — at the harness scale, once with
+// all parallelism disabled and once with the worker pools at GOMAXPROCS.
+// When both variants have run, the pair is written to BENCH_pipeline.json
+// (via internal/benchio, shared with cmd/bdbench -bench) so the perf
+// trajectory is tracked across PRs:
+//
+//	go test -bench 'BenchmarkPipeline' -benchtime 3x
+//
+// The two variants are asserted to produce identical analyses: the same
+// seeds must yield the same output at any Parallelism setting.
+
+var (
+	pipelineMu      sync.Mutex
+	pipelineResults = map[string]benchio.Variant{}
+)
+
+const pipelineBenchScale = "2 nodes, 12000 instr/core, 60 slices"
+
+// runPipelineBench times core.Run with the given parallelism and records
+// the result under name.
+func runPipelineBench(b *testing.B, name string, par int) {
+	ccfg := benchClusterConfig()
+	ccfg.Parallelism = par
+	acfg := core.DefaultAnalysis()
+	acfg.Parallelism = par
+
+	var an *core.Analysis
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		an, err = core.Run(workloads.DefaultConfig(), ccfg, acfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	pipelineMu.Lock()
+	defer pipelineMu.Unlock()
+	pipelineResults[name] = benchio.Variant{
+		SecondsPerOp: b.Elapsed().Seconds() / float64(b.N),
+		Iterations:   b.N,
+		Parallelism:  par,
+		BestK:        an.KBest.K,
+		Subset:       an.SubsetNames(),
+	}
+	seq, okSeq := pipelineResults["sequential"]
+	parRes, okPar := pipelineResults["parallel"]
+	if okSeq && okPar {
+		if err := benchio.Write(
+			"core.Run end-to-end (characterize 32 workloads + analyze)",
+			pipelineBenchScale, seq, parRes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_Sequential is the full paper pipeline with every
+// worker pool limited to one goroutine — the baseline the parallel
+// variant is compared against.
+func BenchmarkPipeline_Sequential(b *testing.B) {
+	runPipelineBench(b, "sequential", 1)
+}
+
+// BenchmarkPipeline_Parallel is the full paper pipeline with the
+// flattened characterization grid and analysis stage running at
+// GOMAXPROCS workers.
+func BenchmarkPipeline_Parallel(b *testing.B) {
+	runPipelineBench(b, "parallel", runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkCharacterizeGrid isolates the measurement-grid stage (no
+// analysis) at GOMAXPROCS — the dominant cost of the pipeline.
+func BenchmarkCharacterizeGrid(b *testing.B) {
+	ccfg := benchClusterConfig()
+	ccfg.Parallelism = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Characterize(workloads.DefaultConfig(), ccfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -33,7 +33,6 @@ import (
 	"repro/internal/bigdata/workloads"
 	"repro/internal/cluster/hier"
 	"repro/internal/core"
-	"repro/internal/num/mat"
 	"repro/internal/num/pca"
 	"repro/internal/perf"
 	"repro/internal/report"
@@ -480,5 +479,3 @@ func BenchmarkHierarchicalClustering(b *testing.B) {
 		}
 	}
 }
-
-var _ = mat.Dense{} // keep the mat import for the matrix-based benches

@@ -6,15 +6,23 @@
 //
 //	bdbench [-out metrics.csv] [-workloads H-Sort,S-Sort] [-nodes 4]
 //	        [-instructions 60000] [-scale 4096] [-seed 20140901]
-//	        [-runs 1] [-no-multiplex] [-jitter 0.06]
+//	        [-runs 1] [-no-multiplex] [-jitter 0.06] [-parallelism 0]
+//
+// With -bench, bdbench instead times the full pipeline (characterize +
+// analyze) once sequentially and once with parallel worker pools, checks
+// both produce the identical analysis, and writes the comparison to
+// BENCH_pipeline.json (see EXPERIMENTS.md §3).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/benchio"
 	"repro/internal/bigdata/cluster"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
@@ -36,8 +44,12 @@ func run() error {
 		scale       = flag.Float64("scale", 4096, "divisor applied to the paper's dataset sizes")
 		seed        = flag.Uint64("seed", 20140901, "seed for all stochastic components")
 		runs        = flag.Int("runs", 1, "measurement repetitions to average")
+		slices      = flag.Int("slices", 0, "PMC scheduling slices per run (0 = default)")
 		noMultiplex = flag.Bool("no-multiplex", false, "disable PMC time multiplexing (exact counts)")
 		jitter      = flag.Float64("jitter", 0.06, "node/run execution variation sigma")
+		par         = flag.Int("parallelism", 0, "bound on concurrent node simulations (0 = GOMAXPROCS)")
+		bench       = flag.Bool("bench", false, "time the end-to-end pipeline (sequential vs parallel) and write BENCH_pipeline.json")
+		benchReps   = flag.Int("bench-reps", 1, "pipeline repetitions per -bench variant")
 	)
 	flag.Parse()
 
@@ -65,6 +77,14 @@ func run() error {
 	ccfg.Runs = *runs
 	ccfg.ExecutionJitter = *jitter
 	ccfg.Monitor.Multiplex = !*noMultiplex
+	ccfg.Parallelism = *par
+	if *slices > 0 {
+		ccfg.Slices = *slices
+	}
+
+	if *bench {
+		return runPipelineBench(suite, ccfg, *benchReps)
+	}
 
 	fmt.Fprintf(os.Stderr, "characterizing %d workloads on %d nodes (%d instr/core, %d run(s))...\n",
 		len(suite), *nodes, *instr, *runs)
@@ -83,4 +103,61 @@ func run() error {
 		w = f
 	}
 	return ds.WriteCSV(w)
+}
+
+// runPipelineBench times the end-to-end pipeline on the given suite, once
+// with Parallelism=1 and once at GOMAXPROCS, verifies both runs produce
+// the identical analysis, and writes BENCH_pipeline.json via the shared
+// internal/benchio emitter.
+func runPipelineBench(suite []workloads.Workload, ccfg cluster.Config, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	variants := []struct {
+		name string
+		par  int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	}
+	results := map[string]benchio.Variant{}
+	for _, v := range variants {
+		c := ccfg
+		c.Parallelism = v.par
+		acfg := core.DefaultAnalysis()
+		acfg.Parallelism = v.par
+		fmt.Fprintf(os.Stderr, "bench %s: %d workloads × %d nodes × %d run(s), parallelism %d, %d rep(s)...\n",
+			v.name, len(suite), c.SlaveNodes, c.Runs, v.par, reps)
+		var an *core.Analysis
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			ds, err := core.CharacterizeSuite(suite, c)
+			if err != nil {
+				return err
+			}
+			an, err = core.Analyze(ds, acfg)
+			if err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		results[v.name] = benchio.Variant{
+			SecondsPerOp: elapsed.Seconds() / float64(reps),
+			Iterations:   reps,
+			Parallelism:  v.par,
+			BestK:        an.KBest.K,
+			Subset:       an.SubsetNames(),
+		}
+	}
+
+	seq, par := results["sequential"], results["parallel"]
+	if err := benchio.Write(
+		fmt.Sprintf("core pipeline end-to-end (%d workloads)", len(suite)),
+		fmt.Sprintf("%d nodes, %d instr/core, %d slices", ccfg.SlaveNodes, ccfg.InstructionsPerCore, ccfg.Slices),
+		seq, par); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sequential %.3fs parallel %.3fs speedup %.2fx → BENCH_pipeline.json\n",
+		seq.SecondsPerOp, par.SecondsPerOp, seq.SecondsPerOp/par.SecondsPerOp)
+	return nil
 }

@@ -1,0 +1,75 @@
+// Package benchio is the shared emitter for the end-to-end pipeline
+// benchmark artifact (BENCH_pipeline.json), used by both the go-test
+// harness (bench_pipeline_test.go) and cmd/bdbench -bench so the schema
+// and the sequential/parallel divergence check cannot drift apart.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Variant is one timed pipeline configuration.
+type Variant struct {
+	SecondsPerOp float64 `json:"seconds_per_op"`
+	Iterations   int     `json:"iterations"`
+	Parallelism  int     `json:"parallelism"`
+	BestK        int     `json:"best_k"`
+	// Subset is the representative workload set the variant produced;
+	// used for the divergence check, not serialized.
+	Subset []string `json:"-"`
+}
+
+// Report is the BENCH_pipeline.json schema.
+type Report struct {
+	Benchmark  string             `json:"benchmark"`
+	Scale      string             `json:"scale"`
+	GOOS       string             `json:"goos"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    map[string]Variant `json:"results"`
+	Speedup    float64            `json:"speedup"`
+	Identical  bool               `json:"identical_output"`
+}
+
+// Identical reports whether the two variants produced the same analysis
+// (same chosen K and the same representative subset, element-wise).
+func Identical(seq, par Variant) bool {
+	if seq.BestK != par.BestK || len(seq.Subset) != len(par.Subset) {
+		return false
+	}
+	for i, n := range seq.Subset {
+		if par.Subset[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Write checks the sequential/parallel pair for divergence and writes
+// BENCH_pipeline.json (in the current working directory). A divergence is
+// an error: identical seeds must yield identical output at any
+// Parallelism.
+func Write(benchmark, scale string, seq, par Variant) error {
+	if !Identical(seq, par) {
+		return fmt.Errorf("benchio: sequential and parallel pipelines diverged: K %d vs %d, subsets %v vs %v",
+			seq.BestK, par.BestK, seq.Subset, par.Subset)
+	}
+	rep := Report{
+		Benchmark:  benchmark,
+		Scale:      scale,
+		GOOS:       runtime.GOOS,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    map[string]Variant{"sequential": seq, "parallel": par},
+		Speedup:    seq.SecondsPerOp / par.SecondsPerOp,
+		Identical:  true,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644)
+}

@@ -93,55 +93,94 @@ type Measurement struct {
 	PerNode [][]float64
 }
 
+// nodeWorker bundles the per-worker simulation state that is reused
+// across node-runs: one machine (caches, TLBs, predictors — by far the
+// largest allocation of the hot path) and one snapshot buffer.
+type nodeWorker struct {
+	m   *machine.Machine
+	res machine.RunResult
+}
+
+func newNodeWorker(cfg Config) (*nodeWorker, error) {
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return &nodeWorker{m: m}, nil
+}
+
+// runNode simulates one (workload, run, node) cell of the measurement
+// grid and returns its 45-metric vector. The per-cell seed depends only
+// on (workload, run, node) and cfg.Seed, so every execution order —
+// sequential, workload-parallel or fully flattened — produces
+// bit-identical results.
+func (nw *nodeWorker) runNode(w workloads.Workload, cfg Config, run, node int) ([]float64, error) {
+	seed := cfg.Seed ^
+		(uint64(node)+1)*0x9E3779B97F4A7C15 ^
+		(uint64(run)+1)*0xC2B2AE3D27D4EB4F ^
+		hash(w.Name)
+	prof := jitterProfile(w.Profile, cfg.ExecutionJitter, rng.New(seed^0xD1B54A32D192ED03))
+	sources, err := trace.Sources(prof, seed, cfg.Machine.Cores())
+	if err != nil {
+		return nil, err
+	}
+	nw.m.Reset()
+	if err := nw.m.RunInto(&nw.res, sources, cfg.InstructionsPerCore, cfg.Slices); err != nil {
+		return nil, err
+	}
+	counts, err := perf.Measure(nw.res.Snapshots, cfg.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	return perf.MetricVector(&counts), nil
+}
+
+// reduce folds the per-cell metric vectors of one workload (indexed
+// [run][node]) into a Measurement, averaging nodes within each run and
+// then runs — exactly the sequential path's arithmetic.
+func reduce(w workloads.Workload, cells [][][]float64) *Measurement {
+	runVectors := make([][]float64, len(cells))
+	for run, perNode := range cells {
+		runVectors[run] = perf.AverageVectors(perNode)
+	}
+	return &Measurement{
+		Workload: w,
+		Metrics:  perf.AverageVectors(runVectors),
+		PerNode:  cells[len(cells)-1],
+	}
+}
+
 // RunWorkload executes one workload across the slave nodes and returns
 // its measurement.
 func RunWorkload(w workloads.Workload, cfg Config) (*Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cores := cfg.Machine.Cores()
-	var runVectors [][]float64
-	var lastPerNode [][]float64
-
-	for run := 0; run < cfg.Runs; run++ {
-		perNode := make([][]float64, 0, cfg.SlaveNodes)
-		for node := 0; node < cfg.SlaveNodes; node++ {
-			m, err := machine.New(cfg.Machine)
-			if err != nil {
-				return nil, err
-			}
-			seed := cfg.Seed ^
-				(uint64(node)+1)*0x9E3779B97F4A7C15 ^
-				(uint64(run)+1)*0xC2B2AE3D27D4EB4F ^
-				hash(w.Name)
-			prof := jitterProfile(w.Profile, cfg.ExecutionJitter, rng.New(seed^0xD1B54A32D192ED03))
-			sources, err := trace.Sources(prof, seed, cores)
-			if err != nil {
-				return nil, err
-			}
-			res, err := m.Run(sources, cfg.InstructionsPerCore, cfg.Slices)
-			if err != nil {
-				return nil, err
-			}
-			counts, err := perf.Measure(res.Snapshots, cfg.Monitor)
-			if err != nil {
-				return nil, err
-			}
-			perNode = append(perNode, perf.MetricVector(&counts))
-		}
-		runVectors = append(runVectors, perf.AverageVectors(perNode))
-		lastPerNode = perNode
+	nw, err := newNodeWorker(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return &Measurement{
-		Workload: w,
-		Metrics:  perf.AverageVectors(runVectors),
-		PerNode:  lastPerNode,
-	}, nil
+	cells := make([][][]float64, cfg.Runs)
+	for run := 0; run < cfg.Runs; run++ {
+		cells[run] = make([][]float64, cfg.SlaveNodes)
+		for node := 0; node < cfg.SlaveNodes; node++ {
+			v, err := nw.runNode(w, cfg, run, node)
+			if err != nil {
+				return nil, err
+			}
+			cells[run][node] = v
+		}
+	}
+	return reduce(w, cells), nil
 }
 
-// Characterize measures every workload in the suite, in parallel across
-// workloads (each node simulation itself is single-threaded and
-// deterministic). The result order matches the suite order.
+// Characterize measures every workload in the suite. The full
+// workload×run×node measurement grid is flattened into one work queue and
+// executed by a bounded pool of Config.Parallelism workers (0 =
+// GOMAXPROCS), each owning a single reusable machine. Per-cell seeds are
+// pure functions of (workload, run, node), so the result is bit-identical
+// to the sequential path at any parallelism. The result order matches the
+// suite order.
 func Characterize(suite []workloads.Workload, cfg Config) ([]*Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -149,32 +188,82 @@ func Characterize(suite []workloads.Workload, cfg Config) ([]*Measurement, error
 	if len(suite) == 0 {
 		return nil, fmt.Errorf("cluster: empty suite")
 	}
+
+	type task struct{ wi, run, node int }
+	ntasks := len(suite) * cfg.Runs * cfg.SlaveNodes
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > len(suite) {
-		par = len(suite)
+	if par > ntasks {
+		par = ntasks
 	}
 
-	results := make([]*Measurement, len(suite))
-	errs := make([]error, len(suite))
+	// cells[wi][run][node] is one grid cell's metric vector; each task
+	// writes its own cell, so no locking is needed.
+	cells := make([][][][]float64, len(suite))
+	for wi := range suite {
+		cells[wi] = make([][][]float64, cfg.Runs)
+		for run := 0; run < cfg.Runs; run++ {
+			cells[wi][run] = make([][]float64, cfg.SlaveNodes)
+		}
+	}
+
+	type flatTask struct {
+		task
+		ti int // flat task index
+	}
+	tasks := make(chan flatTask, ntasks)
+	ti := 0
+	for wi := range suite {
+		for run := 0; run < cfg.Runs; run++ {
+			for node := 0; node < cfg.SlaveNodes; node++ {
+				tasks <- flatTask{task{wi, run, node}, ti}
+				ti++
+			}
+		}
+	}
+	close(tasks)
+
+	// errs is indexed by flat task index: every slot has exactly one
+	// writer (the worker that consumed that task), so no locking is
+	// needed and the first failure in task order is reported
+	// deterministically.
+	errs := make([]error, ntasks)
+	taskWorkload := make([]int, ntasks)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i, w := range suite {
+	for i := 0; i < par; i++ {
 		wg.Add(1)
-		go func(i int, w workloads.Workload) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = RunWorkload(w, cfg)
-		}(i, w)
+			nw, werr := newNodeWorker(cfg)
+			for t := range tasks {
+				taskWorkload[t.ti] = t.wi
+				if werr != nil {
+					// Worker never got a machine (machine.New rejected the
+					// config): mark every task this worker drains.
+					errs[t.ti] = werr
+					continue
+				}
+				v, err := nw.runNode(suite[t.wi], cfg, t.run, t.node)
+				if err != nil {
+					errs[t.ti] = err
+					continue
+				}
+				cells[t.wi][t.run][t.node] = v
+			}
+		}()
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("cluster: workload %s: %w", suite[i].Name, err)
+			return nil, fmt.Errorf("cluster: workload %s: %w", suite[taskWorkload[i]].Name, err)
 		}
+	}
+
+	results := make([]*Measurement, len(suite))
+	for wi, w := range suite {
+		results[wi] = reduce(w, cells[wi])
 	}
 	return results, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bigdata/workloads"
@@ -141,6 +142,65 @@ func TestCharacterizeOrderAndParallelism(t *testing.T) {
 		if ms[0].Metrics[i] != serial.Metrics[i] {
 			t.Fatal("parallel characterization diverged from serial run")
 		}
+	}
+}
+
+func TestCharacterizeParallelismDeterminism(t *testing.T) {
+	ws := twoWorkloads(t)
+	cfg := fastConfig()
+	cfg.Runs = 2 // exercise the full workload×run×node grid
+	cfg.Parallelism = 1
+	want, err := Characterize(ws, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 16} {
+		cfg.Parallelism = par
+		got, err := Characterize(ws, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wi := range want {
+			if !reflect.DeepEqual(got[wi].Metrics, want[wi].Metrics) {
+				t.Fatalf("Parallelism=%d: workload %s Metrics diverged from sequential",
+					par, want[wi].Workload.Name)
+			}
+			if !reflect.DeepEqual(got[wi].PerNode, want[wi].PerNode) {
+				t.Fatalf("Parallelism=%d: workload %s PerNode diverged from sequential",
+					par, want[wi].Workload.Name)
+			}
+		}
+	}
+}
+
+// TestMachineReuseMatchesFresh guards the worker-pool optimization: a
+// reset machine must measure exactly like a freshly allocated one.
+func TestMachineReuseMatchesFresh(t *testing.T) {
+	ws := twoWorkloads(t)
+	cfg := fastConfig()
+	nw, err := newNodeWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the worker with one run, then re-measure and compare against
+	// a brand-new worker.
+	if _, err := nw.runNode(ws[1], cfg, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	reused, err := nw.runNode(ws[0], cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := newNodeWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := fresh.runNode(ws[0], cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reused, direct) {
+		t.Fatal("reused machine produced different metrics than a fresh one")
 	}
 }
 

@@ -59,109 +59,182 @@ type Dendrogram struct {
 	Labels []string // optional, len N when set
 }
 
+// condensed is a flat upper-triangular pairwise distance store over n
+// items: entry (i,j), i<j, lives at row-major triangular offset. It holds
+// half the memory of a full matrix and is cache-friendlier to scan.
+type condensed struct {
+	n int
+	d []float64
+}
+
+func newCondensed(n int) *condensed {
+	return &condensed{n: n, d: make([]float64, n*(n-1)/2)}
+}
+
+func (c *condensed) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Row i starts after rows 0..i-1, which hold (n-1)+(n-2)+...+(n-i)
+	// entries.
+	return i*(c.n-1) - i*(i-1)/2 + (j - i - 1)
+}
+
+func (c *condensed) at(i, j int) float64     { return c.d[c.idx(i, j)] }
+func (c *condensed) set(i, j int, v float64) { c.d[c.idx(i, j)] = v }
+
 // Cluster performs agglomerative clustering of the rows of points using
-// Euclidean distance and the given linkage. Ties in minimum distance are
-// broken by the smaller cluster-ID pair, making results deterministic.
+// Euclidean distance and the given linkage, via the nearest-neighbor-chain
+// algorithm over a condensed triangular distance store: O(n²) time and
+// n(n-1)/2 distance entries, versus the O(n³)/full-matrix naive scan. All
+// four linkages are Lance–Williams reducible, so the chain's local merges
+// produce the same dendrogram as the global greedy algorithm whenever
+// pairwise minimum distances are distinct; merges are re-sorted into
+// nondecreasing distance order and relabeled afterwards so cluster IDs
+// match the greedy numbering. Results are fully deterministic (nearest-
+// neighbor ties prefer the chain predecessor, then the smallest index),
+// but when distinct merges share exactly equal distances the chain may
+// legally emit them in a different order than the greedy scan's
+// smallest-index-pair rule — both are valid dendrograms of the same
+// heights.
 func Cluster(points *mat.Dense, linkage Linkage) (*Dendrogram, error) {
 	n, _ := points.Dims()
 	if n < 2 {
 		return nil, fmt.Errorf("hier: need at least 2 points, got %d", n)
 	}
+	switch linkage {
+	case Single, Complete, Average, Ward:
+	default:
+		return nil, fmt.Errorf("hier: unknown linkage %v", linkage)
+	}
 
-	// Pairwise distance matrix between active clusters, indexed by
-	// cluster slot. Slot i initially holds leaf i. Lance–Williams updates
-	// keep it consistent after merges.
-	type slot struct {
-		id   int // cluster ID (leaf or internal)
-		size int
-		live bool
-	}
-	slots := make([]slot, n)
-	for i := range slots {
-		slots[i] = slot{id: i, size: 1, live: true}
-	}
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-	}
+	dist := newCondensed(n)
 	for i := 0; i < n; i++ {
+		ri := points.Row(i)
 		for j := i + 1; j < n; j++ {
-			d := mat.Distance(points.Row(i), points.Row(j))
+			d := mat.Distance(ri, points.Row(j))
 			if linkage == Ward {
 				// Ward works on squared distances internally; we convert
 				// back when reporting so all linkages share units.
 				d = d * d
 			}
-			dist[i][j] = d
-			dist[j][i] = d
+			dist.set(i, j, d)
 		}
 	}
 
-	dend := &Dendrogram{N: n, Merges: make([]Merge, 0, n-1)}
-	nextID := n
+	// A cluster is identified by its smallest leaf index; merging a<b
+	// stores the union at a. size/active are indexed the same way.
+	size := make([]int, n)
+	active := make([]bool, n)
+	for i := range size {
+		size[i] = 1
+		active[i] = true
+	}
 
-	for step := 0; step < n-1; step++ {
-		// Find the closest live pair.
-		bi, bj, best := -1, -1, math.Inf(1)
-		for i := 0; i < n; i++ {
-			if !slots[i].live {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if !slots[j].live {
-					continue
+	type rawMerge struct {
+		a, b int // cluster representatives, a < b
+		d    float64
+	}
+	raw := make([]rawMerge, 0, n-1)
+	chain := make([]int, 0, n)
+	remaining := n
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
 				}
-				if dist[i][j] < best {
-					best = dist[i][j]
-					bi, bj = i, j
-				}
 			}
 		}
-		if bi < 0 {
-			return nil, fmt.Errorf("hier: internal error: no live pair at step %d", step)
+		a := chain[len(chain)-1]
+		prev := -1
+		if len(chain) >= 2 {
+			prev = chain[len(chain)-2]
 		}
-
-		si, sj := slots[bi].size, slots[bj].size
-		reported := best
-		if linkage == Ward {
-			reported = math.Sqrt(best)
-		}
-		dend.Merges = append(dend.Merges, Merge{
-			A:        slots[bi].id,
-			B:        slots[bj].id,
-			Distance: reported,
-			Size:     si + sj,
-		})
-
-		// Lance–Williams update of distances from the merged cluster
-		// (stored in slot bi) to every other live slot.
+		// Nearest active neighbor of a; ties prefer the chain predecessor
+		// (required for termination), then the smallest index.
+		b, best := -1, math.Inf(1)
 		for k := 0; k < n; k++ {
-			if !slots[k].live || k == bi || k == bj {
+			if !active[k] || k == a {
 				continue
 			}
-			dik, djk := dist[bi][k], dist[bj][k]
+			if d := dist.at(a, k); d < best {
+				best = d
+				b = k
+			}
+		}
+		if prev >= 0 && dist.at(a, prev) == best {
+			b = prev
+		}
+		if b != prev {
+			chain = append(chain, b)
+			continue
+		}
+
+		// a and b are reciprocal nearest neighbors: merge them.
+		x, y := a, b
+		if x > y {
+			x, y = y, x
+		}
+		raw = append(raw, rawMerge{a: x, b: y, d: best})
+		sx, sy := size[x], size[y]
+		for k := 0; k < n; k++ {
+			if !active[k] || k == x || k == y {
+				continue
+			}
+			dxk, dyk := dist.at(x, k), dist.at(y, k)
 			var d float64
 			switch linkage {
 			case Single:
-				d = math.Min(dik, djk)
+				d = math.Min(dxk, dyk)
 			case Complete:
-				d = math.Max(dik, djk)
+				d = math.Max(dxk, dyk)
 			case Average:
-				d = (float64(si)*dik + float64(sj)*djk) / float64(si+sj)
+				d = (float64(sx)*dxk + float64(sy)*dyk) / float64(sx+sy)
 			case Ward:
-				sk := float64(slots[k].size)
-				tot := float64(si+sj) + sk
-				d = ((float64(si)+sk)*dik + (float64(sj)+sk)*djk - sk*best) / tot
-			default:
-				return nil, fmt.Errorf("hier: unknown linkage %v", linkage)
+				sk := float64(size[k])
+				tot := float64(sx+sy) + sk
+				d = ((float64(sx)+sk)*dxk + (float64(sy)+sk)*dyk - sk*best) / tot
 			}
-			dist[bi][k] = d
-			dist[k][bi] = d
+			dist.set(x, k, d)
 		}
-		slots[bi].id = nextID
-		slots[bi].size = si + sj
-		slots[bj].live = false
-		nextID++
+		size[x] = sx + sy
+		active[y] = false
+		remaining--
+		chain = chain[:len(chain)-2]
+	}
+
+	// The chain emits merges out of distance order (it follows local
+	// reciprocal pairs, not the global minimum). Reducibility guarantees
+	// every child merge has distance ≤ its parent's, so a stable sort by
+	// distance yields a valid greedy-order history; relabel cluster IDs to
+	// match (merge i creates cluster n+i, child A has the smaller minimum
+	// leaf).
+	sort.SliceStable(raw, func(i, j int) bool { return raw[i].d < raw[j].d })
+
+	dend := &Dendrogram{N: n, Merges: make([]Merge, 0, n-1)}
+	id := make([]int, n) // current dendrogram ID of the cluster rooted at each representative
+	csize := make([]int, n)
+	for i := range id {
+		id[i] = i
+		csize[i] = 1
+	}
+	for i, rm := range raw {
+		reported := rm.d
+		if linkage == Ward {
+			reported = math.Sqrt(reported)
+		}
+		sz := csize[rm.a] + csize[rm.b]
+		dend.Merges = append(dend.Merges, Merge{
+			A:        id[rm.a],
+			B:        id[rm.b],
+			Distance: reported,
+			Size:     sz,
+		})
+		id[rm.a] = n + i
+		csize[rm.a] = sz
 	}
 	return dend, nil
 }

@@ -6,6 +6,8 @@ package kmeans
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/num/mat"
 	"repro/internal/rng"
@@ -27,6 +29,12 @@ type Config struct {
 	MaxIterations int    // Lloyd iteration cap (default 100)
 	Restarts      int    // independent seedings, best inertia wins (default 8)
 	Seed          uint64 // RNG seed for k-means++ (deterministic)
+	// Parallelism bounds concurrent restarts in Run and concurrent K
+	// values in BestK (0 = GOMAXPROCS). Results are identical at every
+	// setting: each restart has its own seed-derived RNG and the winner is
+	// picked deterministically (lowest inertia, ties broken by the lowest
+	// restart index / lowest K).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -39,10 +47,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Run clusters the rows of points into k clusters. It is deterministic for
-// a fixed Config.Seed.
+// parallelism resolves a Parallelism setting against GOMAXPROCS and an
+// upper bound on useful workers.
+func parallelism(p, bound int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > bound {
+		p = bound
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Run clusters the rows of points into k clusters. Restarts execute
+// concurrently (bounded by Config.Parallelism), each with its own
+// seed-derived RNG; the winner is the lowest inertia with ties broken by
+// the lowest restart index, so the result is deterministic for a fixed
+// Config.Seed at any parallelism.
 func Run(points *mat.Dense, k int, cfg Config) (*Result, error) {
-	n, d := points.Dims()
+	n, _ := points.Dims()
 	if k < 1 {
 		return nil, fmt.Errorf("kmeans: k=%d must be ≥ 1", k)
 	}
@@ -51,37 +77,69 @@ func Run(points *mat.Dense, k int, cfg Config) (*Result, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	var best *Result
-	for r := 0; r < cfg.Restarts; r++ {
+	// Squared point norms are shared read-only by every restart: the
+	// assignment loop computes ‖x−c‖² as ‖x‖²+‖c‖²−2x·c.
+	xnorm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xnorm[i] = mat.Dot(points.Row(i), points.Row(i))
+	}
+
+	results := make([]*Result, cfg.Restarts)
+	runRestart := func(r int) {
 		rg := rng.New(cfg.Seed + uint64(r)*0x9E3779B97F4A7C15)
-		res := runOnce(points, k, cfg.MaxIterations, rg)
-		if best == nil || res.Inertia < best.Inertia {
+		results[r] = runOnce(points, xnorm, k, cfg.MaxIterations, rg)
+	}
+	if par := parallelism(cfg.Parallelism, cfg.Restarts); par <= 1 {
+		for r := 0; r < cfg.Restarts; r++ {
+			runRestart(r)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for r := 0; r < cfg.Restarts; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runRestart(r)
+			}(r)
+		}
+		wg.Wait()
+	}
+
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.Inertia < best.Inertia {
 			best = res
 		}
 	}
 	best.BIC = BIC(points, best)
-	_ = d
 	return best, nil
 }
 
-func runOnce(points *mat.Dense, k, maxIter int, rg *rng.RNG) *Result {
+func runOnce(points *mat.Dense, xnorm []float64, k, maxIter int, rg *rng.RNG) *Result {
 	n, d := points.Dims()
 	centers := seedPlusPlus(points, k, rg)
+	cnorm := make([]float64, k)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
 	}
-	var inertia float64
 	iters := 0
 	for iter := 0; iter < maxIter; iter++ {
 		iters = iter + 1
 		changed := false
-		inertia = 0
+		for c := 0; c < k; c++ {
+			cnorm[c] = mat.Dot(centers.Row(c), centers.Row(c))
+		}
 		for i := 0; i < n; i++ {
 			row := points.Row(i)
 			bestC, bestD := -1, math.Inf(1)
 			for c := 0; c < k; c++ {
-				dd := mat.SquaredDistance(row, centers.Row(c))
+				// ‖x‖²+‖c‖²−2x·c: one dot product instead of a full
+				// difference-and-square pass per candidate center.
+				dd := xnorm[i] + cnorm[c] - 2*mat.Dot(row, centers.Row(c))
 				if dd < bestD {
 					bestD = dd
 					bestC = c
@@ -91,7 +149,6 @@ func runOnce(points *mat.Dense, k, maxIter int, rg *rng.RNG) *Result {
 				assign[i] = bestC
 				changed = true
 			}
-			inertia += bestD
 		}
 		if !changed && iter > 0 {
 			break
@@ -127,9 +184,49 @@ func runOnce(points *mat.Dense, k, maxIter int, rg *rng.RNG) *Result {
 			}
 		}
 	}
-	sizes := make([]int, k)
+	// Final exact pass: recompute assignments with the direct squared
+	// distance, so reported results are free of the cached-norm
+	// formulation's cancellation error and every point provably sits with
+	// its nearest center. A rounding-induced flip can only happen when a
+	// point is within cancellation error of equidistant; if such flips
+	// would empty a cluster that Lloyd's repair kept populated, keep the
+	// Lloyd assignment wholesale — downstream consumers (representative
+	// selection) require clusters to stay non-empty, and either
+	// assignment differs only by ~1e-12 in inertia.
+	exact := make([]int, n)
+	exactSizes := make([]int, k)
+	for i := 0; i < n; i++ {
+		row := points.Row(i)
+		bestC, bestD := -1, math.Inf(1)
+		for c := 0; c < k; c++ {
+			dd := mat.SquaredDistance(row, centers.Row(c))
+			if dd < bestD {
+				bestD = dd
+				bestC = c
+			}
+		}
+		exact[i] = bestC
+		exactSizes[bestC]++
+	}
+	lloydSizes := make([]int, k)
 	for _, c := range assign {
-		sizes[c]++
+		lloydSizes[c]++
+	}
+	adopt := true
+	for c := 0; c < k; c++ {
+		if lloydSizes[c] > 0 && exactSizes[c] == 0 {
+			adopt = false
+			break
+		}
+	}
+	if adopt {
+		assign = exact
+	}
+	inertia := 0.0
+	sizes := make([]int, k)
+	for i := 0; i < n; i++ {
+		inertia += mat.SquaredDistance(points.Row(i), centers.Row(assign[i]))
+		sizes[assign[i]]++
 	}
 	return &Result{
 		K:          k,
@@ -232,7 +329,11 @@ func BIC(points *mat.Dense, res *Result) float64 {
 }
 
 // BestK runs K-means for every K in [kMin, kMax] and returns the result
-// with the highest BIC, plus the per-K results for reporting.
+// with the highest BIC, plus the per-K results (in K order) for
+// reporting. The K scan executes concurrently, bounded by
+// Config.Parallelism; the winner is picked by scanning the per-K results
+// in K order (strictly higher BIC wins, so ties keep the lowest K),
+// making the choice identical at any parallelism.
 func BestK(points *mat.Dense, kMin, kMax int, cfg Config) (*Result, []*Result, error) {
 	n, _ := points.Dims()
 	if kMin < 1 || kMax < kMin {
@@ -241,15 +342,41 @@ func BestK(points *mat.Dense, kMin, kMax int, cfg Config) (*Result, []*Result, e
 	if kMax > n {
 		kMax = n
 	}
-	var all []*Result
-	var best *Result
-	for k := kMin; k <= kMax; k++ {
-		res, err := Run(points, k, cfg)
+	nk := kMax - kMin + 1
+	all := make([]*Result, nk)
+	errs := make([]error, nk)
+
+	if par := parallelism(cfg.Parallelism, nk); par <= 1 {
+		for i := 0; i < nk; i++ {
+			all[i], errs[i] = Run(points, kMin+i, cfg)
+		}
+	} else {
+		// The K goroutines carry the parallelism; restarts inside each Run
+		// stay serial to avoid oversubscription.
+		inner := cfg
+		inner.Parallelism = 1
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for i := 0; i < nk; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				all[i], errs[i] = Run(points, kMin+i, inner)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
-		all = append(all, res)
-		if best == nil || res.BIC > best.BIC {
+	}
+
+	best := all[0]
+	for _, res := range all[1:] {
+		if res.BIC > best.BIC {
 			best = res
 		}
 	}

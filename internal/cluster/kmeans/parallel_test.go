@@ -1,0 +1,106 @@
+package kmeans
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/num/mat"
+)
+
+func gaussianBlobs(seed int64, perBlob int, centers [][]float64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := len(centers[0])
+	m := mat.NewDense(perBlob*len(centers), d)
+	for b, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			for j := 0; j < d; j++ {
+				m.Set(b*perBlob+i, j, c[j]+rng.NormFloat64()*0.3)
+			}
+		}
+	}
+	return m
+}
+
+// TestRunParallelismInvariant asserts Run yields an identical Result at
+// every Parallelism setting: per-restart RNGs and the deterministic
+// best-pick make goroutine scheduling invisible.
+func TestRunParallelismInvariant(t *testing.T) {
+	pts := gaussianBlobs(11, 12, [][]float64{{0, 0}, {6, 6}, {-5, 7}})
+	base := Config{Restarts: 8, Seed: 3, Parallelism: 1}
+	want, err := Run(pts, 3, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 16} {
+		cfg := base
+		cfg.Parallelism = par
+		got, err := Run(pts, 3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Assign, want.Assign) ||
+			got.Inertia != want.Inertia ||
+			got.BIC != want.BIC ||
+			!reflect.DeepEqual(got.Sizes, want.Sizes) {
+			t.Fatalf("Parallelism=%d diverged from sequential result", par)
+		}
+	}
+}
+
+// TestBestKParallelismInvariant asserts the BIC-driven K scan picks the
+// same K with identical per-K results at any Parallelism.
+func TestBestKParallelismInvariant(t *testing.T) {
+	pts := gaussianBlobs(12, 10, [][]float64{{0, 0}, {8, 0}, {0, 8}, {8, 8}})
+	base := Config{Restarts: 4, Seed: 9, Parallelism: 1}
+	wantBest, wantAll, err := BestK(pts, 1, 8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		cfg := base
+		cfg.Parallelism = par
+		best, all, err := BestK(pts, 1, 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.K != wantBest.K || best.BIC != wantBest.BIC {
+			t.Fatalf("Parallelism=%d best K=%d BIC=%v, want K=%d BIC=%v",
+				par, best.K, best.BIC, wantBest.K, wantBest.BIC)
+		}
+		if len(all) != len(wantAll) {
+			t.Fatalf("Parallelism=%d returned %d results, want %d", par, len(all), len(wantAll))
+		}
+		for i := range all {
+			if all[i].K != wantAll[i].K || all[i].Inertia != wantAll[i].Inertia ||
+				all[i].BIC != wantAll[i].BIC ||
+				!reflect.DeepEqual(all[i].Assign, wantAll[i].Assign) {
+				t.Fatalf("Parallelism=%d K=%d result diverged", par, all[i].K)
+			}
+		}
+	}
+}
+
+// TestAssignmentsExactlyNearest asserts the final exact pass leaves every
+// point with its true nearest center under the direct squared distance
+// (the cached-norm trick is only used inside Lloyd iterations).
+func TestAssignmentsExactlyNearest(t *testing.T) {
+	pts := gaussianBlobs(13, 15, [][]float64{{0, 0, 0}, {5, 5, 5}})
+	res, err := Run(pts, 2, Config{Restarts: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := pts.Dims()
+	for i := 0; i < n; i++ {
+		best, bestD := -1, 0.0
+		for c := 0; c < res.K; c++ {
+			dd := mat.SquaredDistance(pts.Row(i), res.Centers.Row(c))
+			if best < 0 || dd < bestD {
+				best, bestD = c, dd
+			}
+		}
+		if res.Assign[i] != best {
+			t.Fatalf("point %d assigned to %d, nearest is %d", i, res.Assign[i], best)
+		}
+	}
+}

@@ -103,6 +103,12 @@ type AnalysisConfig struct {
 
 	KMin, KMax int           // BIC scan range (defaults 2..12)
 	KMeans     kmeans.Config // seeding configuration
+
+	// Parallelism bounds concurrency in the analysis stage (the BIC K
+	// scan and K-means restarts); 0 means GOMAXPROCS. It is forwarded to
+	// KMeans.Parallelism unless that is set explicitly. Results are
+	// identical at every setting.
+	Parallelism int
 }
 
 // DefaultAnalysis returns the paper's settings.
@@ -162,6 +168,9 @@ func Analyze(ds *Dataset, cfg AnalysisConfig) (*Analysis, error) {
 	}
 	if cfg.VarianceFrac == 0 {
 		cfg.VarianceFrac = 0.9
+	}
+	if cfg.KMeans.Parallelism == 0 {
+		cfg.KMeans.Parallelism = cfg.Parallelism
 	}
 
 	fit, err := pca.Fit(ds.Matrix())

@@ -8,6 +8,7 @@ package perf
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim/event"
 )
@@ -227,7 +228,7 @@ const NumMetrics = 45
 
 // MetricNames returns the 45 metric names in Table II order.
 func MetricNames() []string {
-	cat := Catalog()
+	cat := cachedCatalog()
 	out := make([]string, len(cat))
 	for i, m := range cat {
 		out[i] = m.Name
@@ -235,21 +236,36 @@ func MetricNames() []string {
 	return out
 }
 
+// cachedCatalog is the shared read-only catalog used on hot paths, so the
+// 45 metric descriptors (and their closures) are built once per process
+// instead of once per node-run. Callers that may reorder or mutate the
+// slice must use Catalog.
+var cachedCatalog = sync.OnceValue(Catalog)
+
 // MetricVector computes all 45 metrics from event counts, in Table II
 // order.
 func MetricVector(c *event.Counts) []float64 {
-	cat := Catalog()
-	out := make([]float64, len(cat))
-	for i, m := range cat {
-		out[i] = m.Compute(c)
+	return MetricVectorInto(nil, c)
+}
+
+// MetricVectorInto computes all 45 metrics into dst (allocating when dst
+// is nil or of the wrong length) and returns it, letting measurement
+// workers reuse one buffer across runs.
+func MetricVectorInto(dst []float64, c *event.Counts) []float64 {
+	cat := cachedCatalog()
+	if len(dst) != len(cat) {
+		dst = make([]float64, len(cat))
 	}
-	return out
+	for i, m := range cat {
+		dst[i] = m.Compute(c)
+	}
+	return dst
 }
 
 // MetricIndex returns the zero-based index of the named metric, or an
 // error if unknown.
 func MetricIndex(name string) (int, error) {
-	for i, m := range Catalog() {
+	for i, m := range cachedCatalog() {
 		if m.Name == name {
 			return i, nil
 		}

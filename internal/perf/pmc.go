@@ -92,7 +92,10 @@ func Measure(snapshots []event.Counts, cfg MonitorConfig) (event.Counts, error) 
 		}
 		scale := float64(len(deltas)) / float64(scheduled[g])
 		for _, id := range grp {
-			est[id] = uint64(float64(sums[g][id]) * scale)
+			// Round to nearest: truncation makes constant-rate streams
+			// (which should be estimated exactly) come up one short when
+			// the scale factor rounds down, e.g. 19·13·(26/13) → 493.999….
+			est[id] = uint64(float64(sums[g][id])*scale + 0.5)
 		}
 	}
 	return est, nil
@@ -122,9 +125,10 @@ func AverageRuns(runs []event.Counts) []float64 {
 		panic("perf: AverageRuns with no runs")
 	}
 	acc := make([]float64, NumMetrics)
+	var buf []float64
 	for i := range runs {
-		v := MetricVector(&runs[i])
-		for j, x := range v {
+		buf = MetricVectorInto(buf, &runs[i])
+		for j, x := range buf {
 			acc[j] += x
 		}
 	}

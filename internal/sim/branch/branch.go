@@ -68,6 +68,17 @@ func (p *Predictor) Update(pc uint64, taken bool) (correct bool) {
 	return correct
 }
 
+// Reset returns the predictor to its post-New state: cleared history,
+// weakly-not-taken counters and zeroed statistics.
+func (p *Predictor) Reset() {
+	p.history = 0
+	for i := range p.table {
+		p.table[i] = 0
+	}
+	p.Retired = 0
+	p.Mispredicted = 0
+}
+
 // MissRatio returns mispredicted/retired, or 0 before any branch retires.
 func (p *Predictor) MissRatio() float64 {
 	if p.Retired == 0 {

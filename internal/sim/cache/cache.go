@@ -75,6 +75,7 @@ type Cache struct {
 	cfg      Config
 	sets     [][]Line
 	nsets    uint64
+	setMask  uint64 // nsets-1 when nsets is a power of two, else 0
 	lineBits uint
 	clock    uint64
 	stats    Stats
@@ -97,16 +98,34 @@ func New(cfg Config) *Cache {
 	for 1<<lb < cfg.LineB {
 		lb++
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		sets:     sets,
 		nsets:    uint64(nsets),
 		lineBits: lb,
 	}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = uint64(nsets - 1)
+	}
+	return c
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Reset returns the cache to its post-New state: all lines invalid, the
+// LRU clock rewound and the counters zeroed. A reset cache behaves
+// identically to a freshly constructed one, which lets simulation workers
+// reuse a cache across runs instead of reallocating it.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -118,7 +137,12 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	blk := addr >> c.lineBits
 	// Modulo set indexing: the paper's 12 MB L3 has 12288 sets, which is
 	// not a power of two. The full block address is kept as the tag,
-	// which is simple and unambiguous.
+	// which is simple and unambiguous. Power-of-two set counts (every L1
+	// and L2) take the mask fast path — index is on the hot path of each
+	// simulated memory access.
+	if c.setMask != 0 {
+		return blk & c.setMask, blk
+	}
 	return blk % c.nsets, blk
 }
 

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/sim/branch"
 	"repro/internal/sim/cache"
@@ -91,6 +92,38 @@ func New(cfg Config) (*Machine, error) {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Reset returns the machine to its post-New state so one allocation can be
+// reused across node simulations. A reset machine is bit-identical in
+// behaviour to a freshly constructed one: caches, TLBs, branch predictors,
+// directories and all accounting state are cleared.
+func (m *Machine) Reset() {
+	for _, s := range m.sockets {
+		s.l3.Reset()
+		clear(s.dir)
+	}
+	for _, c := range m.cores {
+		c.l1i.Reset()
+		c.l1d.Reset()
+		c.l2.Reset()
+		c.tlbs.Reset()
+		c.bp.Reset()
+		c.ev = event.Counts{}
+		c.cycles = 0
+		c.fetchStall = 0
+		c.ildStall = 0
+		c.decStall = 0
+		c.ratStall = 0
+		c.resStall = 0
+		c.uopsExecuted = 0
+		c.branchesExecuted = 0
+		c.outstanding = c.outstanding[:0]
+		clear(c.pendingFill)
+		c.lastLoadCompletion = 0
+		c.mlpWeighted = 0
+		c.mlpCycles = 0
+	}
+}
+
 func (m *Machine) block(addr uint64) uint64 { return addr &^ (m.lineB - 1) }
 
 // advance moves the core's clock by dt cycles, integrating MLP over the
@@ -154,15 +187,10 @@ func (m *Machine) fetchBlock(c *core, blk uint64, rfo, code bool) (fetchSource, 
 	// Snoop sibling cores in the owning socket.
 	holders := own.dir[blk] &^ myBit
 	bestState := cache.Invalid
-	if holders != 0 {
-		for cid := 0; cid < len(m.cores); cid++ {
-			if holders&(1<<uint(cid)) == 0 {
-				continue
-			}
-			st := m.cores[cid].l2.Lookup(blk)
-			if st > bestState {
-				bestState = st
-			}
+	for h := holders; h != 0; h &= h - 1 {
+		st := m.cores[bits.TrailingZeros16(h)].l2.Lookup(blk)
+		if st > bestState {
+			bestState = st
 		}
 	}
 
@@ -195,17 +223,11 @@ func (m *Machine) fetchBlock(c *core, blk uint64, rfo, code bool) (fetchSource, 
 			if rs == own {
 				continue
 			}
-			rHolders := rs.dir[blk]
 			rBest := cache.Invalid
-			if rHolders != 0 {
-				for cid := 0; cid < len(m.cores); cid++ {
-					if rHolders&(1<<uint(cid)) == 0 {
-						continue
-					}
-					st := m.cores[cid].l2.Lookup(blk)
-					if st > rBest {
-						rBest = st
-					}
+			for h := rs.dir[blk]; h != 0; h &= h - 1 {
+				st := m.cores[bits.TrailingZeros16(h)].l2.Lookup(blk)
+				if st > rBest {
+					rBest = st
 				}
 			}
 			rL3 := rs.l3.Lookup(blk) != cache.Invalid
@@ -251,11 +273,8 @@ func (m *Machine) fetchBlock(c *core, blk uint64, rfo, code bool) (fetchSource, 
 				continue
 			}
 			rBest := cache.Invalid
-			for cid := 0; cid < len(m.cores); cid++ {
-				if rs.dir[blk]&(1<<uint(cid)) == 0 {
-					continue
-				}
-				if st := m.cores[cid].l2.Lookup(blk); st > rBest {
+			for h := rs.dir[blk]; h != 0; h &= h - 1 {
+				if st := m.cores[bits.TrailingZeros16(h)].l2.Lookup(blk); st > rBest {
 					rBest = st
 				}
 			}
@@ -310,17 +329,14 @@ func (m *Machine) adjustHolders(s *socket, blk uint64, keepBit uint16, rfo bool)
 	if holders == 0 {
 		return
 	}
-	for cid := 0; cid < len(m.cores); cid++ {
-		bit := uint16(1) << uint(cid)
-		if holders&bit == 0 {
-			continue
-		}
+	for h := holders; h != 0; h &= h - 1 {
+		cid := bits.TrailingZeros16(h)
 		oc := m.cores[cid]
 		if rfo {
 			oc.l2.Invalidate(blk)
 			oc.l1d.Invalidate(blk)
 			oc.l1i.Invalidate(blk)
-			s.dir[blk] &^= bit
+			s.dir[blk] &^= uint16(1) << uint(cid)
 		} else {
 			oc.l2.Downgrade(blk)
 			oc.l1d.Downgrade(blk)
@@ -343,11 +359,8 @@ func (m *Machine) l3Fill(s *socket, blk uint64, rfo bool) {
 		return
 	}
 	if holders, ok := s.dir[ev.Addr]; ok {
-		for cid := 0; cid < len(m.cores); cid++ {
-			if holders&(1<<uint(cid)) == 0 {
-				continue
-			}
-			oc := m.cores[cid]
+		for h := holders; h != 0; h &= h - 1 {
+			oc := m.cores[bits.TrailingZeros16(h)]
 			oc.l2.Invalidate(ev.Addr)
 			oc.l1d.Invalidate(ev.Addr)
 			oc.l1i.Invalidate(ev.Addr)
@@ -538,13 +551,9 @@ func (m *Machine) upgradeToModified(c *core, blk uint64) {
 			keep = myBit
 		}
 		// Snoop responses from invalidation: report the best holder.
-		holders := s.dir[blk] &^ keep
 		best := cache.Invalid
-		for cid := 0; cid < len(m.cores); cid++ {
-			if holders&(1<<uint(cid)) == 0 {
-				continue
-			}
-			if st := m.cores[cid].l2.Lookup(blk); st > best {
+		for h := s.dir[blk] &^ keep; h != 0; h &= h - 1 {
+			if st := m.cores[bits.TrailingZeros16(h)].l2.Lookup(blk); st > best {
 				best = st
 			}
 		}
@@ -684,11 +693,23 @@ type RunResult struct {
 // source is exhausted. It records `slices` evenly spaced cumulative
 // snapshots for the PMC multiplexing layer.
 func (m *Machine) Run(sources []Source, maxInstrPerCore int, slices int) (*RunResult, error) {
+	res := &RunResult{}
+	if err := m.RunInto(res, sources, maxInstrPerCore, slices); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is Run writing into a caller-owned result, reusing its snapshot
+// storage. Measurement workers call it once per node-run so the ~Slices
+// machine-wide count snapshots are allocated once per worker instead of
+// once per run.
+func (m *Machine) RunInto(res *RunResult, sources []Source, maxInstrPerCore int, slices int) error {
 	if len(sources) != len(m.cores) {
-		return nil, fmt.Errorf("machine: %d sources for %d cores", len(sources), len(m.cores))
+		return fmt.Errorf("machine: %d sources for %d cores", len(sources), len(m.cores))
 	}
 	if maxInstrPerCore < 1 {
-		return nil, fmt.Errorf("machine: maxInstrPerCore must be ≥1")
+		return fmt.Errorf("machine: maxInstrPerCore must be ≥1")
 	}
 	if slices < 1 {
 		slices = 1
@@ -701,8 +722,8 @@ func (m *Machine) Run(sources []Source, maxInstrPerCore int, slices int) (*RunRe
 		sliceEvery = 1
 	}
 
-	res := &RunResult{}
-	res.Snapshots = append(res.Snapshots, event.Counts{})
+	res.Snapshots = append(res.Snapshots[:0], event.Counts{})
+	res.Instructions = 0
 
 	done := make([]bool, len(m.cores))
 	executedPer := make([]int, len(m.cores))
@@ -737,5 +758,5 @@ func (m *Machine) Run(sources []Source, maxInstrPerCore int, slices int) (*RunRe
 	}
 	res.Snapshots = append(res.Snapshots, m.Snapshot())
 	res.Instructions = executed
-	return res, nil
+	return nil
 }

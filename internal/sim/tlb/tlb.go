@@ -122,6 +122,21 @@ func New(itlb, dtlb, stlb Config, walkCycles uint64) *Hierarchy {
 	}
 }
 
+// Reset returns the hierarchy to its post-New state (all entries invalid,
+// statistics zeroed) so one allocation can serve many simulation runs.
+func (h *Hierarchy) Reset() {
+	for _, l := range []*level{h.itlb, h.dtlb, h.stlb} {
+		for _, set := range l.sets {
+			for i := range set {
+				set[i] = entry{}
+			}
+		}
+		l.clock = 0
+	}
+	h.IStats = Stats{}
+	h.DStats = Stats{}
+}
+
 // Result reports one translation's outcome.
 type Result struct {
 	L1Hit      bool
