@@ -35,67 +35,131 @@ func main() {
 	}
 }
 
+// options collects every flag so validation and config assembly are unit
+// testable without going through the flag package or os.Exit.
+type options struct {
+	out         string
+	workloads   string
+	nodes       int
+	instr       int
+	scale       float64
+	seed        uint64
+	runs        int
+	slices      int
+	noMultiplex bool
+	jitter      float64
+	par         int
+	bench       bool
+	benchReps   int
+}
+
+// validate rejects bad flag combinations up front, before any simulation
+// work, with messages that name the offending flag.
+func (o options) validate() error {
+	if o.runs < 1 {
+		return fmt.Errorf("-runs must be ≥1, got %d", o.runs)
+	}
+	if o.nodes < 1 {
+		return fmt.Errorf("-nodes must be ≥1, got %d", o.nodes)
+	}
+	if o.instr < 1000 {
+		return fmt.Errorf("-instructions must be ≥1000, got %d", o.instr)
+	}
+	if o.scale <= 0 {
+		return fmt.Errorf("-scale must be >0, got %v", o.scale)
+	}
+	if o.slices < 0 {
+		return fmt.Errorf("-slices must be ≥0, got %d", o.slices)
+	}
+	if o.jitter < 0 || o.jitter > 0.5 {
+		return fmt.Errorf("-jitter must be in [0,0.5], got %v", o.jitter)
+	}
+	if o.par < 0 {
+		return fmt.Errorf("-parallelism must be ≥0, got %d", o.par)
+	}
+	if o.benchReps < 1 {
+		return fmt.Errorf("-bench-reps must be ≥1, got %d", o.benchReps)
+	}
+	if o.bench && o.out != "" {
+		return fmt.Errorf("-bench writes BENCH_pipeline.json; -out is only for CSV mode")
+	}
+	return nil
+}
+
+// resolveSuite builds the (possibly filtered) workload suite via the
+// shared selection helper. Unknown names error with the full list of
+// valid ones.
+func (o options) resolveSuite() ([]workloads.Workload, error) {
+	suite, err := workloads.Suite(workloads.Config{Seed: o.seed, Scale: o.scale})
+	if err != nil {
+		return nil, err
+	}
+	if o.workloads == "" {
+		return suite, nil
+	}
+	picked, err := workloads.Select(suite, strings.Split(o.workloads, ","))
+	if err != nil {
+		return nil, fmt.Errorf("-workloads: %w", err)
+	}
+	return picked, nil
+}
+
+// clusterConfig assembles the cluster configuration from validated flags.
+func (o options) clusterConfig() cluster.Config {
+	ccfg := cluster.DefaultConfig()
+	ccfg.SlaveNodes = o.nodes
+	ccfg.InstructionsPerCore = o.instr
+	ccfg.Seed = o.seed
+	ccfg.Runs = o.runs
+	ccfg.ExecutionJitter = o.jitter
+	ccfg.Monitor.Multiplex = !o.noMultiplex
+	ccfg.Parallelism = o.par
+	if o.slices > 0 {
+		ccfg.Slices = o.slices
+	}
+	return ccfg
+}
+
 func run() error {
-	var (
-		out         = flag.String("out", "", "output CSV path (default stdout)")
-		sel         = flag.String("workloads", "", "comma-separated workload names (default all 32)")
-		nodes       = flag.Int("nodes", 4, "slave nodes to measure")
-		instr       = flag.Int("instructions", 60000, "instructions per core per node")
-		scale       = flag.Float64("scale", 4096, "divisor applied to the paper's dataset sizes")
-		seed        = flag.Uint64("seed", 20140901, "seed for all stochastic components")
-		runs        = flag.Int("runs", 1, "measurement repetitions to average")
-		slices      = flag.Int("slices", 0, "PMC scheduling slices per run (0 = default)")
-		noMultiplex = flag.Bool("no-multiplex", false, "disable PMC time multiplexing (exact counts)")
-		jitter      = flag.Float64("jitter", 0.06, "node/run execution variation sigma")
-		par         = flag.Int("parallelism", 0, "bound on concurrent node simulations (0 = GOMAXPROCS)")
-		bench       = flag.Bool("bench", false, "time the end-to-end pipeline (sequential vs parallel) and write BENCH_pipeline.json")
-		benchReps   = flag.Int("bench-reps", 1, "pipeline repetitions per -bench variant")
-	)
+	var o options
+	flag.StringVar(&o.out, "out", "", "output CSV path (default stdout)")
+	flag.StringVar(&o.workloads, "workloads", "", "comma-separated workload names (default all 32)")
+	flag.IntVar(&o.nodes, "nodes", 4, "slave nodes to measure")
+	flag.IntVar(&o.instr, "instructions", 60000, "instructions per core per node")
+	flag.Float64Var(&o.scale, "scale", 4096, "divisor applied to the paper's dataset sizes")
+	flag.Uint64Var(&o.seed, "seed", 20140901, "seed for all stochastic components")
+	flag.IntVar(&o.runs, "runs", 1, "measurement repetitions to average")
+	flag.IntVar(&o.slices, "slices", 0, "PMC scheduling slices per run (0 = default)")
+	flag.BoolVar(&o.noMultiplex, "no-multiplex", false, "disable PMC time multiplexing (exact counts)")
+	flag.Float64Var(&o.jitter, "jitter", 0.06, "node/run execution variation sigma")
+	flag.IntVar(&o.par, "parallelism", 0, "bound on concurrent node simulations (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.bench, "bench", false, "time the end-to-end pipeline (sequential vs parallel) and write BENCH_pipeline.json")
+	flag.IntVar(&o.benchReps, "bench-reps", 1, "pipeline repetitions per -bench variant")
 	flag.Parse()
 
-	suiteCfg := workloads.Config{Seed: *seed, Scale: *scale}
-	suite, err := workloads.Suite(suiteCfg)
+	if err := o.validate(); err != nil {
+		return err
+	}
+	suite, err := o.resolveSuite()
 	if err != nil {
 		return err
 	}
-	if *sel != "" {
-		var picked []workloads.Workload
-		for _, name := range strings.Split(*sel, ",") {
-			w, err := workloads.ByName(suite, strings.TrimSpace(name))
-			if err != nil {
-				return err
-			}
-			picked = append(picked, w)
-		}
-		suite = picked
-	}
+	ccfg := o.clusterConfig()
 
-	ccfg := cluster.DefaultConfig()
-	ccfg.SlaveNodes = *nodes
-	ccfg.InstructionsPerCore = *instr
-	ccfg.Seed = *seed
-	ccfg.Runs = *runs
-	ccfg.ExecutionJitter = *jitter
-	ccfg.Monitor.Multiplex = !*noMultiplex
-	ccfg.Parallelism = *par
-	if *slices > 0 {
-		ccfg.Slices = *slices
-	}
-
-	if *bench {
-		return runPipelineBench(suite, ccfg, *benchReps)
+	if o.bench {
+		return runPipelineBench(suite, ccfg, o.benchReps)
 	}
 
 	fmt.Fprintf(os.Stderr, "characterizing %d workloads on %d nodes (%d instr/core, %d run(s))...\n",
-		len(suite), *nodes, *instr, *runs)
+		len(suite), o.nodes, o.instr, o.runs)
 	ds, err := core.CharacterizeSuite(suite, ccfg)
 	if err != nil {
 		return err
 	}
 
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}

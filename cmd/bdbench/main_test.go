@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// validOptions mirrors the flag defaults.
+func validOptions() options {
+	return options{
+		nodes: 4, instr: 60000, scale: 4096, seed: 20140901,
+		runs: 1, jitter: 0.06, benchReps: 1,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validOptions().validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadFlagCombinations(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*options)
+		want   string // flag name the error must mention
+	}{
+		"runs zero":          {func(o *options) { o.runs = 0 }, "-runs"},
+		"runs negative":      {func(o *options) { o.runs = -3 }, "-runs"},
+		"nodes zero":         {func(o *options) { o.nodes = 0 }, "-nodes"},
+		"instructions small": {func(o *options) { o.instr = 999 }, "-instructions"},
+		"scale zero":         {func(o *options) { o.scale = 0 }, "-scale"},
+		"scale negative":     {func(o *options) { o.scale = -4096 }, "-scale"},
+		"slices negative":    {func(o *options) { o.slices = -1 }, "-slices"},
+		"jitter negative":    {func(o *options) { o.jitter = -0.1 }, "-jitter"},
+		"jitter huge":        {func(o *options) { o.jitter = 0.75 }, "-jitter"},
+		"parallelism neg":    {func(o *options) { o.par = -2 }, "-parallelism"},
+		"bench reps zero":    {func(o *options) { o.benchReps = 0 }, "-bench-reps"},
+		"bench with out":     {func(o *options) { o.bench = true; o.out = "x.csv" }, "-out"},
+	}
+	for name, tc := range cases {
+		o := validOptions()
+		tc.mutate(&o)
+		err := o.validate()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", name, err, tc.want)
+		}
+	}
+}
+
+func TestResolveSuiteSelectsInOrder(t *testing.T) {
+	o := validOptions()
+	o.workloads = "S-Sort, H-Grep"
+	suite, err := o.resolveSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 2 || suite[0].Name != "S-Sort" || suite[1].Name != "H-Grep" {
+		names := make([]string, len(suite))
+		for i, w := range suite {
+			names[i] = w.Name
+		}
+		t.Fatalf("selected %v, want [S-Sort H-Grep]", names)
+	}
+
+	full, err := validOptions().resolveSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 32 {
+		t.Fatalf("full suite has %d workloads, want 32", len(full))
+	}
+}
+
+func TestResolveSuiteUnknownNameListsValidNames(t *testing.T) {
+	o := validOptions()
+	o.workloads = "H-Sort,H-Bogus"
+	_, err := o.resolveSuite()
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"H-Bogus"`) {
+		t.Errorf("error does not name the unknown workload: %v", err)
+	}
+	// The remedy: the full valid-name list.
+	for _, known := range []string{"H-Sort", "S-Sort", "H-PageRank", "S-Aggregation"} {
+		if !strings.Contains(msg, known) {
+			t.Errorf("error does not list valid name %s: %v", known, err)
+		}
+	}
+}
+
+func TestResolveSuiteRejectsEmptyAndDuplicateNames(t *testing.T) {
+	o := validOptions()
+	o.workloads = "H-Sort,,S-Sort"
+	if _, err := o.resolveSuite(); err == nil {
+		t.Error("empty workload name accepted")
+	}
+	o.workloads = "H-Sort,H-Sort"
+	if _, err := o.resolveSuite(); err == nil {
+		t.Error("duplicate workload name accepted")
+	}
+}
+
+func TestClusterConfigMapsFlags(t *testing.T) {
+	o := validOptions()
+	o.nodes = 2
+	o.instr = 12000
+	o.runs = 3
+	o.slices = 30
+	o.noMultiplex = true
+	o.jitter = 0.1
+	o.par = 5
+	ccfg := o.clusterConfig()
+	if ccfg.SlaveNodes != 2 || ccfg.InstructionsPerCore != 12000 || ccfg.Runs != 3 ||
+		ccfg.Slices != 30 || ccfg.Monitor.Multiplex || ccfg.ExecutionJitter != 0.1 ||
+		ccfg.Parallelism != 5 {
+		t.Errorf("flag mapping wrong: %+v", ccfg)
+	}
+	if err := ccfg.Validate(); err != nil {
+		t.Errorf("mapped config invalid: %v", err)
+	}
+
+	// slices=0 keeps the package default.
+	o.slices = 0
+	if got := o.clusterConfig().Slices; got != 120 {
+		t.Errorf("default slices = %d, want 120", got)
+	}
+}

@@ -1,0 +1,98 @@
+// Command bdservd serves the characterization + subsetting pipeline as a
+// long-running HTTP service: clients POST jobs (a workload selection plus
+// cluster/analysis configuration), the daemon executes them on a bounded
+// pool over the parallel measurement grid, and identical submissions are
+// deduplicated through a content-addressed result cache (in-memory LRU
+// plus an on-disk JSON store under -data-dir).
+//
+// Usage:
+//
+//	bdservd [-addr :8356] [-data-dir bdservd-data] [-workers 1]
+//	        [-queue 64] [-cache-entries 256] [-parallelism 0]
+//
+// API (see DESIGN.md §4 for the full reference):
+//
+//	POST   /v1/jobs             submit a job
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result canonical analysis result JSON
+//	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/cache/stats      cache counters
+//	GET    /healthz             liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdservd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8356", "listen address")
+		dataDir = flag.String("data-dir", "bdservd-data", "on-disk result store ('' = memory only)")
+		workers = flag.Int("workers", 1, "concurrently executing jobs")
+		queue   = flag.Int("queue", 64, "max queued jobs")
+		entries = flag.Int("cache-entries", 256, "in-memory LRU result entries")
+		par     = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *workers < 1 || *queue < 1 || *entries < 1 || *par < 0 {
+		return fmt.Errorf("-workers, -queue and -cache-entries must be ≥1 and -parallelism ≥0")
+	}
+
+	mgr, err := service.New(service.Config{
+		DataDir:      *dataDir,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *entries,
+		Parallelism:  *par,
+	})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("bdservd: listening on %s (data dir %q, %d worker(s))", *addr, *dataDir, *workers)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("bdservd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

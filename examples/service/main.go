@@ -1,0 +1,171 @@
+// Service example: a bdservd client. It submits a small characterization
+// job over the HTTP API, streams the daemon's per-stage progress events,
+// fetches the analysis result, and then resubmits the identical job to
+// demonstrate the content-addressed cache hit.
+//
+// With no -addr it spins up an in-process daemon on a loopback port, so
+// the example is self-contained:
+//
+//	go run ./examples/service
+//	go run ./examples/service -addr http://localhost:8356   # external daemon
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon base URL (empty = start one in-process)")
+	workloads := flag.String("workloads", "H-Sort,S-Sort,H-Grep,S-Grep", "comma-separated workload names")
+	instructions := flag.Int("instructions", 6000, "instructions per core per node")
+	nodes := flag.Int("nodes", 2, "slave nodes")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		var stopFn func()
+		var err error
+		base, stopFn, err = startInProcess()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopFn()
+		fmt.Printf("started in-process daemon at %s\n", base)
+	}
+
+	req := map[string]any{
+		"workloads":    strings.Split(*workloads, ","),
+		"instructions": *instructions,
+		"nodes":        *nodes,
+		"kmax":         4,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit.
+	st := post(base+"/v1/jobs", body)
+	fmt.Printf("submitted job %s (state %s, cache hit %v)\n", st.ID, st.State, st.CacheHit)
+
+	// Stream progress events until the job completes.
+	if !terminal(st.State) {
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var ev service.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				log.Fatal(err)
+			}
+			switch ev.Type {
+			case "state":
+				fmt.Printf("  [%02d] state → %s\n", ev.Seq, ev.State)
+			case "stage":
+				fmt.Printf("  [%02d] stage → %s\n", ev.Seq, ev.Stage)
+			case "progress":
+				fmt.Printf("  [%02d] %s: %d/%d cells\n", ev.Seq, ev.Stage, ev.Done, ev.Total)
+			case "done":
+				fmt.Printf("  [%02d] done, result %s…\n", ev.Seq, ev.ResultHash[:12])
+			case "error":
+				log.Fatalf("job failed: %s", ev.Error)
+			}
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Fetch the canonical result and print the subset.
+	resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var result struct {
+		BestK  int      `json:"best_k"`
+		NumPCs int      `json:"num_pcs"`
+		Subset []string `json:"subset"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("analysis: %d PCs, K = %d, subset = %s\n",
+		result.NumPCs, result.BestK, strings.Join(result.Subset, ", "))
+
+	// Identical resubmission: served from the cache, same result hash.
+	start := time.Now()
+	again := post(base+"/v1/jobs", body)
+	fmt.Printf("resubmitted: state %s, cache hit %v, same hash %v (%.1f ms)\n",
+		again.State, again.CacheHit, again.ResultHash != "" && again.ResultHash == hashOf(base, st.ID),
+		float64(time.Since(start).Microseconds())/1000)
+}
+
+func post(url string, body []byte) service.JobStatus {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, e["error"])
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func hashOf(base, id string) string {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st.ResultHash
+}
+
+func terminal(s service.State) bool {
+	return s == service.StateDone || s == service.StateFailed || s == service.StateCanceled
+}
+
+// startInProcess runs a manager + HTTP server on a loopback port.
+func startInProcess() (string, func(), error) {
+	mgr, err := service.New(service.Config{DataDir: "", Workers: 1})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	go srv.Serve(ln)
+	stop := func() {
+		srv.Close()
+		mgr.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,107 @@
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DatasetJSON is the wire form of a core.Dataset: the labeled
+// workload×metric matrix without the non-serializable measurement and
+// suite back-references.
+type DatasetJSON struct {
+	Labels  []string    `json:"labels"`
+	Metrics []string    `json:"metrics"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+// EncodeDataset projects a dataset onto its wire form.
+func EncodeDataset(ds *core.Dataset) DatasetJSON {
+	return DatasetJSON{Labels: ds.Labels, Metrics: ds.Metrics, Rows: ds.Rows}
+}
+
+// Dataset converts the wire form back into a core.Dataset (validated).
+func (d DatasetJSON) Dataset() (*core.Dataset, error) {
+	ds := &core.Dataset{Labels: d.Labels, Metrics: d.Metrics, Rows: d.Rows}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// RepresentativeJSON is the wire form of one selected workload.
+type RepresentativeJSON struct {
+	Cluster     int    `json:"cluster"`
+	Workload    string `json:"workload"`
+	Index       int    `json:"index"`
+	ClusterSize int    `json:"cluster_size"`
+}
+
+// AnalysisJSON is the wire form of a core.Analysis: everything a service
+// client needs from the §V–§VI result, in a stable, deterministic layout.
+// Field order (and therefore the marshaled byte stream) is fixed, so
+// identical analyses encode to identical bytes — the property the
+// content-addressed result cache relies on.
+type AnalysisJSON struct {
+	Dataset DatasetJSON `json:"dataset"`
+
+	NumPCs   int     `json:"num_pcs"`
+	Variance float64 `json:"variance_retained"`
+
+	BestK        int     `json:"best_k"`
+	BIC          float64 `json:"bic"`
+	Inertia      float64 `json:"inertia"`
+	Assign       []int   `json:"assign"`
+	ClusterSizes []int   `json:"cluster_sizes"`
+
+	NearestReps        []RepresentativeJSON `json:"nearest_reps"`
+	FarthestReps       []RepresentativeJSON `json:"farthest_reps"`
+	NearestMaxLinkage  float64              `json:"nearest_max_linkage"`
+	FarthestMaxLinkage float64              `json:"farthest_max_linkage"`
+
+	// Subset is the farthest-from-centroid representative set — the
+	// paper's released subset policy.
+	Subset []string `json:"subset"`
+}
+
+// EncodeAnalysis projects an analysis onto its wire form.
+func EncodeAnalysis(an *core.Analysis) *AnalysisJSON {
+	reps := func(in []core.Representative) []RepresentativeJSON {
+		out := make([]RepresentativeJSON, len(in))
+		for i, r := range in {
+			out[i] = RepresentativeJSON{
+				Cluster: r.Cluster, Workload: r.Workload,
+				Index: r.Index, ClusterSize: r.ClusterSize,
+			}
+		}
+		return out
+	}
+	return &AnalysisJSON{
+		Dataset:            EncodeDataset(an.Dataset),
+		NumPCs:             an.NumPCs,
+		Variance:           an.Variance,
+		BestK:              an.KBest.K,
+		BIC:                an.KBest.BIC,
+		Inertia:            an.KBest.Inertia,
+		Assign:             an.KBest.Assign,
+		ClusterSizes:       an.KBest.Sizes,
+		NearestReps:        reps(an.NearestReps),
+		FarthestReps:       reps(an.FarthestReps),
+		NearestMaxLinkage:  an.NearestMaxLinkage,
+		FarthestMaxLinkage: an.FarthestMaxLinkage,
+		Subset:             an.SubsetNames(),
+	}
+}
+
+// MarshalCanonical renders v as indented JSON with a trailing newline.
+// encoding/json emits struct fields in declaration order and formats
+// floats deterministically, so for the fixed-layout types in this package
+// equal values always produce identical bytes.
+func MarshalCanonical(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("benchio: marshal: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,54 @@
+package benchio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sample() *core.Dataset {
+	return &core.Dataset{
+		Labels:  []string{"H-A", "S-A", "H-B"},
+		Metrics: []string{"M1", "M2"},
+		Rows:    [][]float64{{1, 2.5}, {3.25, -4e-3}, {0, 7}},
+	}
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	ds := sample()
+	got, err := EncodeDataset(ds).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Labels, ds.Labels) ||
+		!reflect.DeepEqual(got.Metrics, ds.Metrics) ||
+		!reflect.DeepEqual(got.Rows, ds.Rows) {
+		t.Errorf("round trip mutated the dataset: %+v", got)
+	}
+
+	bad := DatasetJSON{Labels: []string{"only-one"}, Metrics: []string{"M"}, Rows: [][]float64{{1}}}
+	if _, err := bad.Dataset(); err == nil {
+		t.Error("single-row dataset accepted")
+	}
+}
+
+// TestMarshalCanonicalDeterministic pins the property the result cache
+// depends on: equal values marshal to identical bytes.
+func TestMarshalCanonicalDeterministic(t *testing.T) {
+	a, err := MarshalCanonical(EncodeDataset(sample()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalCanonical(EncodeDataset(sample()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("equal values marshaled to different bytes")
+	}
+	if a[len(a)-1] != '\n' {
+		t.Error("canonical form lacks trailing newline")
+	}
+}

@@ -9,9 +9,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bigdata/workloads"
 	"repro/internal/perf"
@@ -19,6 +21,12 @@ import (
 	"repro/internal/sim/machine"
 	"repro/internal/trace"
 )
+
+// Progress receives (completed, total) grid-cell counts as a
+// characterization campaign advances. It is invoked from worker
+// goroutines, so implementations must be safe for concurrent use and
+// should return quickly.
+type Progress func(done, total int)
 
 // Config controls a characterization campaign.
 type Config struct {
@@ -182,6 +190,15 @@ func RunWorkload(w workloads.Workload, cfg Config) (*Measurement, error) {
 // to the sequential path at any parallelism. The result order matches the
 // suite order.
 func Characterize(suite []workloads.Workload, cfg Config) ([]*Measurement, error) {
+	return CharacterizeCtx(context.Background(), suite, cfg, nil)
+}
+
+// CharacterizeCtx is Characterize with cooperative cancellation and
+// optional progress reporting. Workers check ctx between grid cells and
+// stop simulating as soon as it is cancelled, returning ctx.Err();
+// progress (if non-nil) is called after every completed cell with the
+// number of cells finished so far and the grid total.
+func CharacterizeCtx(ctx context.Context, suite []workloads.Workload, cfg Config, progress Progress) ([]*Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,6 +248,7 @@ func Characterize(suite []workloads.Workload, cfg Config) ([]*Measurement, error
 	// deterministically.
 	errs := make([]error, ntasks)
 	taskWorkload := make([]int, ntasks)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < par; i++ {
 		wg.Add(1)
@@ -245,16 +263,28 @@ func Characterize(suite []workloads.Workload, cfg Config) ([]*Measurement, error
 					errs[t.ti] = werr
 					continue
 				}
+				if err := ctx.Err(); err != nil {
+					// Cancelled: drain the queue without simulating so the
+					// pool exits promptly.
+					errs[t.ti] = err
+					continue
+				}
 				v, err := nw.runNode(suite[t.wi], cfg, t.run, t.node)
 				if err != nil {
 					errs[t.ti] = err
 					continue
 				}
 				cells[t.wi][t.run][t.node] = v
+				if progress != nil {
+					progress(int(done.Add(1)), ntasks)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: workload %s: %w", suite[taskWorkload[i]].Name, err)

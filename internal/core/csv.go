@@ -4,14 +4,26 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
 // WriteCSV serializes a dataset as CSV: a header row of "workload" plus
-// metric names, then one row per workload.
+// metric names, then one row per workload. Non-finite metric values are
+// rejected — they would silently poison the z-score normalization and
+// every downstream distance.
 func (d *Dataset) WriteCSV(w io.Writer) error {
 	if err := d.Validate(); err != nil {
 		return err
+	}
+	// Pre-scan before emitting anything: failing mid-stream would leave a
+	// truncated but valid-looking CSV behind the error.
+	for i, label := range d.Labels {
+		for j, v := range d.Rows[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: workload %q metric %q is non-finite (%v)", label, d.Metrics[j], v)
+			}
+		}
 	}
 	cw := csv.NewWriter(w)
 	header := append([]string{"workload"}, d.Metrics...)
@@ -58,6 +70,9 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			v, err := strconv.ParseFloat(s, 64)
 			if err != nil {
 				return nil, fmt.Errorf("core: CSV row %d col %d: %w", li+2, j+2, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: CSV row %d col %d: non-finite value %q", li+2, j+2, s)
 			}
 			row[j] = v
 		}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func csvDataset() *Dataset {
+	return &Dataset{
+		// Labels exercise the CSV quoting paths: commas, double quotes
+		// and an embedded newline.
+		Labels:  []string{`H-Sort, tuned`, `S-"quoted"`, "H-multi\nline"},
+		Metrics: []string{"IPC", "L1I MISS", "METRIC,COMMA", "Z-LAST"},
+		Rows: [][]float64{
+			{1.25, 0.003, -17, 4e-9},
+			{0.5, 123456.789, 0.000125, 2},
+			{3, 0, 1e300, -0.25},
+		},
+	}
+}
+
+func TestCSVRoundTripQuotingAndOrder(t *testing.T) {
+	ds := csvDataset()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Labels, ds.Labels) {
+		t.Errorf("labels round-trip: got %q, want %q", got.Labels, ds.Labels)
+	}
+	// Metric order must be preserved exactly — column identity is
+	// positional through the whole analysis pipeline.
+	if !reflect.DeepEqual(got.Metrics, ds.Metrics) {
+		t.Errorf("metric order round-trip: got %q, want %q", got.Metrics, ds.Metrics)
+	}
+	if !reflect.DeepEqual(got.Rows, ds.Rows) {
+		t.Errorf("rows round-trip: got %v, want %v", got.Rows, ds.Rows)
+	}
+
+	// A second round trip is byte-stable.
+	var buf2 bytes.Buffer
+	if err := got.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.Len() == 0 {
+		t.Fatal("empty second serialization")
+	}
+}
+
+func TestWriteCSVRejectsNonFinite(t *testing.T) {
+	for name, v := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		ds := csvDataset()
+		ds.Rows[1][2] = v
+		var buf bytes.Buffer
+		err := ds.WriteCSV(&buf)
+		if err == nil {
+			t.Errorf("WriteCSV accepted %s", name)
+			continue
+		}
+		// The pre-scan must fire before anything is emitted — a partial
+		// CSV next to an error reads like a complete dataset.
+		if buf.Len() != 0 {
+			t.Errorf("%s: %d bytes written before the rejection", name, buf.Len())
+		}
+		// The error should identify the offending workload and metric
+		// (labels appear %q-escaped, so match an escape-free fragment).
+		if !strings.Contains(err.Error(), "quoted") || !strings.Contains(err.Error(), "METRIC,COMMA") {
+			t.Errorf("%s error lacks location: %v", name, err)
+		}
+	}
+}
+
+func TestReadCSVRejectsNonFiniteAndGarbage(t *testing.T) {
+	header := "workload,IPC,MISS\n"
+	for name, rows := range map[string]string{
+		"NaN":       "a,1,NaN\nb,2,3\n",
+		"Inf":       "a,1,Inf\nb,2,3\n",
+		"-Inf":      "a,1,-Inf\nb,2,3\n",
+		"not a num": "a,1,squid\nb,2,3\n",
+		"ragged":    "a,1\nb,2,3\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(header + rows)); err == nil {
+			t.Errorf("ReadCSV accepted %s input", name)
+		}
+	}
+
+	// Sanity: the well-formed variant parses.
+	if _, err := ReadCSV(strings.NewReader(header + "a,1,4\nb,2,3\n")); err != nil {
+		t.Errorf("well-formed CSV rejected: %v", err)
+	}
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,6 +26,30 @@ import (
 	"repro/internal/num/pca"
 	"repro/internal/perf"
 )
+
+// Stage identifies one pipeline stage for progress reporting.
+type Stage string
+
+// The pipeline stages, in execution order.
+const (
+	StageCharacterize Stage = "characterize"
+	StagePCA          Stage = "pca"
+	StageHierarchical Stage = "hierarchical"
+	StageKMeans       Stage = "kmeans"
+	StageSelect       Stage = "select"
+)
+
+// Progress receives pipeline progress events: every stage transition is
+// reported once with done=0, and during StageCharacterize each completed
+// grid cell additionally reports (done, total) cell counts. Callbacks may
+// arrive from worker goroutines concurrently and must return quickly.
+type Progress func(stage Stage, done, total int)
+
+func (p Progress) stage(s Stage) {
+	if p != nil {
+		p(s, 0, 0)
+	}
+}
 
 // Dataset is a labeled workload×metric matrix — the output of
 // characterization and the input of analysis.
@@ -69,7 +94,18 @@ func Characterize(suiteCfg workloads.Config, clusterCfg cluster.Config) (*Datase
 
 // CharacterizeSuite measures an arbitrary workload list.
 func CharacterizeSuite(suite []workloads.Workload, clusterCfg cluster.Config) (*Dataset, error) {
-	ms, err := cluster.Characterize(suite, clusterCfg)
+	return CharacterizeSuiteCtx(context.Background(), suite, clusterCfg, nil)
+}
+
+// CharacterizeSuiteCtx is CharacterizeSuite with cooperative cancellation
+// and per-cell progress reporting (see Progress).
+func CharacterizeSuiteCtx(ctx context.Context, suite []workloads.Workload, clusterCfg cluster.Config, progress Progress) (*Dataset, error) {
+	progress.stage(StageCharacterize)
+	var cp cluster.Progress
+	if progress != nil {
+		cp = func(done, total int) { progress(StageCharacterize, done, total) }
+	}
+	ms, err := cluster.CharacterizeCtx(ctx, suite, clusterCfg, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +193,12 @@ type Analysis struct {
 // Analyze runs normalization, PCA, hierarchical clustering, BIC-driven
 // K-means and representative selection on a dataset.
 func Analyze(ds *Dataset, cfg AnalysisConfig) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), ds, cfg, nil)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation (checked between
+// stages) and stage-transition progress reporting.
+func AnalyzeCtx(ctx context.Context, ds *Dataset, cfg AnalysisConfig, progress Progress) (*Analysis, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -173,6 +215,10 @@ func Analyze(ds *Dataset, cfg AnalysisConfig) (*Analysis, error) {
 		cfg.KMeans.Parallelism = cfg.Parallelism
 	}
 
+	progress.stage(StagePCA)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	fit, err := pca.Fit(ds.Matrix())
 	if err != nil {
 		return nil, err
@@ -191,6 +237,10 @@ func Analyze(ds *Dataset, cfg AnalysisConfig) (*Analysis, error) {
 	}
 	scores := fit.ScoresK(numPCs)
 
+	progress.stage(StageHierarchical)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dend, err := hier.Cluster(scores, cfg.Linkage)
 	if err != nil {
 		return nil, err
@@ -199,6 +249,10 @@ func Analyze(ds *Dataset, cfg AnalysisConfig) (*Analysis, error) {
 		return nil, err
 	}
 
+	progress.stage(StageKMeans)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	kmax := cfg.KMax
 	if kmax > len(ds.Rows) {
 		kmax = len(ds.Rows)
@@ -207,6 +261,7 @@ func Analyze(ds *Dataset, cfg AnalysisConfig) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	progress.stage(StageSelect)
 
 	an := &Analysis{
 		Dataset:    ds,
@@ -240,11 +295,21 @@ func Analyze(ds *Dataset, cfg AnalysisConfig) (*Analysis, error) {
 
 // Run executes the complete paper pipeline with the given configurations.
 func Run(suiteCfg workloads.Config, clusterCfg cluster.Config, acfg AnalysisConfig) (*Analysis, error) {
-	ds, err := Characterize(suiteCfg, clusterCfg)
+	return RunCtx(context.Background(), suiteCfg, clusterCfg, acfg, nil)
+}
+
+// RunCtx is Run with cooperative cancellation and progress reporting
+// threaded through both pipeline halves.
+func RunCtx(ctx context.Context, suiteCfg workloads.Config, clusterCfg cluster.Config, acfg AnalysisConfig, progress Progress) (*Analysis, error) {
+	suite, err := workloads.Suite(suiteCfg)
 	if err != nil {
 		return nil, err
 	}
-	return Analyze(ds, acfg)
+	ds, err := CharacterizeSuiteCtx(ctx, suite, clusterCfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCtx(ctx, ds, acfg, progress)
 }
 
 // StackOf reports which engine prefix a workload label carries.

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of result-cache effectiveness.
+type CacheStats struct {
+	Entries    int    `json:"entries"`     // in-memory LRU entries
+	MaxEntries int    `json:"max_entries"` // LRU capacity
+	Hits       uint64 `json:"hits"`        // Get calls that found a result
+	Misses     uint64 `json:"misses"`      // Get calls that found nothing
+	MemoryHits uint64 `json:"memory_hits"` // hits served by the LRU tier
+	DiskHits   uint64 `json:"disk_hits"`   // hits promoted from the disk tier
+	Stores     uint64 `json:"stores"`      // results written
+	Evictions  uint64 `json:"evictions"`   // LRU entries displaced (disk copies remain)
+}
+
+// cacheEntry is one cached result: the canonical JSON bytes plus their
+// SHA-256, which doubles as the integrity/identity hash clients compare.
+type cacheEntry struct {
+	id   string
+	data []byte
+	hash string
+}
+
+// resultCache is the content-addressed result store: an in-memory LRU
+// tier over an optional on-disk JSON tier (one file per job ID under
+// dir). Disk entries survive restarts and LRU eviction.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	dir   string     // "" = memory-only
+	ll    *list.List // front = most recently used
+	byID  map[string]*list.Element
+	stats CacheStats
+}
+
+func newResultCache(maxEntries int, dir string) (*resultCache, error) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating cache dir: %w", err)
+		}
+	}
+	return &resultCache{
+		max:   maxEntries,
+		dir:   dir,
+		ll:    list.New(),
+		byID:  make(map[string]*list.Element),
+		stats: CacheStats{MaxEntries: maxEntries},
+	}, nil
+}
+
+func hashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *resultCache) path(id string) string {
+	return filepath.Join(c.dir, id+".json")
+}
+
+// Get returns the cached result bytes and their hash for a job ID,
+// consulting the LRU tier first and falling back to disk (promoting the
+// entry back into the LRU on a disk hit).
+func (c *resultCache) Get(id string) (data []byte, hash string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.stats.Hits++
+		c.stats.MemoryHits++
+		return ent.data, ent.hash, true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(id)); err == nil {
+			c.stats.Hits++
+			c.stats.DiskHits++
+			hash := hashBytes(data)
+			c.insert(&cacheEntry{id: id, data: data, hash: hash})
+			return data, hash, true
+		}
+	}
+	c.stats.Misses++
+	return nil, "", false
+}
+
+// Put stores a result under its job ID (write-through to disk when a data
+// directory is configured) and returns the result hash.
+func (c *resultCache) Put(id string, data []byte) (string, error) {
+	hash := hashBytes(data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Stores++
+	if el, ok := c.byID[id]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = &cacheEntry{id: id, data: data, hash: hash}
+	} else {
+		c.insert(&cacheEntry{id: id, data: data, hash: hash})
+	}
+	if c.dir != "" {
+		tmp := c.path(id) + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return hash, fmt.Errorf("service: writing result: %w", err)
+		}
+		if err := os.Rename(tmp, c.path(id)); err != nil {
+			return hash, fmt.Errorf("service: committing result: %w", err)
+		}
+	}
+	return hash, nil
+}
+
+// insert adds a fresh entry at the LRU front, evicting the tail beyond
+// capacity. Callers hold c.mu.
+func (c *resultCache) insert(ent *cacheEntry) {
+	c.byID[ent.id] = c.ll.PushFront(ent)
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byID, tail.Value.(*cacheEntry).id)
+		c.stats.Evictions++
+	}
+	c.stats.Entries = c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.ll.Len()
+	return st
+}

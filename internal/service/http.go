@@ -1,0 +1,217 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/cluster/hier"
+)
+
+// JobRequest is the HTTP submission body: a friendly, partial view of a
+// JobSpec. Unset fields take the paper defaults; Spec (when present)
+// overrides everything else for full low-level control.
+type JobRequest struct {
+	// Workloads selects suite members by name; empty = all 32.
+	Workloads []string `json:"workloads,omitempty"`
+
+	Seed         *uint64  `json:"seed,omitempty"`         // suite + cluster seed
+	Scale        *float64 `json:"scale,omitempty"`        // dataset scale divisor
+	Nodes        *int     `json:"nodes,omitempty"`        // slave nodes
+	Instructions *int     `json:"instructions,omitempty"` // per core per node
+	Slices       *int     `json:"slices,omitempty"`       // PMC scheduling slices
+	Runs         *int     `json:"runs,omitempty"`         // measurement repetitions
+	Jitter       *float64 `json:"jitter,omitempty"`       // execution variation σ
+	Multiplex    *bool    `json:"multiplex,omitempty"`    // PMC time multiplexing
+
+	KMin     *int    `json:"kmin,omitempty"`     // BIC scan lower bound
+	KMax     *int    `json:"kmax,omitempty"`     // BIC scan upper bound
+	Restarts *int    `json:"restarts,omitempty"` // K-means restarts
+	Linkage  *string `json:"linkage,omitempty"`  // single | complete | average
+
+	// Spec, if set, is used verbatim (after normalization) and the
+	// convenience fields above must be absent.
+	Spec *JobSpec `json:"spec,omitempty"`
+}
+
+// ToSpec materializes the request into a full JobSpec.
+func (r *JobRequest) ToSpec() (JobSpec, error) {
+	if r.Spec != nil {
+		if len(r.Workloads) != 0 || r.Seed != nil || r.Scale != nil || r.Nodes != nil ||
+			r.Instructions != nil || r.Slices != nil || r.Runs != nil || r.Jitter != nil ||
+			r.Multiplex != nil || r.KMin != nil || r.KMax != nil || r.Restarts != nil ||
+			r.Linkage != nil {
+			return JobSpec{}, fmt.Errorf("service: spec and convenience fields are mutually exclusive")
+		}
+		return *r.Spec, nil
+	}
+	s := DefaultSpec()
+	s.Workloads = r.Workloads
+	if r.Seed != nil {
+		s.Suite.Seed = *r.Seed
+		s.Cluster.Seed = *r.Seed
+	}
+	if r.Scale != nil {
+		s.Suite.Scale = *r.Scale
+	}
+	if r.Nodes != nil {
+		s.Cluster.SlaveNodes = *r.Nodes
+	}
+	if r.Instructions != nil {
+		s.Cluster.InstructionsPerCore = *r.Instructions
+	}
+	if r.Slices != nil {
+		s.Cluster.Slices = *r.Slices
+	}
+	if r.Runs != nil {
+		s.Cluster.Runs = *r.Runs
+	}
+	if r.Jitter != nil {
+		s.Cluster.ExecutionJitter = *r.Jitter
+	}
+	if r.Multiplex != nil {
+		s.Cluster.Monitor.Multiplex = *r.Multiplex
+	}
+	if r.KMin != nil {
+		s.Analysis.KMin = *r.KMin
+	}
+	if r.KMax != nil {
+		s.Analysis.KMax = *r.KMax
+	}
+	if r.Restarts != nil {
+		s.Analysis.KMeans.Restarts = *r.Restarts
+	}
+	if r.Linkage != nil {
+		switch strings.ToLower(*r.Linkage) {
+		case "single":
+			s.Analysis.Linkage = hier.Single
+		case "complete":
+			s.Analysis.Linkage = hier.Complete
+		case "average":
+			s.Analysis.Linkage = hier.Average
+		default:
+			return JobSpec{}, fmt.Errorf("service: unknown linkage %q (single, complete, average)", *r.Linkage)
+		}
+	}
+	return s, nil
+}
+
+// NewHandler builds the bdservd HTTP API around a manager:
+//
+//	POST   /v1/jobs            submit (dedupes; replays cached results)
+//	GET    /v1/jobs            list all jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result canonical result JSON
+//	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + live)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/cache/stats     result-cache counters
+//	GET    /healthz            liveness
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/cache/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.CacheStats())
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req JobRequest
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		spec, err := req.ToSpec()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		case st.State.terminal():
+			writeJSON(w, http.StatusOK, st)
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := m.Result(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no result for job %q", r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Cancel(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		st, _ := m.Get(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		idx := 0
+		for {
+			evs, more, done := j.EventsSince(idx)
+			for _, ev := range evs {
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+			}
+			idx += len(evs)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if done {
+				return
+			}
+			select {
+			case <-more:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,473 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/core"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → done | failed | canceled. Jobs served
+// from the result cache are born done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one entry in a job's progress stream. Seq is 1-based and
+// strictly increasing; the stream replays from the start for late
+// subscribers and ends with a terminal event (done/error/state=canceled).
+type Event struct {
+	Seq        int    `json:"seq"`
+	Type       string `json:"type"` // "state" | "stage" | "progress" | "done" | "error"
+	State      State  `json:"state,omitempty"`
+	Stage      string `json:"stage,omitempty"`
+	Done       int    `json:"done,omitempty"`
+	Total      int    `json:"total,omitempty"`
+	ResultHash string `json:"result_hash,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// JobStatus is the externally visible snapshot of a job. CacheHit on a
+// Submit response means that submission was served from the result cache
+// (or deduplicated against an already-completed identical job) without
+// any computation.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	State      State      `json:"state"`
+	CacheHit   bool       `json:"cache_hit"`
+	Stage      string     `json:"stage,omitempty"`
+	CellsDone  int        `json:"cells_done"`
+	CellsTotal int        `json:"cells_total"`
+	ResultHash string     `json:"result_hash,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Spec       JobSpec    `json:"spec"`
+}
+
+// job is the manager-internal job record.
+type job struct {
+	id   string
+	spec JobSpec // normalized
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      State
+	cacheHit   bool
+	stage      string
+	cellsDone  int
+	cellsTotal int
+	lastEmit   int // cells reported in the event stream so far
+	resultHash string
+	errMsg     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	events     []Event
+	more       chan struct{} // closed and replaced on every append
+	done       bool          // terminal event emitted
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, CacheHit: j.cacheHit,
+		Stage: j.stage, CellsDone: j.cellsDone, CellsTotal: j.cellsTotal,
+		ResultHash: j.resultHash, Error: j.errMsg,
+		CreatedAt: j.created, Spec: j.spec,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// emit appends an event and wakes subscribers. Callers hold j.mu.
+func (j *job) emitLocked(ev Event) {
+	ev.Seq = len(j.events) + 1
+	j.events = append(j.events, ev)
+	close(j.more)
+	j.more = make(chan struct{})
+	if ev.Type == "done" || ev.Type == "error" ||
+		(ev.Type == "state" && State(ev.State) == StateCanceled) {
+		j.done = true
+	}
+}
+
+func (j *job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(ev)
+}
+
+// EventsSince returns a copy of the event history from index from, a
+// channel closed when more events arrive, and whether the stream has
+// ended. Subscribers loop: drain, then wait on the channel.
+func (j *job) EventsSince(from int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	evs := make([]Event, len(j.events)-from)
+	copy(evs, j.events[from:])
+	return evs, j.more, j.done
+}
+
+// Config configures a Manager.
+type Config struct {
+	// DataDir is the on-disk result store; empty disables the disk tier
+	// (results then live only in the in-memory LRU).
+	DataDir string
+	// Workers bounds concurrently executing jobs (default 1; each job
+	// internally parallelizes its measurement grid).
+	Workers int
+	// QueueDepth bounds jobs waiting for an executor (default 64).
+	QueueDepth int
+	// CacheEntries bounds the in-memory LRU result tier (default 256).
+	CacheEntries int
+	// Parallelism is forwarded to each job's characterization grid and
+	// analysis stage (0 = GOMAXPROCS). It never affects results.
+	Parallelism int
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// Manager owns the job queue, the executor pool and the result cache.
+type Manager struct {
+	cfg   Config
+	cache *resultCache
+
+	root context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for listing
+	queue chan *job
+}
+
+// New starts a manager with cfg.Workers executor goroutines.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 256
+	}
+	cache, err := newResultCache(cfg.CacheEntries, cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	root, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:   cfg,
+		cache: cache,
+		root:  root,
+		stop:  stop,
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Close cancels all running jobs and stops the executor pool.
+func (m *Manager) Close() {
+	m.stop()
+	m.wg.Wait()
+}
+
+func newJob(ctx context.Context, id string, spec JobSpec) *job {
+	jctx, cancel := context.WithCancel(ctx)
+	return &job{
+		id: id, spec: spec, ctx: jctx, cancel: cancel,
+		state: StateQueued, created: time.Now(),
+		more: make(chan struct{}),
+	}
+}
+
+// Submit enqueues a job (or replays it from the cache). Identical specs
+// normalize to the same ID: a submission matching a queued or running job
+// joins it, and one matching a completed job or cached result returns
+// immediately with CacheHit set and the stored result.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	id, err := norm.id()
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		st := j.status()
+		switch st.State {
+		case StateDone:
+			// Count the replay as a cache hit so stats reflect dedupe.
+			if _, hash, ok := m.cache.Get(id); ok {
+				st.ResultHash = hash
+			}
+			st.CacheHit = true
+			return st, nil
+		case StateQueued, StateRunning:
+			return st, nil
+		default:
+			// failed / canceled: forget the old record and resubmit.
+			delete(m.jobs, id)
+			m.dropFromOrder(id)
+		}
+	}
+
+	if _, hash, ok := m.cache.Get(id); ok {
+		j := newJob(m.root, id, norm)
+		now := time.Now()
+		j.state, j.cacheHit = StateDone, true
+		j.started, j.finished = now, now
+		j.resultHash = hash
+		j.emit(Event{Type: "state", State: StateDone})
+		j.emit(Event{Type: "done", ResultHash: hash})
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		return j.status(), nil
+	}
+
+	j := newJob(m.root, id, norm)
+	// Record and emit "queued" before the channel send: a free worker can
+	// pick the job up (and emit "running") the instant it lands in the
+	// queue, and the stream must start with the queued event.
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	j.emit(Event{Type: "state", State: StateQueued})
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, id)
+		m.dropFromOrder(id)
+		return JobStatus{}, ErrQueueFull
+	}
+	return j.status(), nil
+}
+
+func (m *Manager) dropFromOrder(id string) {
+	for i, o := range m.order {
+		if o == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (JobStatus, bool) {
+	if j, ok := m.job(id); ok {
+		return j.status(), true
+	}
+	return JobStatus{}, false
+}
+
+// Result returns the canonical result JSON of a completed job. Bytes are
+// held once, in the result cache — job records only carry the hash — so
+// long-lived daemons don't pin a second copy of every result. Unknown IDs
+// still consult the cache: results persisted by an earlier process are
+// servable before any submission.
+func (m *Manager) Result(id string) ([]byte, bool) {
+	if j, ok := m.job(id); ok {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		if state != StateDone {
+			// Not finished (or failed/canceled): no result exists, and
+			// polling must not inflate the cache miss counters.
+			return nil, false
+		}
+	}
+	if data, _, ok := m.cache.Get(id); ok {
+		return data, true
+	}
+	return nil, false
+}
+
+// Cancel cancels a queued or running job. It reports whether the job
+// exists; cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	if j.state == StateQueued {
+		// Not started yet: settle it immediately; the worker skips it.
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.emitLocked(Event{Type: "state", State: StateCanceled})
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return true
+}
+
+// List returns all job statuses in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.job(id); ok {
+			out = append(out, j.status())
+		}
+	}
+	return out
+}
+
+// CacheStats returns result-cache counters.
+func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
+
+func (m *Manager) job(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// worker is one executor: it drains the queue until the manager closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.root.Done():
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job end to end: resolve the suite, characterize
+// with per-cell progress, analyze with stage progress, encode, cache.
+func (m *Manager) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return // canceled while queued
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.emitLocked(Event{Type: "state", State: StateRunning})
+	j.mu.Unlock()
+
+	hash, err := m.execute(j)
+	now := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = now
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			j.state = StateCanceled
+			j.emitLocked(Event{Type: "state", State: StateCanceled})
+		} else {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+			j.emitLocked(Event{Type: "error", Error: err.Error()})
+		}
+		return
+	}
+	j.state = StateDone
+	j.resultHash = hash
+	j.emitLocked(Event{Type: "done", ResultHash: hash})
+}
+
+func (m *Manager) execute(j *job) (string, error) {
+	suite, err := j.spec.ResolveSuite()
+	if err != nil {
+		return "", err
+	}
+
+	ccfg := j.spec.Cluster
+	ccfg.Parallelism = m.cfg.Parallelism
+	acfg := j.spec.Analysis
+	acfg.Parallelism = m.cfg.Parallelism
+
+	progress := func(stage core.Stage, done, total int) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if string(stage) != j.stage {
+			j.stage = string(stage)
+			j.lastEmit = 0
+			j.emitLocked(Event{Type: "stage", Stage: j.stage})
+		}
+		if total == 0 {
+			return
+		}
+		j.cellsDone, j.cellsTotal = done, total
+		// Throttle per-cell events to ~1 % steps (always reporting the
+		// final cell) so huge grids don't flood the stream.
+		step := total / 100
+		if step < 1 {
+			step = 1
+		}
+		if done == total || done-j.lastEmit >= step {
+			j.lastEmit = done
+			j.emitLocked(Event{
+				Type: "progress", Stage: j.stage, Done: done, Total: total,
+			})
+		}
+	}
+
+	ds, err := core.CharacterizeSuiteCtx(j.ctx, suite, ccfg, progress)
+	if err != nil {
+		return "", err
+	}
+	an, err := core.AnalyzeCtx(j.ctx, ds, acfg, progress)
+	if err != nil {
+		return "", err
+	}
+	data, err := benchio.MarshalCanonical(benchio.EncodeAnalysis(an))
+	if err != nil {
+		return "", err
+	}
+	hash, err := m.cache.Put(j.id, data)
+	if err != nil {
+		return "", fmt.Errorf("service: caching result: %w", err)
+	}
+	return hash, nil
+}

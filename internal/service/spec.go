@@ -1,0 +1,172 @@
+// Package service turns the one-shot characterization pipeline into a
+// long-running characterization-as-a-service subsystem: a job manager
+// with a bounded executor pool, deterministic content-addressed job IDs,
+// an LRU + on-disk result cache, and per-job streamed progress events.
+// cmd/bdservd exposes it over HTTP.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/sim/machine"
+)
+
+// JobSpec is the complete, self-contained description of one
+// characterization + analysis job. Two specs that normalize to the same
+// value are the same job: the job ID (and therefore the result-cache key)
+// is a hash of the normalized spec, so identical submissions deduplicate
+// and replay the cached result byte-for-byte.
+//
+// Workload order is semantic — it fixes dataset row order, which the
+// downstream clustering depends on — so specs listing the same workloads
+// in different orders are distinct jobs.
+type JobSpec struct {
+	// Workloads selects suite members by paper name (e.g. "H-Sort").
+	// Empty means the full 32-workload suite.
+	Workloads []string `json:"workloads,omitempty"`
+	// Suite configures workload synthesis (seed, dataset scale).
+	Suite workloads.Config `json:"suite"`
+	// Cluster configures the simulated five-node measurement cluster.
+	Cluster cluster.Config `json:"cluster"`
+	// Analysis configures the §V–§VI statistical pipeline.
+	Analysis core.AnalysisConfig `json:"analysis"`
+}
+
+// DefaultSpec returns the paper-shaped job: all 32 workloads at the
+// standard suite, cluster and analysis settings.
+func DefaultSpec() JobSpec {
+	return JobSpec{
+		Suite:    workloads.DefaultConfig(),
+		Cluster:  cluster.DefaultConfig(),
+		Analysis: core.DefaultAnalysis(),
+	}
+}
+
+// Normalized fills defaults, strips execution-only knobs and validates,
+// returning the canonical form the job ID is computed from.
+//
+// Parallelism settings are zeroed: the pipeline guarantees bit-identical
+// results at any parallelism, so they are an execution detail of the
+// server, never part of the job identity.
+func (s JobSpec) Normalized() (JobSpec, error) {
+	n := s
+
+	if n.Suite == (workloads.Config{}) {
+		n.Suite = workloads.DefaultConfig()
+	}
+	if n.Suite.Scale <= 0 {
+		return n, fmt.Errorf("service: non-positive suite scale %v", n.Suite.Scale)
+	}
+
+	d := cluster.DefaultConfig()
+	if n.Cluster == (cluster.Config{}) {
+		n.Cluster = d
+	}
+	if n.Cluster.Machine == (machine.Config{}) {
+		n.Cluster.Machine = d.Machine
+	}
+	if n.Cluster.SlaveNodes == 0 {
+		n.Cluster.SlaveNodes = d.SlaveNodes
+	}
+	if n.Cluster.InstructionsPerCore == 0 {
+		n.Cluster.InstructionsPerCore = d.InstructionsPerCore
+	}
+	if n.Cluster.Slices == 0 {
+		n.Cluster.Slices = d.Slices
+	}
+	if n.Cluster.Runs == 0 {
+		n.Cluster.Runs = 1
+	}
+	if n.Cluster.Monitor == (perf.MonitorConfig{}) {
+		n.Cluster.Monitor = d.Monitor
+	} else if n.Cluster.Monitor.Counters == 0 {
+		// Partial monitor config: default only the counter width, keep
+		// the caller's Multiplex/RampUpFraction — wholesale replacement
+		// would silently compute (and cache-key) the wrong measurement.
+		n.Cluster.Monitor.Counters = d.Monitor.Counters
+	}
+	n.Cluster.Parallelism = 0
+
+	if n.Analysis == (core.AnalysisConfig{}) {
+		n.Analysis = core.DefaultAnalysis()
+	}
+	if n.Analysis.KMin == 0 && n.Analysis.KMax == 0 {
+		n.Analysis.KMin, n.Analysis.KMax = 2, 12
+	}
+	if n.Analysis.VarianceFrac == 0 {
+		n.Analysis.VarianceFrac = 0.9
+	}
+	if n.Analysis.KMeans.Restarts == 0 {
+		n.Analysis.KMeans.Restarts = core.DefaultAnalysis().KMeans.Restarts
+	}
+	n.Analysis.Parallelism = 0
+	n.Analysis.KMeans.Parallelism = 0
+
+	if err := n.Cluster.Validate(); err != nil {
+		return n, err
+	}
+	if n.Analysis.KMin < 1 || n.Analysis.KMax < n.Analysis.KMin {
+		return n, fmt.Errorf("service: invalid K range [%d,%d]", n.Analysis.KMin, n.Analysis.KMax)
+	}
+
+	if len(n.Workloads) == 0 {
+		n.Workloads = nil
+	} else {
+		names := make([]string, len(n.Workloads))
+		for i, w := range n.Workloads {
+			names[i] = strings.TrimSpace(w)
+		}
+		n.Workloads = names
+		// Validate the selection (empty/duplicate/unknown names) against
+		// the suite the spec will synthesize.
+		if _, err := n.ResolveSuite(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ResolveSuite synthesizes the workload list the spec describes: the full
+// suite for an empty selection, otherwise the named workloads in the
+// given order via the shared selection helper (unknown names error with
+// the list of valid ones).
+func (s JobSpec) ResolveSuite() ([]workloads.Workload, error) {
+	suite, err := workloads.Suite(s.Suite)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Workloads) == 0 {
+		return suite, nil
+	}
+	return workloads.Select(suite, s.Workloads)
+}
+
+// ID returns the deterministic, content-addressed job identifier: the
+// hex-encoded truncated SHA-256 of the normalized spec's canonical JSON.
+func (s JobSpec) ID() (string, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return "", err
+	}
+	return n.id()
+}
+
+// id hashes an already-normalized spec. encoding/json emits struct fields
+// in declaration order with deterministic number formatting, so equal
+// normalized specs always produce identical bytes.
+func (n JobSpec) id() (string, error) {
+	data, err := json.Marshal(n)
+	if err != nil {
+		return "", fmt.Errorf("service: canonicalizing spec: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16]), nil
+}

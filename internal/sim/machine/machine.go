@@ -17,6 +17,15 @@ type Machine struct {
 	sockets []*socket
 	cores   []*core
 	lineB   uint64
+
+	// Incremental-snapshot state: snapTotal is the machine-wide total as
+	// of the last Snapshot call, snapCore the per-core contribution folded
+	// into it, and snapDirty each core's dirty counter at that point.
+	// Cores whose counter is unchanged (idle since the previous slice, or
+	// done with their stream) are skipped instead of re-summed.
+	snapTotal event.Counts
+	snapCore  []event.Counts
+	snapDirty []uint64
 }
 
 // socket groups cores around a shared, inclusive L3. dir tracks, for each
@@ -39,6 +48,10 @@ type core struct {
 	bp           *branch.Predictor
 
 	ev event.Counts
+
+	// dirty counts executed instructions; Snapshot uses it to skip cores
+	// whose accounting state cannot have changed since the last snapshot.
+	dirty uint64
 
 	// Time and stall attribution, in fractional cycles.
 	cycles     float64
@@ -86,6 +99,8 @@ func New(cfg Config) (*Machine, error) {
 			pendingFill: make(map[uint64]float64),
 		})
 	}
+	m.snapCore = make([]event.Counts, len(m.cores))
+	m.snapDirty = make([]uint64, len(m.cores))
 	return m, nil
 }
 
@@ -121,6 +136,12 @@ func (m *Machine) Reset() {
 		c.lastLoadCompletion = 0
 		c.mlpWeighted = 0
 		c.mlpCycles = 0
+		c.dirty = 0
+	}
+	m.snapTotal = event.Counts{}
+	for i := range m.snapCore {
+		m.snapCore[i] = event.Counts{}
+		m.snapDirty[i] = 0
 	}
 }
 
@@ -576,6 +597,7 @@ func (m *Machine) upgradeToModified(c *core, blk uint64) {
 
 // execute runs one instruction on core c with full accounting.
 func (m *Machine) execute(c *core, in *Instr) {
+	c.dirty++
 	m.instructionFetch(c, in)
 
 	uops := float64(in.Uops)
@@ -670,7 +692,36 @@ func (c *core) snapshot() event.Counts {
 }
 
 // Snapshot returns machine-wide cumulative event counts (sum over cores).
+//
+// It is incremental: each core carries a dirty counter bumped per executed
+// instruction, and only cores that executed since the previous Snapshot
+// are re-summarized — their old contribution is swapped out of a cached
+// machine-wide total. Cores that are idle or have exhausted their stream
+// cost nothing per slice, so per-slice snapshotting is O(active
+// cores·events) instead of O(cores·events). The result is identical to
+// summing every core from scratch (snapshotFull, the test oracle).
 func (m *Machine) Snapshot() event.Counts {
+	for i, c := range m.cores {
+		if c.dirty == m.snapDirty[i] {
+			continue
+		}
+		fresh := c.snapshot()
+		old := &m.snapCore[i]
+		for e := range fresh {
+			// Wraparound-exact: total + (fresh − old) in mod-2⁶⁴
+			// arithmetic, and per-core accounting is monotone anyway.
+			m.snapTotal[e] += fresh[e] - old[e]
+		}
+		m.snapCore[i] = fresh
+		m.snapDirty[i] = c.dirty
+	}
+	return m.snapTotal
+}
+
+// snapshotFull recomputes the machine-wide total from scratch — the
+// pre-incremental Snapshot path, kept as the oracle for tests asserting
+// the two never diverge.
+func (m *Machine) snapshotFull() event.Counts {
 	var total event.Counts
 	for _, c := range m.cores {
 		ev := c.snapshot()

@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim/event"
+)
+
+// randInstrs builds a deterministic mixed instruction stream that touches
+// every accounting path: loads/stores over a footprint larger than the
+// tiny caches, branches with data-dependent direction, complex multi-µop
+// instructions and kernel-mode work.
+func randInstrs(seed uint64, n int) []Instr {
+	r := rng.New(seed)
+	out := make([]Instr, n)
+	for i := range out {
+		in := Instr{PC: 0x1000 + uint64(r.Intn(4096))*4, Uops: 1}
+		switch r.Intn(10) {
+		case 0, 1, 2:
+			in.Kind = KindLoad
+			in.Addr = uint64(r.Intn(1 << 18))
+		case 3:
+			in.Kind = KindStore
+			in.Addr = uint64(r.Intn(1 << 18))
+		case 4, 5:
+			in.Kind = KindBranch
+			in.Taken = r.Intn(3) == 0
+		case 6:
+			in.Kind = KindFP
+			in.Uops = 3
+			in.Complex = true
+		case 7:
+			in.Kind = KindSSE
+			in.Dependent = true
+		default:
+			in.Kind = KindInt
+		}
+		if r.Intn(16) == 0 {
+			in.Kernel = true
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// TestSnapshotIncrementalMatchesFull interleaves execution across cores —
+// including an idle core and a core that stops early — and checks after
+// every burst that the incremental Snapshot equals the from-scratch
+// recomputation (snapshotFull, the pre-incremental path).
+func TestSnapshotIncrementalMatchesFull(t *testing.T) {
+	m := tiny(t)
+	streams := make([][]Instr, len(m.cores))
+	for ci := range streams {
+		if ci == len(m.cores)-1 {
+			continue // last core stays idle the whole run
+		}
+		streams[ci] = randInstrs(uint64(ci)*0x9E37+1, 400)
+	}
+	pos := make([]int, len(m.cores))
+
+	step := func(ci, k int) {
+		for ; k > 0 && pos[ci] < len(streams[ci]); k-- {
+			m.execute(m.cores[ci], &streams[ci][pos[ci]])
+			pos[ci]++
+		}
+	}
+	check := func(when string) {
+		t.Helper()
+		got, want := m.Snapshot(), m.snapshotFull()
+		for e := range want {
+			if got[e] != want[e] {
+				t.Fatalf("%s: event %v: incremental %d, full %d",
+					when, event.ID(e), got[e], want[e])
+			}
+		}
+	}
+
+	check("before any execution")
+	for burst := 0; burst < 20; burst++ {
+		for ci := range streams {
+			// Core 1 finishes early: stop feeding it after burst 5.
+			if ci == 1 && burst > 5 {
+				continue
+			}
+			step(ci, 17+ci)
+		}
+		check("mid-run")
+		// Consecutive snapshots with no execution in between must be
+		// stable and still match.
+		check("idle re-snapshot")
+	}
+
+	// Reset must clear the incremental state too: a reset machine
+	// snapshots to zero and stays consistent through a second run.
+	m.Reset()
+	z := m.Snapshot()
+	for e := range z {
+		if z[e] != 0 {
+			t.Fatalf("after Reset: event %v = %d, want 0", event.ID(e), z[e])
+		}
+	}
+	pos = make([]int, len(m.cores))
+	for burst := 0; burst < 5; burst++ {
+		for ci := range streams {
+			step(ci, 11)
+		}
+		check("after reset")
+	}
+}
+
+// TestRunSnapshotsMatchFresh checks the end-to-end path: per-slice
+// snapshots recorded by Run on a reused (Reset) machine are identical to
+// those of a freshly constructed machine.
+func TestRunSnapshotsMatchFresh(t *testing.T) {
+	mkSources := func(m *Machine) []Source {
+		sources := make([]Source, len(m.cores))
+		for i := range sources {
+			sources[i] = &SliceSource{Instrs: randInstrs(uint64(i)+99, 500)}
+		}
+		return sources
+	}
+
+	fresh := tiny(t)
+	want, err := fresh.Run(mkSources(fresh), 400, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reused := tiny(t)
+	// Dirty the machine with an unrelated run, then Reset.
+	if _, err := reused.Run(mkSources(reused), 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	reused.Reset()
+	got, err := reused.Run(mkSources(reused), 400, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Snapshots) != len(want.Snapshots) {
+		t.Fatalf("snapshot count %d vs %d", len(got.Snapshots), len(want.Snapshots))
+	}
+	for i := range want.Snapshots {
+		if got.Snapshots[i] != want.Snapshots[i] {
+			t.Fatalf("slice %d diverged between fresh and reset machine", i)
+		}
+	}
+}
