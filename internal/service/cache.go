@@ -65,6 +65,24 @@ func hashBytes(data []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// validID reports whether id has the exact shape of a job ID (32 lowercase
+// hex digits, the truncated spec SHA-256). The cache derives file names
+// from IDs that arrive from URL paths, so anything else — in particular
+// separators or dot segments smuggled in via percent-encoding — must never
+// reach the filesystem.
+func validID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		b := id[i]
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (c *resultCache) path(id string) string {
 	return filepath.Join(c.dir, id+".json")
 }
@@ -73,6 +91,9 @@ func (c *resultCache) path(id string) string {
 // consulting the LRU tier first and falling back to disk (promoting the
 // entry back into the LRU on a disk hit).
 func (c *resultCache) Get(id string) (data []byte, hash string, ok bool) {
+	if !validID(id) {
+		return nil, "", false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byID[id]; ok {
@@ -96,26 +117,33 @@ func (c *resultCache) Get(id string) (data []byte, hash string, ok bool) {
 }
 
 // Put stores a result under its job ID (write-through to disk when a data
-// directory is configured) and returns the result hash.
+// directory is configured) and returns the result hash. The disk write
+// happens first: if it fails, no tier holds the entry, so a failed job
+// can never be replayed as a cached success.
 func (c *resultCache) Put(id string, data []byte) (string, error) {
+	if !validID(id) {
+		return "", fmt.Errorf("service: invalid result cache ID %q", id)
+	}
 	hash := hashBytes(data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.dir != "" {
+		tmp := c.path(id) + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			os.Remove(tmp)
+			return hash, fmt.Errorf("service: writing result: %w", err)
+		}
+		if err := os.Rename(tmp, c.path(id)); err != nil {
+			os.Remove(tmp)
+			return hash, fmt.Errorf("service: committing result: %w", err)
+		}
+	}
 	c.stats.Stores++
 	if el, ok := c.byID[id]; ok {
 		c.ll.MoveToFront(el)
 		el.Value = &cacheEntry{id: id, data: data, hash: hash}
 	} else {
 		c.insert(&cacheEntry{id: id, data: data, hash: hash})
-	}
-	if c.dir != "" {
-		tmp := c.path(id) + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return hash, fmt.Errorf("service: writing result: %w", err)
-		}
-		if err := os.Rename(tmp, c.path(id)); err != nil {
-			return hash, fmt.Errorf("service: committing result: %w", err)
-		}
 	}
 	return hash, nil
 }

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidID(t *testing.T) {
+	good := strings.Repeat("0123456789abcdef", 2)
+	if !validID(good) {
+		t.Errorf("validID(%q) = false, want true", good)
+	}
+	bad := []string{
+		"",
+		"short",
+		good + "00",                   // too long
+		strings.ToUpper(good),         // uppercase hex
+		"../secret",                   // traversal
+		"..%2Fsecret",                 // still-encoded traversal
+		strings.Repeat("0", 31) + "/", // separator
+		strings.Repeat("0", 31) + ".", // dot
+		strings.Repeat("0", 31) + "g", // non-hex
+		"/" + strings.Repeat("0", 31), // absolute
+		strings.Repeat("0", 15) + "\x00" + strings.Repeat("0", 16), // NUL
+	}
+	for _, id := range bad {
+		if validID(id) {
+			t.Errorf("validID(%q) = true, want false", id)
+		}
+	}
+}
+
+// TestResultRejectsPathTraversal plants a JSON file next to the data dir
+// and verifies that an encoded-slash job ID cannot read it — neither
+// through the HTTP result endpoint (Go 1.22 ServeMux keeps %2F inside a
+// path segment and PathValue unescapes it) nor through the cache directly.
+func TestResultRejectsPathTraversal(t *testing.T) {
+	tmp := t.TempDir()
+	secret := []byte(`{"secret":"do-not-serve"}`)
+	if err := os.WriteFile(filepath.Join(tmp, "secret.json"), secret, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, m := newTestServer(t, Config{DataDir: filepath.Join(tmp, "data")})
+
+	for _, path := range []string{
+		"/v1/jobs/..%2Fsecret/result",
+		"/v1/jobs/..%2F..%2Fsecret/result",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, http.StatusNotFound)
+		}
+	}
+
+	if _, _, ok := m.cache.Get("../secret"); ok {
+		t.Error("cache.Get served a traversal ID from disk")
+	}
+	if st := m.CacheStats(); st.Entries != 0 {
+		t.Errorf("traversal probe inserted %d cache entries", st.Entries)
+	}
+}
+
+// TestPutDiskFailureRollsBack verifies that a failed disk write leaves no
+// tier holding the result: a job whose result could not be persisted must
+// not be replayable as a cached success.
+func TestPutDiskFailureRollsBack(t *testing.T) {
+	c, err := newResultCache(4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.dir = filepath.Join(c.dir, "missing") // writes now fail (ENOENT)
+
+	id := strings.Repeat("ab", 16)
+	if _, err := c.Put(id, []byte(`{"x":1}`)); err == nil {
+		t.Fatal("Put succeeded despite unwritable disk tier")
+	}
+	if _, _, ok := c.Get(id); ok {
+		t.Error("failed Put left a servable memory entry")
+	}
+	if st := c.Stats(); st.Stores != 0 || st.Entries != 0 {
+		t.Errorf("failed Put counted stores=%d entries=%d, want 0/0", st.Stores, st.Entries)
+	}
+}
+
+// TestSubmitReexecutesWhenResultEvicted covers the memory-only eviction
+// corner: a done job whose result bytes were displaced from a 1-entry LRU
+// must be re-executed on resubmission, not reported as a cache hit whose
+// result endpoint would then 404.
+func TestSubmitReexecutesWhenResultEvicted(t *testing.T) {
+	m := newTestManager(t, Config{CacheEntries: 1, Parallelism: 2})
+
+	specA := tinySpec()
+	specB := tinySpec()
+	specB.Suite.Seed, specB.Cluster.Seed = 23, 23
+
+	stA, err := m.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitTerminal(t, m, stA.ID, 60*time.Second); fin.State != StateDone {
+		t.Fatalf("job A finished %s: %s", fin.State, fin.Error)
+	}
+	stB, err := m.Submit(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitTerminal(t, m, stB.ID, 60*time.Second); fin.State != StateDone {
+		t.Fatalf("job B finished %s: %s", fin.State, fin.Error)
+	}
+
+	// B's result displaced A's from the single-entry LRU; there is no
+	// disk tier to fall back to.
+	if _, ok := m.Result(stA.ID); ok {
+		t.Fatal("evicted result still servable; test premise broken")
+	}
+
+	st, err := m.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("resubmission after eviction reported a cache hit")
+	}
+	if fin := waitTerminal(t, m, st.ID, 60*time.Second); fin.State != StateDone {
+		t.Fatalf("re-executed job finished %s: %s", fin.State, fin.Error)
+	}
+	if _, ok := m.Result(st.ID); !ok {
+		t.Error("re-executed job has no servable result")
+	}
+}

@@ -238,6 +238,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	cacheMissed := false
 	if j, ok := m.jobs[id]; ok {
 		st := j.status()
 		switch st.State {
@@ -245,9 +246,15 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			// Count the replay as a cache hit so stats reflect dedupe.
 			if _, hash, ok := m.cache.Get(id); ok {
 				st.ResultHash = hash
+				st.CacheHit = true
+				return st, nil
 			}
-			st.CacheHit = true
-			return st, nil
+			// The result was evicted from a memory-only cache: the job
+			// record advertises a hash nobody can serve, so forget it and
+			// fall through to re-execute (without re-probing the cache).
+			cacheMissed = true
+			delete(m.jobs, id)
+			m.dropFromOrder(id)
 		case StateQueued, StateRunning:
 			return st, nil
 		default:
@@ -257,17 +264,19 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		}
 	}
 
-	if _, hash, ok := m.cache.Get(id); ok {
-		j := newJob(m.root, id, norm)
-		now := time.Now()
-		j.state, j.cacheHit = StateDone, true
-		j.started, j.finished = now, now
-		j.resultHash = hash
-		j.emit(Event{Type: "state", State: StateDone})
-		j.emit(Event{Type: "done", ResultHash: hash})
-		m.jobs[id] = j
-		m.order = append(m.order, id)
-		return j.status(), nil
+	if !cacheMissed {
+		if _, hash, ok := m.cache.Get(id); ok {
+			j := newJob(m.root, id, norm)
+			now := time.Now()
+			j.state, j.cacheHit = StateDone, true
+			j.started, j.finished = now, now
+			j.resultHash = hash
+			j.emit(Event{Type: "state", State: StateDone})
+			j.emit(Event{Type: "done", ResultHash: hash})
+			m.jobs[id] = j
+			m.order = append(m.order, id)
+			return j.status(), nil
+		}
 	}
 
 	j := newJob(m.root, id, norm)
@@ -433,9 +442,16 @@ func (m *Manager) execute(j *job) (string, error) {
 		if string(stage) != j.stage {
 			j.stage = string(stage)
 			j.lastEmit = 0
+			j.cellsDone, j.cellsTotal = 0, 0
 			j.emitLocked(Event{Type: "stage", Stage: j.stage})
 		}
 		if total == 0 {
+			return
+		}
+		// Grid workers report concurrently and can acquire j.mu out of
+		// done order; drop stale counts so cellsDone stays monotone and
+		// the done==total report is never overwritten.
+		if done < j.cellsDone {
 			return
 		}
 		j.cellsDone, j.cellsTotal = done, total

@@ -9,7 +9,8 @@ set -euo pipefail
 ADDR="127.0.0.1:8356"
 BASE="http://$ADDR"
 WORKDIR="$(mktemp -d)"
-trap 'kill "$SERVD_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+SERVD_PID=""
+trap 'kill "${SERVD_PID:-}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 echo "==> building bdservd"
 go build -o "$WORKDIR/bdservd" ./cmd/bdservd
