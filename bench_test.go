@@ -1,5 +1,5 @@
 // Package repro's benchmark harness regenerates every table and figure of
-// the paper's evaluation (see DESIGN.md §4 for the experiment index):
+// the paper's evaluation (see DESIGN.md §6 for the experiment index):
 //
 //	BenchmarkTable1_WorkloadInventory   Table I    workload inventory
 //	BenchmarkTable2_MetricCatalog       Table II   45-metric catalog
@@ -13,7 +13,7 @@
 //	BenchmarkTable5_Representatives     Table V    representative selection
 //	BenchmarkFigure6_Kiviat             Fig. 6     representative Kiviat profiles
 //
-// plus ablation benches for the design choices DESIGN.md §5 calls out.
+// plus ablation benches for the design choices DESIGN.md §7 calls out.
 // The artifact bodies are printed once per run with -v (go test -bench
 // -benchtime=1x -v) and written to bench_artifacts/ so the series can be
 // compared against the paper (EXPERIMENTS.md).
@@ -248,7 +248,7 @@ func BenchmarkCharacterizeWorkload(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §5) ---
+// --- Ablations (DESIGN.md §7) ---
 
 // BenchmarkAblation_Linkage compares linkage strategies: the paper's
 // single linkage versus complete, average and Ward, reporting how the

@@ -1,0 +1,134 @@
+// Command bdcoord is the shard coordinator: it serves the same /v1/jobs
+// API as bdservd, but instead of executing jobs in-process it statically
+// partitions each job's characterization grid (on the workload×node
+// axes) into per-worker sub-specs, fans them out over HTTP to a set of
+// bdservd workers, multiplexes the per-shard NDJSON progress into one
+// merged event stream, retries failed shards on healthy workers, and
+// deterministically re-assembles the shard observation matrices before
+// running the statistical pipeline once, coordinator-side. The merged
+// result is byte-identical (same content hash) to a single-daemon run of
+// the same spec at any worker count.
+//
+// Usage:
+//
+//	bdcoord -workers http://h1:8356,http://h2:8356 [-addr :8360]
+//	        [-data-dir bdcoord-data] [-queue 64] [-cache-entries 256]
+//	        [-max-jobs 1024] [-parallelism 0] [-concurrent-jobs 1]
+//	        [-stall-timeout 5m]
+//
+// The coordinator keeps its own content-addressed result cache and
+// persistent job journal (under -data-dir), so repeated grids are served
+// without touching the workers and job metadata survives restarts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/shard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdcoord:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8360", "listen address")
+		workers = flag.String("workers", "", "comma-separated bdservd worker base URLs (required)")
+		dataDir = flag.String("data-dir", "bdcoord-data", "on-disk result store + journal ('' = memory only)")
+		queue   = flag.Int("queue", 64, "max queued jobs")
+		entries = flag.Int("cache-entries", 256, "in-memory LRU result entries")
+		maxJobs = flag.Int("max-jobs", 1024, "max retained job records (oldest terminal evicted)")
+		par     = flag.Int("parallelism", 0, "coordinator-side analysis parallelism (0 = GOMAXPROCS)")
+		conc    = flag.Int("concurrent-jobs", 1, "concurrently coordinated jobs")
+		stall   = flag.Duration("stall-timeout", 5*time.Minute, "per-shard worker inactivity bound before failover")
+	)
+	flag.Parse()
+	if *queue < 1 || *entries < 1 || *maxJobs < 1 || *conc < 1 || *par < 0 {
+		return fmt.Errorf("-queue, -cache-entries, -max-jobs and -concurrent-jobs must be ≥1 and -parallelism ≥0")
+	}
+	var urls []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-workers is required (comma-separated bdservd URLs)")
+	}
+
+	// Surface obviously dead workers at startup — advisory only: workers
+	// may come and go, and per-shard failover handles them at job time.
+	for _, u := range urls {
+		ctx, stop := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := client.New(u).Health(ctx); err != nil {
+			log.Printf("bdcoord: warning: %v", err)
+		}
+		stop()
+	}
+
+	exec, err := shard.New(shard.Config{Workers: urls, Parallelism: *par, StallTimeout: *stall})
+	if err != nil {
+		return err
+	}
+	journal := ""
+	if *dataDir != "" {
+		journal = filepath.Join(*dataDir, "journal.ndjson")
+	}
+	mgr, err := service.New(service.Config{
+		DataDir:      *dataDir,
+		Workers:      *conc,
+		QueueDepth:   *queue,
+		CacheEntries: *entries,
+		MaxJobs:      *maxJobs,
+		JournalPath:  journal,
+		Execute:      exec.Execute,
+	})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("bdcoord: listening on %s, sharding across %d worker(s): %s",
+		*addr, len(urls), strings.Join(urls, ", "))
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("bdcoord: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -5,10 +5,18 @@
 // deduplicated through a content-addressed result cache (in-memory LRU
 // plus an on-disk JSON store under -data-dir).
 //
+// Job metadata is bounded (-max-jobs evicts the oldest terminal records)
+// and persisted: unless disabled, lifecycle records are appended to an
+// NDJSON journal under -data-dir and replayed on boot, so a restarted
+// daemon still serves previously completed jobs' status and results.
+// With -characterize-only the daemon accepts only observation-matrix
+// jobs — the worker role behind a bdcoord shard coordinator.
+//
 // Usage:
 //
 //	bdservd [-addr :8356] [-data-dir bdservd-data] [-workers 1]
-//	        [-queue 64] [-cache-entries 256] [-parallelism 0]
+//	        [-queue 64] [-cache-entries 256] [-max-jobs 1024]
+//	        [-journal auto] [-characterize-only] [-parallelism 0]
 //
 // API (see DESIGN.md §4 for the full reference):
 //
@@ -31,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -46,24 +55,38 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8356", "listen address")
-		dataDir = flag.String("data-dir", "bdservd-data", "on-disk result store ('' = memory only)")
-		workers = flag.Int("workers", 1, "concurrently executing jobs")
-		queue   = flag.Int("queue", 64, "max queued jobs")
-		entries = flag.Int("cache-entries", 256, "in-memory LRU result entries")
-		par     = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
+		addr     = flag.String("addr", ":8356", "listen address")
+		dataDir  = flag.String("data-dir", "bdservd-data", "on-disk result store ('' = memory only)")
+		workers  = flag.Int("workers", 1, "concurrently executing jobs")
+		queue    = flag.Int("queue", 64, "max queued jobs")
+		entries  = flag.Int("cache-entries", 256, "in-memory LRU result entries")
+		maxJobs  = flag.Int("max-jobs", 1024, "max retained job records (oldest terminal evicted)")
+		journal  = flag.String("journal", "auto", "job journal path ('auto' = <data-dir>/journal.ndjson, '' = disabled)")
+		charOnly = flag.Bool("characterize-only", false,
+			"accept only observation-matrix jobs (shard-worker role)")
+		par = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *workers < 1 || *queue < 1 || *entries < 1 || *par < 0 {
-		return fmt.Errorf("-workers, -queue and -cache-entries must be ≥1 and -parallelism ≥0")
+	if *workers < 1 || *queue < 1 || *entries < 1 || *maxJobs < 1 || *par < 0 {
+		return fmt.Errorf("-workers, -queue, -cache-entries and -max-jobs must be ≥1 and -parallelism ≥0")
+	}
+	journalPath := *journal
+	if journalPath == "auto" {
+		journalPath = ""
+		if *dataDir != "" {
+			journalPath = filepath.Join(*dataDir, "journal.ndjson")
+		}
 	}
 
 	mgr, err := service.New(service.Config{
-		DataDir:      *dataDir,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *entries,
-		Parallelism:  *par,
+		DataDir:          *dataDir,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *entries,
+		MaxJobs:          *maxJobs,
+		JournalPath:      journalPath,
+		CharacterizeOnly: *charOnly,
+		Parallelism:      *par,
 	})
 	if err != nil {
 		return err

@@ -8,18 +8,29 @@
 //	report -only table4     # a single artifact
 //	report -in metrics.csv  # reuse a cached characterization
 //	report -save metrics.csv# cache the characterization for later runs
+//	report -server URL      # offload characterization to a bdservd/bdcoord
+//
+// With -server the spec is submitted over the jobs API, progress is
+// followed on the daemon's event stream, and the tables render from the
+// fetched result's metric matrix — the expensive simulation runs (or
+// replays from the daemon's cache) remotely instead of locally.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/benchio"
 	"repro/internal/bigdata/cluster"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/sim/machine"
 )
 
@@ -32,12 +43,16 @@ func main() {
 
 func run() error {
 	var (
-		in   = flag.String("in", "", "reuse a cached metrics CSV instead of simulating")
-		save = flag.String("save", "", "write the characterization CSV here")
-		only = flag.String("only", "", "one of: table1..table5, figure1..figure6, observations")
-		seed = flag.Uint64("seed", 20140901, "seed for all stochastic components")
+		in     = flag.String("in", "", "reuse a cached metrics CSV instead of simulating")
+		server = flag.String("server", "", "bdservd/bdcoord base URL: characterize there instead of locally")
+		save   = flag.String("save", "", "write the characterization CSV here")
+		only   = flag.String("only", "", "one of: table1..table5, figure1..figure6, observations")
+		seed   = flag.Uint64("seed", 20140901, "seed for all stochastic components")
 	)
 	flag.Parse()
+	if *in != "" && *server != "" {
+		return fmt.Errorf("-in and -server are mutually exclusive")
+	}
 
 	suiteCfg := workloads.DefaultConfig()
 	suiteCfg.Seed = *seed
@@ -47,7 +62,8 @@ func run() error {
 	}
 
 	var ds *core.Dataset
-	if *in != "" {
+	switch {
+	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
 			return err
@@ -57,7 +73,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-	} else {
+	case *server != "":
+		ds, err = fetchDataset(*server, *seed)
+		if err != nil {
+			return err
+		}
+	default:
 		ccfg := cluster.DefaultConfig()
 		ccfg.Seed = *seed
 		fmt.Fprintln(os.Stderr, "characterizing 32 workloads on the simulated cluster (~1 min)...")
@@ -125,4 +146,63 @@ func run() error {
 		return fmt.Errorf("unknown artifact %q", *only)
 	}
 	return nil
+}
+
+// fetchDataset offloads characterization to a bdservd or bdcoord daemon:
+// it submits the paper-shaped grid as a characterize-only job over the
+// jobs API, follows the NDJSON event stream to completion, fetches the
+// observation matrix and reduces it locally into the metric matrix. Only
+// the millisecond-scale reduction and analysis run locally (the report
+// renderers need the full Analysis object); the minutes-scale simulation
+// happens — or replays from the cache — on the daemon. Observations mode
+// also works against every daemon role, including `bdservd
+// -characterize-only` shard workers.
+func fetchDataset(base string, seed uint64) (*core.Dataset, error) {
+	spec := service.DefaultSpec()
+	spec.Mode = service.ModeObservations
+	spec.Suite.Seed = seed
+	spec.Cluster.Seed = seed
+
+	c := client.New(base)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return nil, err
+	}
+	st, err := c.SubmitSpec(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "submitted job %s to %s (state %s, cache hit %v)\n",
+		st.ID, base, st.State, st.CacheHit)
+	if st.State != service.StateDone {
+		fin, err := c.WaitDone(ctx, st.ID, func(ev service.Event) {
+			switch ev.Type {
+			case "stage":
+				fmt.Fprintf(os.Stderr, "  stage %s\n", ev.Stage)
+			case "progress":
+				if ev.Total > 0 && ev.Done == ev.Total {
+					fmt.Fprintf(os.Stderr, "  %s: %d/%d cells\n", ev.Stage, ev.Done, ev.Total)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if fin.State != service.StateDone {
+			return nil, fmt.Errorf("remote job ended %s: %s", fin.State, fin.Error)
+		}
+	}
+	data, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	var oj benchio.ObservationsJSON
+	if err := json.Unmarshal(data, &oj); err != nil {
+		return nil, fmt.Errorf("decoding remote result: %w", err)
+	}
+	om, err := oj.Observations()
+	if err != nil {
+		return nil, err
+	}
+	return om.Reduce()
 }

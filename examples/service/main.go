@@ -1,18 +1,19 @@
 // Service example: a bdservd client. It submits a small characterization
-// job over the HTTP API, streams the daemon's per-stage progress events,
-// fetches the analysis result, and then resubmits the identical job to
-// demonstrate the content-addressed cache hit.
+// job over the HTTP API (via the shared internal/service/client package),
+// streams the daemon's per-stage progress events, fetches the analysis
+// result, and then resubmits the identical job to demonstrate the
+// content-addressed cache hit.
 //
 // With no -addr it spins up an in-process daemon on a loopback port, so
 // the example is self-contained:
 //
 //	go run ./examples/service
 //	go run ./examples/service -addr http://localhost:8356   # external daemon
+//	go run ./examples/service -addr http://localhost:8360   # via a bdcoord
 package main
 
 import (
-	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 func main() {
@@ -44,33 +46,30 @@ func main() {
 		fmt.Printf("started in-process daemon at %s\n", base)
 	}
 
-	req := map[string]any{
-		"workloads":    strings.Split(*workloads, ","),
-		"instructions": *instructions,
-		"nodes":        *nodes,
-		"kmax":         4,
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
+	ctx := context.Background()
+	c := client.New(base)
+	if err := c.Health(ctx); err != nil {
 		log.Fatal(err)
 	}
 
+	kmax := 4
+	req := service.JobRequest{
+		Workloads:    strings.Split(*workloads, ","),
+		Instructions: instructions,
+		Nodes:        nodes,
+		KMax:         &kmax,
+	}
+
 	// Submit.
-	st := post(base+"/v1/jobs", body)
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("submitted job %s (state %s, cache hit %v)\n", st.ID, st.State, st.CacheHit)
 
 	// Stream progress events until the job completes.
 	if !terminal(st.State) {
-		resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
-		if err != nil {
-			log.Fatal(err)
-		}
-		sc := bufio.NewScanner(resp.Body)
-		for sc.Scan() {
-			var ev service.Event
-			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-				log.Fatal(err)
-			}
+		fin, err := c.WaitDone(ctx, st.ID, func(ev service.Event) {
 			switch ev.Type {
 			case "state":
 				fmt.Printf("  [%02d] state → %s\n", ev.Seq, ev.State)
@@ -81,17 +80,20 @@ func main() {
 			case "done":
 				fmt.Printf("  [%02d] done, result %s…\n", ev.Seq, ev.ResultHash[:12])
 			case "error":
-				log.Fatalf("job failed: %s", ev.Error)
+				fmt.Printf("  [%02d] error: %s\n", ev.Seq, ev.Error)
 			}
-		}
-		resp.Body.Close()
-		if err := sc.Err(); err != nil {
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
+		if fin.State != service.StateDone {
+			log.Fatalf("job ended %s: %s", fin.State, fin.Error)
+		}
+		st = fin
 	}
 
 	// Fetch the canonical result and print the subset.
-	resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	data, err := c.Result(ctx, st.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,50 +102,21 @@ func main() {
 		NumPCs int      `json:"num_pcs"`
 		Subset []string `json:"subset"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+	if err := json.Unmarshal(data, &result); err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
 	fmt.Printf("analysis: %d PCs, K = %d, subset = %s\n",
 		result.NumPCs, result.BestK, strings.Join(result.Subset, ", "))
 
 	// Identical resubmission: served from the cache, same result hash.
 	start := time.Now()
-	again := post(base+"/v1/jobs", body)
+	again, err := c.Submit(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("resubmitted: state %s, cache hit %v, same hash %v (%.1f ms)\n",
-		again.State, again.CacheHit, again.ResultHash != "" && again.ResultHash == hashOf(base, st.ID),
+		again.State, again.CacheHit, again.ResultHash != "" && again.ResultHash == st.ResultHash,
 		float64(time.Since(start).Microseconds())/1000)
-}
-
-func post(url string, body []byte) service.JobStatus {
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		var e map[string]string
-		json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, e["error"])
-	}
-	var st service.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		log.Fatal(err)
-	}
-	return st
-}
-
-func hashOf(base, id string) string {
-	resp, err := http.Get(base + "/v1/jobs/" + id)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var st service.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		log.Fatal(err)
-	}
-	return st.ResultHash
 }
 
 func terminal(s service.State) bool {

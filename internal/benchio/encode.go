@@ -30,6 +30,43 @@ func (d DatasetJSON) Dataset() (*core.Dataset, error) {
 	return ds, nil
 }
 
+// ObservationsJSON is the wire form of a core.ObservationMatrix: the raw
+// per-cell metric vectors of a (possibly partial) characterization grid.
+// It is the result body of a characterize-only ("observations" mode) job
+// — what a shard worker returns to its coordinator. Field order is fixed,
+// so identical matrices encode to identical bytes.
+type ObservationsJSON struct {
+	Labels     []string `json:"labels"`
+	Metrics    []string `json:"metrics"`
+	NodeOffset int      `json:"node_offset"`
+	// Cells is indexed [workload][run][node] → metric vector.
+	Cells [][][][]float64 `json:"cells"`
+}
+
+// EncodeObservations projects an observation matrix onto its wire form.
+func EncodeObservations(om *core.ObservationMatrix) ObservationsJSON {
+	return ObservationsJSON{
+		Labels:     om.Labels,
+		Metrics:    om.Metrics,
+		NodeOffset: om.NodeOffset,
+		Cells:      om.Cells,
+	}
+}
+
+// Observations converts the wire form back (validated).
+func (o ObservationsJSON) Observations() (*core.ObservationMatrix, error) {
+	om := &core.ObservationMatrix{
+		Labels:     o.Labels,
+		Metrics:    o.Metrics,
+		Cells:      o.Cells,
+		NodeOffset: o.NodeOffset,
+	}
+	if err := om.Validate(); err != nil {
+		return nil, err
+	}
+	return om, nil
+}
+
 // RepresentativeJSON is the wire form of one selected workload.
 type RepresentativeJSON struct {
 	Cluster     int    `json:"cluster"`

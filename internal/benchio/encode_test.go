@@ -34,6 +34,44 @@ func TestDatasetJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestObservationsJSONRoundTrip(t *testing.T) {
+	om := &core.ObservationMatrix{
+		Labels:     []string{"H-A", "S-A"},
+		Metrics:    []string{"M1", "M2"},
+		NodeOffset: 3,
+		Cells: [][][][]float64{
+			{{{1, 2}, {3, 4}}, {{5, 6}, {7, 8}}},
+			{{{9, 10}, {11, 12}}, {{13, 14}, {15, 16}}},
+		},
+	}
+	got, err := EncodeObservations(om).Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, om) {
+		t.Errorf("round trip mutated the matrix: %+v", got)
+	}
+
+	// Canonical bytes are deterministic across encodes.
+	a, err := MarshalCanonical(EncodeObservations(om))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalCanonical(EncodeObservations(om))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("observation encoding is not deterministic")
+	}
+
+	bad := EncodeObservations(om)
+	bad.Labels = bad.Labels[:1]
+	if _, err := bad.Observations(); err == nil {
+		t.Error("label/cell mismatch accepted")
+	}
+}
+
 // TestMarshalCanonicalDeterministic pins the property the result cache
 // depends on: equal values marshal to identical bytes.
 func TestMarshalCanonicalDeterministic(t *testing.T) {

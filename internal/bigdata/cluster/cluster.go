@@ -34,6 +34,14 @@ type Config struct {
 	Machine machine.Config
 	// SlaveNodes is the number of measured worker nodes (paper: 4).
 	SlaveNodes int
+	// NodeOffset is the absolute index of the first measured node.
+	// Per-cell seeds are functions of the absolute node index, so a
+	// campaign over nodes [NodeOffset, NodeOffset+SlaveNodes) measures
+	// exactly the corresponding node columns of the full grid — the basis
+	// for sharding the node axis across daemons. Zero for a whole-grid
+	// run; omitted from JSON when zero so sharding does not perturb the
+	// canonical encoding of unsharded configs.
+	NodeOffset int `json:",omitempty"`
 	// InstructionsPerCore is the per-core budget for each node run.
 	InstructionsPerCore int
 	// Slices is the number of PMC scheduling slices per run.
@@ -74,6 +82,9 @@ func (c Config) Validate() error {
 	}
 	if c.SlaveNodes < 1 {
 		return fmt.Errorf("cluster: need ≥1 slave node, got %d", c.SlaveNodes)
+	}
+	if c.NodeOffset < 0 {
+		return fmt.Errorf("cluster: negative NodeOffset %d", c.NodeOffset)
 	}
 	if c.InstructionsPerCore < 1000 {
 		return fmt.Errorf("cluster: InstructionsPerCore %d too small (≥1000)", c.InstructionsPerCore)
@@ -119,12 +130,12 @@ func newNodeWorker(cfg Config) (*nodeWorker, error) {
 
 // runNode simulates one (workload, run, node) cell of the measurement
 // grid and returns its 45-metric vector. The per-cell seed depends only
-// on (workload, run, node) and cfg.Seed, so every execution order —
-// sequential, workload-parallel or fully flattened — produces
-// bit-identical results.
+// on (workload, run, absolute node index) and cfg.Seed, so every
+// execution order — sequential, workload-parallel, fully flattened, or
+// node-sharded across processes — produces bit-identical results.
 func (nw *nodeWorker) runNode(w workloads.Workload, cfg Config, run, node int) ([]float64, error) {
 	seed := cfg.Seed ^
-		(uint64(node)+1)*0x9E3779B97F4A7C15 ^
+		(uint64(cfg.NodeOffset+node)+1)*0x9E3779B97F4A7C15 ^
 		(uint64(run)+1)*0xC2B2AE3D27D4EB4F ^
 		hash(w.Name)
 	prof := jitterProfile(w.Profile, cfg.ExecutionJitter, rng.New(seed^0xD1B54A32D192ED03))
@@ -143,17 +154,24 @@ func (nw *nodeWorker) runNode(w workloads.Workload, cfg Config, run, node int) (
 	return perf.MetricVector(&counts), nil
 }
 
-// reduce folds the per-cell metric vectors of one workload (indexed
-// [run][node]) into a Measurement, averaging nodes within each run and
-// then runs — exactly the sequential path's arithmetic.
-func reduce(w workloads.Workload, cells [][][]float64) *Measurement {
+// ReduceCells folds one workload's per-cell metric vectors (indexed
+// [run][node]) into the node- then run-averaged 45-metric vector. This is
+// the single canonical reduction: the in-process grid and the distributed
+// shard merge both go through it, which is what makes a re-assembled
+// sharded run byte-identical to a single-process run.
+func ReduceCells(cells [][][]float64) []float64 {
 	runVectors := make([][]float64, len(cells))
 	for run, perNode := range cells {
 		runVectors[run] = perf.AverageVectors(perNode)
 	}
+	return perf.AverageVectors(runVectors)
+}
+
+// reduce wraps ReduceCells into a Measurement.
+func reduce(w workloads.Workload, cells [][][]float64) *Measurement {
 	return &Measurement{
 		Workload: w,
-		Metrics:  perf.AverageVectors(runVectors),
+		Metrics:  ReduceCells(cells),
 		PerNode:  cells[len(cells)-1],
 	}
 }
@@ -199,6 +217,24 @@ func Characterize(suite []workloads.Workload, cfg Config) ([]*Measurement, error
 // progress (if non-nil) is called after every completed cell with the
 // number of cells finished so far and the grid total.
 func CharacterizeCtx(ctx context.Context, suite []workloads.Workload, cfg Config, progress Progress) ([]*Measurement, error) {
+	cells, err := CharacterizeCellsCtx(ctx, suite, cfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Measurement, len(suite))
+	for wi, w := range suite {
+		results[wi] = reduce(w, cells[wi])
+	}
+	return results, nil
+}
+
+// CharacterizeCellsCtx runs the measurement grid and returns the raw
+// per-cell metric vectors indexed [workload][run][node], without the
+// node/run reduction. This is the characterize-only entry point used by
+// shard workers: a coordinator re-assembles cells from several campaigns
+// (split on the workload and node axes) into the full grid and reduces
+// once, reproducing the single-process result bit for bit.
+func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg Config, progress Progress) ([][][][]float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -290,12 +326,7 @@ func CharacterizeCtx(ctx context.Context, suite []workloads.Workload, cfg Config
 			return nil, fmt.Errorf("cluster: workload %s: %w", suite[taskWorkload[i]].Name, err)
 		}
 	}
-
-	results := make([]*Measurement, len(suite))
-	for wi, w := range suite {
-		results[wi] = reduce(w, cells[wi])
-	}
-	return results, nil
+	return cells, nil
 }
 
 // MetricMatrix assembles measurements into a workloads×45 matrix as rows,

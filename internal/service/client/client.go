@@ -1,0 +1,224 @@
+// Package client is the Go client for the bdservd/bdcoord HTTP API: job
+// submission, status polling, NDJSON event streaming and result fetch.
+// It is shared by the bdcoord coordinator (which drives bdservd workers
+// through it), the bdservd-backed report mode, and examples/service.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Client talks to one daemon. The zero HTTPClient uses a default with no
+// overall request timeout — event streams are long-lived — but sane
+// transport-level limits come from http.DefaultTransport.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8356".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = a shared default).
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at base (trailing slash trimmed).
+func New(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the daemon's {"error": ...} body.
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s", resp.Status)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks the daemon's /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	var st struct {
+		Status string `json:"status"`
+	}
+	if err := c.getJSON(ctx, "/healthz", &st); err != nil {
+		return fmt.Errorf("client: %s unhealthy: %w", c.BaseURL, err)
+	}
+	return nil
+}
+
+// Submit posts a JobRequest and returns the accepted job status.
+func (c *Client) Submit(ctx context.Context, jr service.JobRequest) (service.JobStatus, error) {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return service.JobStatus{}, fmt.Errorf("client: submit: %w", apiError(resp))
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// SubmitSpec posts a full JobSpec (the {"spec": …} request form).
+func (c *Client) SubmitSpec(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	return c.Submit(ctx, service.JobRequest{Spec: &spec})
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return service.JobStatus{}, fmt.Errorf("client: job %s: %w", id, err)
+	}
+	return st, nil
+}
+
+// Result fetches a completed job's canonical result bytes.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: result %s: %w", id, apiError(resp))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: cancel %s: %w", id, apiError(resp))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Events streams a job's NDJSON progress events, invoking fn for each.
+// The stream replays from the first event and ends at the job's terminal
+// event; fn returning an error stops the stream and returns that error.
+// A connection drop before a terminal event is an error — callers
+// (notably the shard coordinator) treat it as worker failure.
+func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: events %s: %w", id, apiError(resp))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	terminal := false
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("client: events %s: decoding: %w", id, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		switch ev.Type {
+		case "done", "error":
+			terminal = true
+		case "state":
+			if ev.State == service.StateCanceled {
+				terminal = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: events %s: stream: %w", id, err)
+	}
+	if !terminal {
+		return fmt.Errorf("client: events %s: stream ended before a terminal event", id)
+	}
+	return nil
+}
+
+// WaitDone follows an existing job's event stream to completion and
+// returns the final status. onEvent (optional) observes each event as it
+// arrives.
+func (c *Client) WaitDone(ctx context.Context, id string, onEvent func(service.Event)) (service.JobStatus, error) {
+	err := c.Events(ctx, id, func(ev service.Event) error {
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	st, err := c.Job(ctx, id)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}

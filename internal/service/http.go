@@ -14,6 +14,10 @@ import (
 // JobSpec. Unset fields take the paper defaults; Spec (when present)
 // overrides everything else for full low-level control.
 type JobRequest struct {
+	// Mode selects the job kind: "analyze" (default) or "observations"
+	// (characterize-only; result is the raw observation matrix).
+	Mode string `json:"mode,omitempty"`
+
 	// Workloads selects suite members by name; empty = all 32.
 	Workloads []string `json:"workloads,omitempty"`
 
@@ -39,7 +43,7 @@ type JobRequest struct {
 // ToSpec materializes the request into a full JobSpec.
 func (r *JobRequest) ToSpec() (JobSpec, error) {
 	if r.Spec != nil {
-		if len(r.Workloads) != 0 || r.Seed != nil || r.Scale != nil || r.Nodes != nil ||
+		if r.Mode != "" || len(r.Workloads) != 0 || r.Seed != nil || r.Scale != nil || r.Nodes != nil ||
 			r.Instructions != nil || r.Slices != nil || r.Runs != nil || r.Jitter != nil ||
 			r.Multiplex != nil || r.KMin != nil || r.KMax != nil || r.Restarts != nil ||
 			r.Linkage != nil {
@@ -48,6 +52,7 @@ func (r *JobRequest) ToSpec() (JobSpec, error) {
 		return *r.Spec, nil
 	}
 	s := DefaultSpec()
+	s.Mode = r.Mode
 	s.Workloads = r.Workloads
 	if r.Seed != nil {
 		s.Suite.Seed = *r.Seed

@@ -1,0 +1,320 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// journalRecord is one NDJSON line of the persistent job journal. The
+// journal is append-only during operation: Submit writes a "submit"
+// record carrying the normalized spec, the executor writes "start" and a
+// terminal "done" (with the result hash) / "fail" / "cancel", and on boot
+// the daemon replays the file so job metadata — in particular the
+// done-job → result-hash mapping — survives restarts. Result bytes
+// themselves live in the on-disk result cache; the journal only restores
+// the records that point at them.
+type journalRecord struct {
+	TS   time.Time `json:"ts"`
+	Type string    `json:"type"` // submit | start | done | fail | cancel
+	ID   string    `json:"id"`
+	Spec *JobSpec  `json:"spec,omitempty"` // on submit
+	Hash string    `json:"hash,omitempty"` // on done
+	Err  string    `json:"error,omitempty"`
+}
+
+// replayedJob is the state of one job reconstructed from the journal.
+type replayedJob struct {
+	id       string
+	spec     JobSpec
+	state    State
+	hash     string
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// journalMsg is one unit of writer-goroutine work: a record to append,
+// or (when compact is non-nil) a request to rewrite the file down to the
+// given terminal jobs.
+type journalMsg struct {
+	rec     journalRecord
+	compact []replayedJob
+}
+
+// journal owns the append handle. Appends are asynchronous: append is a
+// bounded channel send (so callers — including Submit under the
+// manager's lock — never block on disk I/O in the common case) and a
+// single writer goroutine serializes the encodes in send order, which
+// preserves the per-job submit → start → terminal causal order the
+// replay relies on. Close drains the channel before closing the file, so
+// a clean shutdown loses nothing.
+//
+// The file is compacted at boot and again whenever appends since the
+// last compaction exceed a multiple of the retained-job bound (see
+// Manager.maybeCompactJournal), so a long-running daemon's journal stays
+// proportional to its job history instead of growing without bound.
+type journal struct {
+	path string
+	f    *os.File
+	enc  *json.Encoder
+	ch   chan journalMsg
+	done chan struct{}
+
+	// appends counts records since the last compaction; compacting
+	// debounces concurrent compaction triggers. Both are touched by
+	// Manager.maybeCompactJournal and reset by the writer goroutine.
+	appends    atomic.Int64
+	compacting atomic.Bool
+}
+
+// openJournal replays an existing journal at path (tolerating a trailing
+// partial line from a crashed writer), compacts it — rewriting only the
+// surviving terminal jobs, keeping at most the newest maxJobs — and
+// returns the replayed jobs in submission order together with an open
+// append handle. Jobs that never reached a terminal state (the daemon
+// died while they were queued or running) are dropped: a resubmission
+// simply re-executes them.
+func openJournal(path string, maxJobs int) (*journal, []replayedJob, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("service: creating journal dir: %w", err)
+		}
+	}
+	jobs, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxJobs > 0 && len(jobs) > maxJobs {
+		jobs = jobs[len(jobs)-maxJobs:]
+	}
+	if err := compactJournal(path, jobs); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	jl := &journal{
+		path: path,
+		f:    f,
+		enc:  json.NewEncoder(f),
+		ch:   make(chan journalMsg, 256),
+		done: make(chan struct{}),
+	}
+	go jl.run()
+	return jl, jobs, nil
+}
+
+// run is the single writer goroutine: it drains the channel in order,
+// appending records and servicing compaction requests (which rewrite the
+// file and swap the handle — all file ops stay on this goroutine). Write
+// errors degrade restart replay, not running jobs — the result cache
+// stays authoritative — so they are logged and dropped.
+func (jl *journal) run() {
+	defer close(jl.done)
+	for msg := range jl.ch {
+		if msg.compact != nil {
+			jl.f.Close()
+			if err := compactJournal(jl.path, msg.compact); err != nil {
+				log.Printf("service: journal compaction: %v", err)
+			}
+			f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				// Disk trouble: disable further appends rather than crash
+				// running jobs; the next boot re-replays what exists.
+				log.Printf("service: reopening journal: %v (journal disabled)", err)
+				jl.f, jl.enc = nil, nil
+			} else {
+				jl.f, jl.enc = f, json.NewEncoder(f)
+			}
+			jl.appends.Store(0)
+			jl.compacting.Store(false)
+			continue
+		}
+		if jl.enc == nil {
+			continue
+		}
+		if err := jl.enc.Encode(msg.rec); err != nil {
+			log.Printf("service: journal append: %v", err)
+		}
+	}
+}
+
+// replayJournal folds the journal's records into per-job terminal state.
+func replayJournal(path string) ([]replayedJob, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+	defer f.Close()
+
+	byID := make(map[string]*replayedJob)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn trailing line from a crash mid-append: everything
+			// before it replayed cleanly, so stop here rather than fail
+			// the whole boot.
+			break
+		}
+		switch rec.Type {
+		case "submit":
+			if rec.Spec == nil {
+				continue
+			}
+			if old, ok := byID[rec.ID]; ok {
+				// Resubmission after a failure/eviction: the fresh record
+				// supersedes the old one and moves to the back of the
+				// submission order, mirroring live Submit.
+				for i, id := range order {
+					if id == rec.ID {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+				*old = replayedJob{id: rec.ID, spec: *rec.Spec, created: rec.TS}
+			} else {
+				byID[rec.ID] = &replayedJob{id: rec.ID, spec: *rec.Spec, created: rec.TS}
+			}
+			order = append(order, rec.ID)
+		case "start":
+			if j, ok := byID[rec.ID]; ok {
+				j.started = rec.TS
+			}
+		case "done":
+			if j, ok := byID[rec.ID]; ok {
+				j.state, j.hash, j.finished = StateDone, rec.Hash, rec.TS
+			}
+		case "fail":
+			if j, ok := byID[rec.ID]; ok {
+				j.state, j.errMsg, j.finished = StateFailed, rec.Err, rec.TS
+			}
+		case "cancel":
+			if j, ok := byID[rec.ID]; ok {
+				j.state, j.finished = StateCanceled, rec.TS
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: scanning journal: %w", err)
+	}
+
+	out := make([]replayedJob, 0, len(order))
+	for _, id := range order {
+		j := byID[id]
+		if j.state.terminal() {
+			out = append(out, *j)
+		}
+	}
+	return out, nil
+}
+
+// compactJournal rewrites the journal to exactly the surviving terminal
+// jobs (submit + terminal record each), so the file stays bounded by the
+// live job history instead of growing across restarts. The rewrite is
+// atomic: a crash mid-compaction leaves the old journal in place.
+func compactJournal(path string, jobs []replayedJob) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	writeErr := func() error {
+		for i := range jobs {
+			j := &jobs[i]
+			spec := j.spec
+			if err := enc.Encode(journalRecord{TS: j.created, Type: "submit", ID: j.id, Spec: &spec}); err != nil {
+				return err
+			}
+			if !j.started.IsZero() {
+				if err := enc.Encode(journalRecord{TS: j.started, Type: "start", ID: j.id}); err != nil {
+					return err
+				}
+			}
+			var rec journalRecord
+			switch j.state {
+			case StateDone:
+				rec = journalRecord{TS: j.finished, Type: "done", ID: j.id, Hash: j.hash}
+			case StateFailed:
+				rec = journalRecord{TS: j.finished, Type: "fail", ID: j.id, Err: j.errMsg}
+			case StateCanceled:
+				rec = journalRecord{TS: j.finished, Type: "cancel", ID: j.id}
+			default:
+				continue
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if writeErr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting journal: %w", writeErr)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: committing journal: %w", err)
+	}
+	return nil
+}
+
+// append enqueues one record for the writer goroutine. It only blocks
+// when the writer is more than a full channel behind — disk-speed
+// backpressure, not per-record disk latency. Callers guard against a
+// concurrent Close through the manager's journal mutex.
+func (jl *journal) append(rec journalRecord) {
+	if jl == nil {
+		return
+	}
+	jl.appends.Add(1)
+	jl.ch <- journalMsg{rec: rec}
+}
+
+// requestCompact enqueues a compaction down to the given terminal jobs.
+// Same Close guard as append.
+func (jl *journal) requestCompact(jobs []replayedJob) {
+	if jl == nil {
+		return
+	}
+	if jobs == nil {
+		jobs = []replayedJob{}
+	}
+	jl.ch <- journalMsg{compact: jobs}
+}
+
+// Close drains pending appends, stops the writer and closes the file.
+func (jl *journal) Close() error {
+	if jl == nil {
+		return nil
+	}
+	close(jl.ch)
+	<-jl.done
+	if jl.f == nil {
+		return nil
+	}
+	return jl.f.Close()
+}

@@ -1,0 +1,424 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fakeExec is an instant deterministic executor: result bytes depend only
+// on the normalized spec, mirroring the real pipeline's contract. Specs
+// with Cluster.Seed == failSeed fail instead.
+const failSeed = 99
+
+func fakeExec(delay time.Duration) ExecuteFunc {
+	return func(ctx context.Context, spec JobSpec, progress core.Progress) ([]byte, error) {
+		if delay > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		if spec.Cluster.Seed == failSeed {
+			return nil, fmt.Errorf("synthetic executor failure")
+		}
+		id, err := spec.id()
+		if err != nil {
+			return nil, err
+		}
+		return []byte("result-" + id + "\n"), nil
+	}
+}
+
+func TestJournalReplayAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:     filepath.Join(dir, "data"),
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(0),
+	}
+
+	m1 := newTestManager(t, cfg)
+	okSpec := tinySpec()
+	st, err := m1.Submit(okSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, m1, st.ID, 10*time.Second)
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s: %s", fin.State, fin.Error)
+	}
+	res1, ok := m1.Result(st.ID)
+	if !ok {
+		t.Fatal("no result for done job")
+	}
+
+	badSpec := tinySpec()
+	badSpec.Cluster.Seed = failSeed
+	stBad, err := m1.Submit(badSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finBad := waitTerminal(t, m1, stBad.ID, 10*time.Second)
+	if finBad.State != StateFailed {
+		t.Fatalf("bad job finished %s, want failed", finBad.State)
+	}
+	m1.Close()
+
+	// Restart: the journal replays both records; the done job's result is
+	// served straight from the disk cache.
+	m2 := newTestManager(t, cfg)
+	got, ok := m2.Get(st.ID)
+	if !ok {
+		t.Fatal("done job record lost across restart")
+	}
+	if got.State != StateDone || got.ResultHash != fin.ResultHash {
+		t.Fatalf("replayed job: state=%s hash=%s, want done/%s", got.State, got.ResultHash, fin.ResultHash)
+	}
+	res2, ok := m2.Result(st.ID)
+	if !ok || !bytes.Equal(res1, res2) {
+		t.Fatal("replayed job's result not served (or bytes differ)")
+	}
+	gotBad, ok := m2.Get(stBad.ID)
+	if !ok {
+		t.Fatal("failed job record lost across restart")
+	}
+	if gotBad.State != StateFailed || gotBad.Error == "" {
+		t.Fatalf("replayed failed job: state=%s error=%q", gotBad.State, gotBad.Error)
+	}
+	list := m2.List()
+	if len(list) != 2 || list[0].ID != st.ID || list[1].ID != stBad.ID {
+		t.Fatalf("replayed list order wrong: %+v", list)
+	}
+
+	// The replayed job's event stream ends with a terminal event.
+	j, ok := m2.job(st.ID)
+	if !ok {
+		t.Fatal("job missing")
+	}
+	evs, _, done := j.EventsSince(0)
+	if !done || len(evs) == 0 || evs[len(evs)-1].Type != "done" {
+		t.Fatalf("replayed event stream not terminal: done=%v events=%+v", done, evs)
+	}
+
+	// Identical resubmission after restart is an immediate cache hit.
+	st3, err := m2.Submit(okSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.CacheHit || st3.State != StateDone || st3.ResultHash != fin.ResultHash {
+		t.Fatalf("post-restart resubmission: cacheHit=%v state=%s hash=%s",
+			st3.CacheHit, st3.State, st3.ResultHash)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:     filepath.Join(dir, "data"),
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(0),
+	}
+	m1 := newTestManager(t, cfg)
+	st, err := m1.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m1, st.ID, 10*time.Second)
+	m1.Close()
+
+	// Simulate a crash mid-append: a torn, non-JSON trailing line.
+	f, err := os.OpenFile(cfg.JournalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ts":"2026-01-01T00:00:00Z","type":"sub`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2 := newTestManager(t, cfg)
+	if got, ok := m2.Get(st.ID); !ok || got.State != StateDone {
+		t.Fatalf("torn tail broke replay: ok=%v state=%v", ok, got.State)
+	}
+}
+
+func TestJournalCompactsOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:     filepath.Join(dir, "data"),
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(0),
+		MaxJobs:     2,
+	}
+	m1 := newTestManager(t, cfg)
+	var last string
+	for i := 0; i < 5; i++ {
+		spec := tinySpec()
+		spec.Cluster.Seed = uint64(100 + i)
+		st, err := m1.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, m1, st.ID, 10*time.Second)
+		last = st.ID
+	}
+	m1.Close()
+
+	m2 := newTestManager(t, cfg)
+	list := m2.List()
+	if len(list) > 2 {
+		t.Fatalf("replay ignored MaxJobs: %d records", len(list))
+	}
+	if _, ok := m2.Get(last); !ok {
+		t.Fatal("newest job evicted by replay truncation")
+	}
+	m2.Close()
+
+	// The compacted file holds at most MaxJobs submit+start+terminal
+	// record triples.
+	data, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\"submit\"")); n > 2 {
+		t.Errorf("compacted journal still holds %d submit records", n)
+	}
+}
+
+// TestJournalCompactsPeriodically: a long-running daemon must re-compact
+// its journal in flight — not only at boot — once appends pile up well
+// past the retained-job bound.
+func TestJournalCompactsPeriodically(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:     filepath.Join(dir, "data"),
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(0),
+		MaxJobs:     2, // threshold = 4*2+64 = 72 appended records
+	}
+	m := newTestManager(t, cfg)
+	var last string
+	for i := 0; i < 60; i++ { // ~180 records: submit+start+done each
+		spec := tinySpec()
+		spec.Cluster.Seed = uint64(1000 + i)
+		st, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, m, st.ID, 10*time.Second)
+		last = st.ID
+	}
+	// Close drains the writer (appends + any compaction request). Without
+	// in-flight compaction the file would hold all 60 submit records;
+	// with it, at most a compacted snapshot plus one threshold's worth of
+	// tail appends (72 records = 24 submit/start/done triples) remain.
+	m.Close()
+	data, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\"submit\"")); n > 40 {
+		t.Fatalf("journal never re-compacted in flight: %d submit records", n)
+	}
+
+	// Replay still works after in-flight compaction.
+	m2 := newTestManager(t, cfg)
+	if got, ok := m2.Get(last); !ok || got.State != StateDone {
+		t.Fatalf("newest job lost after in-flight compaction: ok=%v state=%v", ok, got.State)
+	}
+}
+
+// TestJournalCompactsOnCacheHitPath: a cache-dominated daemon — every
+// submission replayed born-done, no executor runs — must still trigger
+// in-flight compaction.
+func TestJournalCompactsOnCacheHitPath(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:     filepath.Join(dir, "data"),
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(0),
+		MaxJobs:     2, // threshold = 72 appended records
+	}
+	m := newTestManager(t, cfg)
+	specs := make([]JobSpec, 4)
+	for i := range specs {
+		specs[i] = tinySpec()
+		specs[i].Cluster.Seed = uint64(2000 + i)
+		st, err := m.Submit(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, m, st.ID, 10*time.Second)
+	}
+	// With MaxJobs=2 the two oldest records are evicted; resubmitting
+	// them replays born-done from the disk cache, appending submit+done
+	// each time while evicting another record — an append-only treadmill
+	// that never passes through runJob.
+	for i := 0; i < 60; i++ {
+		st, err := m.Submit(specs[i%len(specs)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("resubmission %d not served from cache: state %s", i, st.State)
+		}
+	}
+	// Close drains the writer (appends + any compaction request). Without
+	// in-flight compaction the file would hold all 64 submit records;
+	// with it, at most a compacted snapshot plus one threshold's worth of
+	// tail appends (72 records ≈ 36 submits) remain.
+	m.Close()
+	data, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\"submit\"")); n > 40 {
+		t.Fatalf("cache-hit path never compacted the journal: %d submit records", n)
+	}
+}
+
+func TestMaxJobsEvictsOldestTerminal(t *testing.T) {
+	m := newTestManager(t, Config{Execute: fakeExec(0), MaxJobs: 3})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		spec := tinySpec()
+		spec.Cluster.Seed = uint64(100 + i)
+		st, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, m, st.ID, 10*time.Second)
+		ids = append(ids, st.ID)
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("job map holds %d records, want 3", len(list))
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Error("oldest job record survived past MaxJobs")
+	}
+	if _, ok := m.Get(ids[5]); !ok {
+		t.Error("newest job record evicted")
+	}
+	// An evicted done job's result is still served from the cache.
+	if _, ok := m.Result(ids[0]); !ok {
+		t.Error("evicted done job's result vanished from the cache")
+	}
+	// …and an identical resubmission replays as a fresh born-done record.
+	spec := tinySpec()
+	spec.Cluster.Seed = 100
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit || st.State != StateDone {
+		t.Errorf("evicted job resubmission: cacheHit=%v state=%s", st.CacheHit, st.State)
+	}
+}
+
+func TestMaxJobsNeverEvictsLiveJobs(t *testing.T) {
+	m := newTestManager(t, Config{Execute: fakeExec(time.Second), MaxJobs: 1, Workers: 1})
+	for i := 0; i < 3; i++ {
+		spec := tinySpec()
+		spec.Cluster.Seed = uint64(200 + i)
+		if _, err := m.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All three are live (one running, two queued): none may be evicted
+	// even though MaxJobs is 1.
+	if got := len(m.List()); got != 3 {
+		t.Fatalf("live job records evicted: %d of 3 remain", got)
+	}
+	// As jobs finish they become evictable; once all three have executed
+	// (3 cache stores) the map must be trimmed back to the bound.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.CacheStats().Stores == 3 && len(m.List()) == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job map not trimmed after completion: %d records, %d stores",
+		len(m.List()), m.CacheStats().Stores)
+}
+
+// TestConcurrentSubmitIdenticalSpec is the regression test for the old
+// Submit holding m.mu across the disk-tier cache read: a stampede of
+// identical submissions must coalesce into exactly one execution, with
+// every submitter getting the same job ID, and concurrent distinct
+// submissions must proceed without serializing into errors.
+func TestConcurrentSubmitIdenticalSpec(t *testing.T) {
+	m := newTestManager(t, Config{Execute: fakeExec(50 * time.Millisecond), Workers: 2, QueueDepth: 64})
+
+	const n = 24
+	var wg sync.WaitGroup
+	idCh := make(chan string, n)
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := m.Submit(tinySpec())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			idCh <- st.ID
+		}()
+	}
+	wg.Wait()
+	close(idCh)
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	var id string
+	for got := range idCh {
+		if id == "" {
+			id = got
+		} else if got != id {
+			t.Fatalf("identical submissions got different IDs: %s vs %s", got, id)
+		}
+	}
+	waitTerminal(t, m, id, 10*time.Second)
+	if stores := m.CacheStats().Stores; stores != 1 {
+		t.Errorf("identical submission stampede executed %d times, want 1", stores)
+	}
+
+	// Distinct specs submitted concurrently all complete independently.
+	var wg2 sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			spec := tinySpec()
+			spec.Cluster.Seed = uint64(300 + i)
+			st, err := m.Submit(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg2.Wait()
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("a concurrent distinct submission failed")
+		}
+		if st := waitTerminal(t, m, id, 10*time.Second); st.State != StateDone {
+			t.Fatalf("job %s finished %s", id, st.State)
+		}
+	}
+}

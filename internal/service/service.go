@@ -141,6 +141,12 @@ func (j *job) EventsSince(from int) ([]Event, <-chan struct{}, bool) {
 	return evs, j.more, j.done
 }
 
+// ExecuteFunc computes the canonical result bytes for a normalized spec,
+// reporting progress through the job's event stream. The manager hashes
+// and caches whatever it returns, so implementations must be
+// deterministic: equal specs must yield identical bytes.
+type ExecuteFunc func(ctx context.Context, spec JobSpec, progress core.Progress) ([]byte, error)
+
 // Config configures a Manager.
 type Config struct {
 	// DataDir is the on-disk result store; empty disables the disk tier
@@ -153,9 +159,28 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the in-memory LRU result tier (default 256).
 	CacheEntries int
+	// MaxJobs bounds the in-memory job-record map (default 4096): beyond
+	// it the oldest terminal (done/failed/canceled) records are evicted.
+	// Live jobs are never evicted, and evicted done jobs remain servable
+	// through the result cache.
+	MaxJobs int
 	// Parallelism is forwarded to each job's characterization grid and
 	// analysis stage (0 = GOMAXPROCS). It never affects results.
 	Parallelism int
+	// JournalPath, when set, enables the persistent job journal: job
+	// lifecycle records are appended as NDJSON and replayed on startup,
+	// so terminal job metadata (including done-job → result-hash
+	// mappings) survives restarts.
+	JournalPath string
+	// CharacterizeOnly restricts the daemon to observation-matrix jobs
+	// (Mode == ModeObservations) — the worker role in a sharded
+	// deployment, where analysis runs coordinator-side.
+	CharacterizeOnly bool
+	// Execute overrides the local pipeline executor — the hook through
+	// which bdcoord turns a Manager into a shard coordinator while
+	// reusing its queue, cache, journal and event plumbing. Nil runs
+	// jobs in-process.
+	Execute ExecuteFunc
 }
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity.
@@ -170,13 +195,18 @@ type Manager struct {
 	stop context.CancelFunc
 	wg   sync.WaitGroup
 
+	jmu     sync.Mutex // serializes journal appends
+	journal *journal
+
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string // submission order, for listing
 	queue chan *job
 }
 
-// New starts a manager with cfg.Workers executor goroutines.
+// New starts a manager with cfg.Workers executor goroutines, replaying
+// the job journal (if configured) so terminal job records survive
+// restarts.
 func New(cfg Config) (*Manager, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
@@ -186,6 +216,9 @@ func New(cfg Config) (*Manager, error) {
 	}
 	if cfg.CacheEntries < 1 {
 		cfg.CacheEntries = 256
+	}
+	if cfg.MaxJobs < 1 {
+		cfg.MaxJobs = 4096
 	}
 	cache, err := newResultCache(cfg.CacheEntries, cfg.DataDir)
 	if err != nil {
@@ -200,6 +233,42 @@ func New(cfg Config) (*Manager, error) {
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, cfg.QueueDepth),
 	}
+	if cfg.JournalPath != "" {
+		jl, replayed, err := openJournal(cfg.JournalPath, cfg.MaxJobs)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		m.journal = jl
+		for _, r := range replayed {
+			if r.state == StateDone && cfg.DataDir == "" {
+				// Without a disk result tier the done job's bytes died
+				// with the previous process: materializing the record
+				// would advertise a hash nobody can serve. Drop it; a
+				// resubmission simply re-executes.
+				continue
+			}
+			j := newJob(m.root, r.id, r.spec)
+			j.state = r.state
+			j.created, j.started, j.finished = r.created, r.started, r.finished
+			switch r.state {
+			case StateDone:
+				j.resultHash = r.hash
+				j.emit(Event{Type: "state", State: StateDone})
+				j.emit(Event{Type: "done", ResultHash: r.hash})
+			case StateFailed:
+				j.errMsg = r.errMsg
+				j.emit(Event{Type: "error", Error: r.errMsg})
+			case StateCanceled:
+				j.emit(Event{Type: "state", State: StateCanceled})
+			}
+			// Terminal from birth: release the job's child context so the
+			// record doesn't pin an entry in the root context's tree.
+			j.cancel()
+			m.jobs[r.id] = j
+			m.order = append(m.order, r.id)
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -207,10 +276,40 @@ func New(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// Close cancels all running jobs and stops the executor pool.
+// Close cancels all running jobs, stops the executor pool and closes the
+// journal.
 func (m *Manager) Close() {
 	m.stop()
 	m.wg.Wait()
+	m.jmu.Lock()
+	m.journal.Close()
+	m.journal = nil
+	m.jmu.Unlock()
+}
+
+// journalAppend enqueues one journal record (a no-op without a journal):
+// a channel send to the journal's writer goroutine, so no disk I/O
+// happens on the caller's lock path. jmu guards against a concurrent
+// Close of the channel.
+//
+// Every call happens while holding m.mu (Submit appends inline; other
+// paths use journalAppendSync). That invariant is what makes in-flight
+// compaction sound: maybeCompactJournal snapshots job state and enqueues
+// the compaction request under m.mu, so any record enqueued before the
+// request reflects state the snapshot already saw, and any enqueued
+// after survives the rewrite.
+func (m *Manager) journalAppend(rec journalRecord) {
+	m.jmu.Lock()
+	defer m.jmu.Unlock()
+	m.journal.append(rec)
+}
+
+// journalAppendSync is journalAppend behind m.mu, for callers (runJob,
+// Cancel) that don't already hold it.
+func (m *Manager) journalAppendSync(rec journalRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalAppend(rec)
 }
 
 func newJob(ctx context.Context, id string, spec JobSpec) *job {
@@ -226,46 +325,79 @@ func newJob(ctx context.Context, id string, spec JobSpec) *job {
 // normalize to the same ID: a submission matching a queued or running job
 // joins it, and one matching a completed job or cached result returns
 // immediately with CacheHit set and the stored result.
+//
+// The result-cache probe — which may read the disk tier — happens outside
+// m.mu, so concurrent submissions of distinct jobs never serialize behind
+// disk I/O; the record map is re-checked under the lock afterwards.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return JobStatus{}, err
+	}
+	if m.cfg.CharacterizeOnly && norm.Mode != ModeObservations {
+		return JobStatus{}, fmt.Errorf("service: this daemon is characterize-only (shard worker); it accepts only mode %q jobs", ModeObservations)
 	}
 	id, err := norm.id()
 	if err != nil {
 		return JobStatus{}, err
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cacheMissed := false
-	if j, ok := m.jobs[id]; ok {
-		st := j.status()
-		switch st.State {
-		case StateDone:
-			// Count the replay as a cache hit so stats reflect dedupe.
-			if _, hash, ok := m.cache.Get(id); ok {
-				st.ResultHash = hash
-				st.CacheHit = true
+	for attempt := 0; ; attempt++ {
+		// Fast path, no disk I/O: a live record already covers this
+		// submission.
+		m.mu.Lock()
+		if j, ok := m.jobs[id]; ok {
+			if st := j.status(); st.State == StateQueued || st.State == StateRunning {
+				m.mu.Unlock()
 				return st, nil
 			}
-			// The result was evicted from a memory-only cache: the job
-			// record advertises a hash nobody can serve, so forget it and
-			// fall through to re-execute (without re-probing the cache).
-			cacheMissed = true
-			delete(m.jobs, id)
-			m.dropFromOrder(id)
-		case StateQueued, StateRunning:
-			return st, nil
-		default:
-			// failed / canceled: forget the old record and resubmit.
-			delete(m.jobs, id)
-			m.dropFromOrder(id)
 		}
-	}
+		m.mu.Unlock()
 
-	if !cacheMissed {
-		if _, hash, ok := m.cache.Get(id); ok {
+		// Probe the cache (LRU, then disk tier) unlocked.
+		probeStart := time.Now()
+		_, hash, hit := m.cache.Get(id)
+
+		m.mu.Lock()
+		if j, ok := m.jobs[id]; ok {
+			st := j.status()
+			switch st.State {
+			case StateQueued, StateRunning:
+				// Raced with a concurrent identical submission.
+				m.mu.Unlock()
+				return st, nil
+			case StateDone:
+				if hit {
+					// Count the replay as a cache hit so stats reflect
+					// dedupe.
+					st.ResultHash = hash
+					st.CacheHit = true
+					m.mu.Unlock()
+					return st, nil
+				}
+				if attempt == 0 && st.FinishedAt != nil && st.FinishedAt.After(probeStart) {
+					// The job finished — its result landing in the cache
+					// — after our unlocked probe began: re-probe once.
+					// A job that finished before the probe can't win that
+					// race, so its miss is final and not re-counted.
+					m.mu.Unlock()
+					continue
+				}
+				// The result really was evicted from a memory-only
+				// cache: the record advertises a hash nobody can serve,
+				// so forget it and re-execute.
+				j.cancel()
+				delete(m.jobs, id)
+				m.dropFromOrder(id)
+			default:
+				// failed / canceled: forget the old record and resubmit.
+				j.cancel()
+				delete(m.jobs, id)
+				m.dropFromOrder(id)
+			}
+		}
+
+		if hit {
 			j := newJob(m.root, id, norm)
 			now := time.Now()
 			j.state, j.cacheHit = StateDone, true
@@ -273,27 +405,80 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			j.resultHash = hash
 			j.emit(Event{Type: "state", State: StateDone})
 			j.emit(Event{Type: "done", ResultHash: hash})
+			j.cancel() // born terminal: release the child context
 			m.jobs[id] = j
 			m.order = append(m.order, id)
-			return j.status(), nil
+			m.evictLocked()
+			m.journalAppend(journalRecord{TS: now, Type: "submit", ID: id, Spec: &norm})
+			m.journalAppend(journalRecord{TS: now, Type: "done", ID: id, Hash: hash})
+			st := j.status()
+			m.mu.Unlock()
+			// Born-done jobs never pass through runJob, so this is their
+			// only chance to trigger in-flight journal compaction — the
+			// steady state of a cache-dominated daemon.
+			m.maybeCompactJournal()
+			return st, nil
+		}
+
+		// Capacity check before any record exists: Submit is the only
+		// queue sender and it holds m.mu, so len < cap here guarantees
+		// the send below cannot block — and a rejected submission leaves
+		// no job record, no journal entry and no dangling child context.
+		if len(m.queue) >= cap(m.queue) {
+			m.mu.Unlock()
+			return JobStatus{}, ErrQueueFull
+		}
+		j := newJob(m.root, id, norm)
+		// Record and emit "queued" before the channel send: a free worker
+		// can pick the job up (and emit "running") the instant it lands
+		// in the queue, and the stream must start with the queued event.
+		// The submit journal record is written before the send too, so it
+		// always precedes the job's start/terminal records in the file.
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		m.evictLocked()
+		j.emit(Event{Type: "state", State: StateQueued})
+		m.journalAppend(journalRecord{TS: j.created, Type: "submit", ID: id, Spec: &norm})
+		m.queue <- j
+		st := j.status()
+		m.mu.Unlock()
+		return st, nil
+	}
+}
+
+// evictLocked bounds the job-record map at cfg.MaxJobs by dropping the
+// oldest terminal records. Live (queued/running) jobs are never evicted —
+// the map can transiently exceed the bound while that many jobs are in
+// flight. An evicted done job stays servable: its result lives in the
+// result cache, which Result consults for unknown IDs, and an identical
+// resubmission replays from the cache as a fresh born-done record.
+func (m *Manager) evictLocked() {
+	for len(m.jobs) > m.cfg.MaxJobs {
+		evicted := false
+		for _, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			terminal := j.state.terminal()
+			j.mu.Unlock()
+			if terminal {
+				j.cancel() // idempotent; ensures no child-context leak
+				delete(m.jobs, id)
+				m.dropFromOrder(id)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
 		}
 	}
+}
 
-	j := newJob(m.root, id, norm)
-	// Record and emit "queued" before the channel send: a free worker can
-	// pick the job up (and emit "running") the instant it lands in the
-	// queue, and the stream must start with the queued event.
-	m.jobs[id] = j
-	m.order = append(m.order, id)
-	j.emit(Event{Type: "state", State: StateQueued})
-	select {
-	case m.queue <- j:
-	default:
-		delete(m.jobs, id)
-		m.dropFromOrder(id)
-		return JobStatus{}, ErrQueueFull
-	}
-	return j.status(), nil
+// evict is evictLocked behind m.mu, for post-completion trimming.
+func (m *Manager) evict() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictLocked()
 }
 
 func (m *Manager) dropFromOrder(id string) {
@@ -343,13 +528,19 @@ func (m *Manager) Cancel(id string) bool {
 		return false
 	}
 	j.mu.Lock()
+	settled := false
 	if j.state == StateQueued {
 		// Not started yet: settle it immediately; the worker skips it.
 		j.state = StateCanceled
 		j.finished = time.Now()
 		j.emitLocked(Event{Type: "state", State: StateCanceled})
+		settled = true
 	}
 	j.mu.Unlock()
+	if settled {
+		m.journalAppendSync(journalRecord{TS: time.Now(), Type: "cancel", ID: j.id})
+		m.maybeCompactJournal()
+	}
 	j.cancel()
 	return true
 }
@@ -402,40 +593,88 @@ func (m *Manager) runJob(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.emitLocked(Event{Type: "state", State: StateRunning})
+	started := j.started
 	j.mu.Unlock()
+	m.journalAppendSync(journalRecord{TS: started, Type: "start", ID: j.id})
 
 	hash, err := m.execute(j)
 	now := time.Now()
+	var rec journalRecord
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = now
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			j.state = StateCanceled
-			j.emitLocked(Event{Type: "state", State: StateCanceled})
-		} else {
-			j.state = StateFailed
-			j.errMsg = err.Error()
-			j.emitLocked(Event{Type: "error", Error: err.Error()})
-		}
-		return
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.resultHash = hash
+		j.emitLocked(Event{Type: "done", ResultHash: hash})
+		rec = journalRecord{TS: now, Type: "done", ID: j.id, Hash: hash}
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.emitLocked(Event{Type: "state", State: StateCanceled})
+		rec = journalRecord{TS: now, Type: "cancel", ID: j.id}
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.emitLocked(Event{Type: "error", Error: err.Error()})
+		rec = journalRecord{TS: now, Type: "fail", ID: j.id, Err: err.Error()}
 	}
-	j.state = StateDone
-	j.resultHash = hash
-	j.emitLocked(Event{Type: "done", ResultHash: hash})
+	j.mu.Unlock()
+	// Terminal: release the job's child context — nothing runs under it
+	// anymore, and an un-canceled child would stay registered in the root
+	// context's tree for the daemon's lifetime.
+	j.cancel()
+	m.journalAppendSync(rec)
+	// The finished job may push the record map past its bound.
+	m.evict()
+	m.maybeCompactJournal()
 }
 
-func (m *Manager) execute(j *job) (string, error) {
-	suite, err := j.spec.ResolveSuite()
-	if err != nil {
-		return "", err
+// maybeCompactJournal re-compacts the journal in flight once appends
+// since the last compaction exceed a few multiples of the retained-job
+// bound, so a long-running daemon's journal file stays proportional to
+// -max-jobs instead of growing for the process lifetime. The snapshot is
+// taken here (the writer goroutine has no access to manager state); the
+// rewrite itself happens on the writer goroutine, in order with the
+// appends already queued ahead of it. The snapshot covers *all* current
+// records — live jobs keep their submit/start lines so the terminal
+// record they append later still binds on replay. Every journal append
+// in the manager happens under m.mu (see journalAppend), and the
+// snapshot + compaction request are taken while holding m.mu, so no
+// record of any kind can slip between the snapshot and the request and
+// be erased by the rewrite.
+func (m *Manager) maybeCompactJournal() {
+	m.jmu.Lock()
+	jl := m.journal
+	m.jmu.Unlock()
+	if jl == nil {
+		return
+	}
+	threshold := int64(4*m.cfg.MaxJobs + 64)
+	if jl.appends.Load() < threshold || !jl.compacting.CompareAndSwap(false, true) {
+		return
 	}
 
-	ccfg := j.spec.Cluster
-	ccfg.Parallelism = m.cfg.Parallelism
-	acfg := j.spec.Analysis
-	acfg.Parallelism = m.cfg.Parallelism
+	m.mu.Lock()
+	snapshot := make([]replayedJob, 0, len(m.order))
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		snapshot = append(snapshot, replayedJob{
+			id: j.id, spec: j.spec, state: j.state,
+			hash: j.resultHash, errMsg: j.errMsg,
+			created: j.created, started: j.started, finished: j.finished,
+		})
+		j.mu.Unlock()
+	}
+	m.jmu.Lock()
+	m.journal.requestCompact(snapshot)
+	m.jmu.Unlock()
+	m.mu.Unlock()
+}
 
+// execute computes a job's result bytes — through the configured Execute
+// hook or the local pipeline — and stores them in the result cache.
+func (m *Manager) execute(j *job) (string, error) {
 	progress := func(stage core.Stage, done, total int) {
 		j.mu.Lock()
 		defer j.mu.Unlock()
@@ -469,15 +708,11 @@ func (m *Manager) execute(j *job) (string, error) {
 		}
 	}
 
-	ds, err := core.CharacterizeSuiteCtx(j.ctx, suite, ccfg, progress)
-	if err != nil {
-		return "", err
+	exec := m.cfg.Execute
+	if exec == nil {
+		exec = m.executeLocal
 	}
-	an, err := core.AnalyzeCtx(j.ctx, ds, acfg, progress)
-	if err != nil {
-		return "", err
-	}
-	data, err := benchio.MarshalCanonical(benchio.EncodeAnalysis(an))
+	data, err := exec(j.ctx, j.spec, progress)
 	if err != nil {
 		return "", err
 	}
@@ -486,4 +721,36 @@ func (m *Manager) execute(j *job) (string, error) {
 		return "", fmt.Errorf("service: caching result: %w", err)
 	}
 	return hash, nil
+}
+
+// executeLocal runs a job's pipeline in-process: the full characterize +
+// analyze pipeline for analyze jobs, or just the measurement grid —
+// returning the raw observation matrix — for characterize-only jobs.
+func (m *Manager) executeLocal(ctx context.Context, spec JobSpec, progress core.Progress) ([]byte, error) {
+	suite, err := spec.ResolveSuite()
+	if err != nil {
+		return nil, err
+	}
+	ccfg := spec.Cluster
+	ccfg.Parallelism = m.cfg.Parallelism
+
+	if spec.Mode == ModeObservations {
+		om, err := core.CharacterizeObservationsCtx(ctx, suite, ccfg, progress)
+		if err != nil {
+			return nil, err
+		}
+		return benchio.MarshalCanonical(benchio.EncodeObservations(om))
+	}
+
+	acfg := spec.Analysis
+	acfg.Parallelism = m.cfg.Parallelism
+	ds, err := core.CharacterizeSuiteCtx(ctx, suite, ccfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	an, err := core.AnalyzeCtx(ctx, ds, acfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	return benchio.MarshalCanonical(benchio.EncodeAnalysis(an))
 }

@@ -129,6 +129,46 @@ func TestJobIDDeterministicAndContentAddressed(t *testing.T) {
 	}
 }
 
+func TestModeNormalization(t *testing.T) {
+	analyzeID, err := tinySpec().ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "analyze" is an alias of the canonical empty mode.
+	alias := tinySpec()
+	alias.Mode = "Analyze"
+	if id, err := alias.ID(); err != nil || id != analyzeID {
+		t.Errorf("mode 'Analyze' ID = %s (err %v), want %s", id, err, analyzeID)
+	}
+
+	// Observations mode is a distinct job…
+	obs := tinySpec()
+	obs.Mode = "observations"
+	obsID, err := obs.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obsID == analyzeID {
+		t.Error("observations job collided with the analyze job ID")
+	}
+	// …whose identity ignores analysis settings (they are zeroed), so
+	// shards of analyze jobs differing only in analysis config share
+	// worker-side cache entries.
+	obs2 := tinySpec()
+	obs2.Mode = "characterize" // alias
+	obs2.Analysis.KMax = 7
+	if id, err := obs2.ID(); err != nil || id != obsID {
+		t.Errorf("observations ID depends on analysis config: %s vs %s (err %v)", id, obsID, err)
+	}
+
+	bogus := tinySpec()
+	bogus.Mode = "frobnicate"
+	if _, err := bogus.Normalized(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
 func TestNormalizeRejectsBadSpecs(t *testing.T) {
 	unknown := tinySpec()
 	unknown.Workloads = []string{"H-Sort", "H-Nope"}

@@ -28,7 +28,24 @@ import (
 // Workload order is semantic — it fixes dataset row order, which the
 // downstream clustering depends on — so specs listing the same workloads
 // in different orders are distinct jobs.
+// Job modes. The canonical (normalized) analyze mode is the empty string,
+// so pre-existing analyze-job IDs and cached results stay valid.
+const (
+	// ModeAnalyze runs the full pipeline; the result is an AnalysisJSON.
+	ModeAnalyze = ""
+	// ModeObservations runs characterization only and returns the raw
+	// per-cell observation matrix (ObservationsJSON) — the worker half of
+	// a sharded run. The Analysis config is ignored (and zeroed during
+	// normalization, so coordinators sharding jobs with different
+	// analysis settings share worker-side cache entries).
+	ModeObservations = "observations"
+)
+
 type JobSpec struct {
+	// Mode selects what the job computes: "" / "analyze" for the full
+	// characterize+analyze pipeline, "observations" (or "characterize")
+	// for the characterize-only observation matrix.
+	Mode string `json:"mode,omitempty"`
 	// Workloads selects suite members by paper name (e.g. "H-Sort").
 	// Empty means the full 32-workload suite.
 	Workloads []string `json:"workloads,omitempty"`
@@ -58,6 +75,15 @@ func DefaultSpec() JobSpec {
 // server, never part of the job identity.
 func (s JobSpec) Normalized() (JobSpec, error) {
 	n := s
+
+	switch strings.ToLower(strings.TrimSpace(n.Mode)) {
+	case "", "analyze":
+		n.Mode = ModeAnalyze
+	case ModeObservations, "characterize":
+		n.Mode = ModeObservations
+	default:
+		return n, fmt.Errorf("service: unknown job mode %q (analyze, observations)", n.Mode)
+	}
 
 	if n.Suite == (workloads.Config{}) {
 		n.Suite = workloads.DefaultConfig()
@@ -95,25 +121,32 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 	}
 	n.Cluster.Parallelism = 0
 
-	if n.Analysis == (core.AnalysisConfig{}) {
-		n.Analysis = core.DefaultAnalysis()
+	if n.Mode == ModeObservations {
+		// Characterize-only jobs never run the analysis stage: zero the
+		// config so shards of analyze jobs that differ only in analysis
+		// settings normalize to the same worker job.
+		n.Analysis = core.AnalysisConfig{}
+	} else {
+		if n.Analysis == (core.AnalysisConfig{}) {
+			n.Analysis = core.DefaultAnalysis()
+		}
+		if n.Analysis.KMin == 0 && n.Analysis.KMax == 0 {
+			n.Analysis.KMin, n.Analysis.KMax = 2, 12
+		}
+		if n.Analysis.VarianceFrac == 0 {
+			n.Analysis.VarianceFrac = 0.9
+		}
+		if n.Analysis.KMeans.Restarts == 0 {
+			n.Analysis.KMeans.Restarts = core.DefaultAnalysis().KMeans.Restarts
+		}
+		n.Analysis.Parallelism = 0
+		n.Analysis.KMeans.Parallelism = 0
 	}
-	if n.Analysis.KMin == 0 && n.Analysis.KMax == 0 {
-		n.Analysis.KMin, n.Analysis.KMax = 2, 12
-	}
-	if n.Analysis.VarianceFrac == 0 {
-		n.Analysis.VarianceFrac = 0.9
-	}
-	if n.Analysis.KMeans.Restarts == 0 {
-		n.Analysis.KMeans.Restarts = core.DefaultAnalysis().KMeans.Restarts
-	}
-	n.Analysis.Parallelism = 0
-	n.Analysis.KMeans.Parallelism = 0
 
 	if err := n.Cluster.Validate(); err != nil {
 		return n, err
 	}
-	if n.Analysis.KMin < 1 || n.Analysis.KMax < n.Analysis.KMin {
+	if n.Mode == ModeAnalyze && (n.Analysis.KMin < 1 || n.Analysis.KMax < n.Analysis.KMin) {
 		return n, fmt.Errorf("service: invalid K range [%d,%d]", n.Analysis.KMin, n.Analysis.KMax)
 	}
 

@@ -1,0 +1,445 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// Config configures the coordinator-side executor.
+type Config struct {
+	// Workers is the set of bdservd base URLs the grid is sharded over.
+	Workers []string
+	// HTTPClient overrides the transport used for all workers. Nil uses
+	// a default with a response-header timeout, so a worker that accepts
+	// connections but never answers fails the attempt instead of hanging
+	// it.
+	HTTPClient *http.Client
+	// StallTimeout bounds worker *unresponsiveness* per shard attempt:
+	// after this long with no event-stream activity the coordinator
+	// probes the worker's job status, and only an unanswered probe
+	// abandons the attempt and fails the shard over. A shard legitimately
+	// queued behind other jobs on a busy-but-healthy worker therefore
+	// waits indefinitely (the probes keep succeeding), while a worker
+	// that is connected but dead — SIGSTOP, network blackhole — is
+	// detected within one stall period. Default 5m; negative disables.
+	StallTimeout time.Duration
+	// Parallelism bounds the coordinator-side analysis stage (0 =
+	// GOMAXPROCS). It never affects results.
+	Parallelism int
+}
+
+// Executor fans a job's grid out across bdservd workers and merges the
+// shard results deterministically. Its Execute method satisfies
+// service.ExecuteFunc, so a stock service.Manager (queue, dedupe, result
+// cache, journal, HTTP API) becomes a coordinator by plugging it in.
+type Executor struct {
+	cfg     Config
+	clients []*client.Client
+}
+
+// New builds an executor over the configured workers.
+func New(cfg Config) (*Executor, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("shard: no workers configured")
+	}
+	if cfg.StallTimeout == 0 {
+		cfg.StallTimeout = 5 * time.Minute
+	}
+	if cfg.HTTPClient == nil {
+		// No overall timeout (event streams are long-lived), but bound
+		// the silent phases of each request.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.ResponseHeaderTimeout = 30 * time.Second
+		cfg.HTTPClient = &http.Client{Transport: tr}
+	}
+	e := &Executor{cfg: cfg}
+	for _, base := range cfg.Workers {
+		c := client.New(base)
+		c.HTTPClient = cfg.HTTPClient
+		e.clients = append(e.clients, c)
+	}
+	return e, nil
+}
+
+// progressAgg multiplexes per-shard cell counts into one monotone
+// (done, total) pair over the full grid for the merged event stream.
+type progressAgg struct {
+	mu       sync.Mutex
+	perShard []int
+	total    int
+	emitted  int
+	progress core.Progress
+}
+
+// report records shard sh at done cells (monotone per shard — a failover
+// restart re-counts from zero but never regresses the aggregate).
+func (a *progressAgg) report(sh, done int) {
+	if a.progress == nil {
+		return
+	}
+	a.mu.Lock()
+	if done > a.perShard[sh] {
+		a.perShard[sh] = done
+	}
+	sum := 0
+	for _, d := range a.perShard {
+		sum += d
+	}
+	if sum <= a.emitted {
+		a.mu.Unlock()
+		return
+	}
+	a.emitted = sum
+	a.mu.Unlock()
+	a.progress(core.StageCharacterize, sum, a.total)
+}
+
+// Execute implements service.ExecuteFunc: plan → fan out → multiplex
+// progress → merge → (for analyze jobs) run the statistical pipeline
+// once, coordinator-side. The merged result is byte-identical to a
+// single-daemon run of the same spec: per-cell seeds are functions of
+// absolute grid coordinates, cells are re-assembled in canonical order,
+// and the node/run reduction and analysis go through the same code path.
+func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress core.Progress) ([]byte, error) {
+	spec, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := Plan(spec, len(e.clients))
+	if err != nil {
+		return nil, err
+	}
+	suite, err := spec.ResolveSuite()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(suite))
+	for i, w := range suite {
+		names[i] = w.Name
+	}
+	runs, nodes := spec.Cluster.Runs, spec.Cluster.SlaveNodes
+
+	agg := &progressAgg{
+		perShard: make([]int, len(shards)),
+		total:    len(names) * runs * nodes,
+		progress: progress,
+	}
+	if progress != nil {
+		progress(core.StageCharacterize, 0, 0)
+	}
+
+	// Fan out: every shard runs concurrently; the first failure cancels
+	// the siblings.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	oms := make([]*core.ObservationMatrix, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			oms[i], errs[i] = e.runShard(sctx, shards[i], spec, agg)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// A shard's permanent failure cancels its siblings, so their errors
+	// are bare context.Canceled: report the first *causal* failure (in
+	// shard order) rather than a cancellation symptom, so the job settles
+	// as failed with the real reason instead of canceled.
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	om, err := merge(spec, names, runs, nodes, shards, oms)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Mode == service.ModeObservations {
+		return benchio.MarshalCanonical(benchio.EncodeObservations(om))
+	}
+	acfg := spec.Analysis
+	acfg.Parallelism = e.cfg.Parallelism
+	an, err := core.AnalyzeObservationsCtx(ctx, om, acfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	return benchio.MarshalCanonical(benchio.EncodeAnalysis(an))
+}
+
+// runShard dispatches one shard, trying each worker at most once —
+// starting at the shard's home worker (Index mod workers, which spreads
+// the initial load) and failing over to the next on any error: submit
+// rejection, unreachable worker, broken event stream, or worker-side job
+// failure.
+func (e *Executor) runShard(ctx context.Context, sh Shard, full service.JobSpec, agg *progressAgg) (*core.ObservationMatrix, error) {
+	sub := sh.Spec(full)
+	cells := len(sh.Workloads) * full.Cluster.Runs * sh.Nodes
+	n := len(e.clients)
+	var lastErr error
+	for attempt := 0; attempt < n; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		wi := (sh.Index + attempt) % n
+		om, err := e.runShardOn(ctx, e.clients[wi], sub, sh, agg)
+		if err == nil {
+			agg.report(sh.Index, cells)
+			return om, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = fmt.Errorf("worker %s: %w", e.cfg.Workers[wi], err)
+	}
+	return nil, fmt.Errorf("shard: shard %d exhausted all %d workers: %w", sh.Index, n, lastErr)
+}
+
+// shardWatch is the stall watchdog state for one shard attempt: the last
+// activity timestamp plus an optional liveness probe installed once the
+// worker-side job ID is known.
+type shardWatch struct {
+	last  atomic.Int64
+	probe atomic.Value // func(context.Context) error
+}
+
+func (w *shardWatch) touch() { w.last.Store(time.Now().UnixNano()) }
+
+// runShardOn runs one shard attempt against one worker: submit, stream
+// progress events into the aggregate, fetch and decode the observation
+// matrix, and sanity-check its shape against the shard plan. The whole
+// attempt runs under a stall watchdog: when the worker goes silent past
+// StallTimeout, its job status is probed, and only an unanswered probe
+// abandons the attempt — so a healthy worker whose queue is merely busy
+// is never failed over, while a dead-but-connected one is.
+func (e *Executor) runShardOn(ctx context.Context, c *client.Client, sub service.JobSpec, sh Shard, agg *progressAgg) (*core.ObservationMatrix, error) {
+	stall := e.cfg.StallTimeout
+	if stall <= 0 {
+		return e.attemptShard(ctx, c, sub, sh, agg, &shardWatch{})
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w := &shardWatch{}
+	w.touch()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := stall / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-actx.Done():
+				return
+			case <-t.C:
+				if time.Since(time.Unix(0, w.last.Load())) <= stall {
+					continue
+				}
+				// Silent past the bound: distinguish "busy" from "dead"
+				// with a status probe before giving up on the worker.
+				if p, ok := w.probe.Load().(func(context.Context) error); ok && p != nil {
+					pctx, pcancel := context.WithTimeout(actx, stall/4)
+					err := p(pctx)
+					pcancel()
+					if err == nil {
+						w.touch()
+						continue
+					}
+				}
+				cancel()
+				return
+			}
+		}
+	}()
+
+	om, err := e.attemptShard(actx, c, sub, sh, agg, w)
+	if err != nil && actx.Err() != nil && ctx.Err() == nil {
+		// The watchdog (not the job) aborted the attempt. Report it as a
+		// worker *failure* — deliberately not wrapping the underlying
+		// context.Canceled, which would make an all-workers-stalled job
+		// settle as canceled instead of failed.
+		err = fmt.Errorf("worker unresponsive (no activity for %v and status probe failed): %v", stall, err)
+	}
+	return om, err
+}
+
+// attemptShard is the watchdog-free body of one shard attempt.
+func (e *Executor) attemptShard(ctx context.Context, c *client.Client, sub service.JobSpec, sh Shard, agg *progressAgg, w *shardWatch) (*core.ObservationMatrix, error) {
+	st, err := c.SubmitSpec(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	w.touch()
+	// With the job ID known, silence can be disambiguated: the watchdog
+	// probes the job's status and only an unanswered probe means a dead
+	// worker (a queued shard on a busy worker answers and keeps waiting).
+	w.probe.Store(func(pctx context.Context) error {
+		_, err := c.Job(pctx, st.ID)
+		return err
+	})
+	switch st.State {
+	case service.StateDone:
+		// Cache hit on the worker: the matrix is immediately fetchable.
+	case service.StateFailed, service.StateCanceled:
+		return nil, fmt.Errorf("shard job %s born %s: %s", st.ID, st.State, st.Error)
+	default:
+		// Follow the worker's NDJSON stream, multiplexing its per-cell
+		// progress into the coordinator's merged stream. The worker job
+		// is deliberately NOT canceled when this attempt is abandoned:
+		// worker jobs are content-addressed and deduplicated, so another
+		// coordinator job (or a concurrent coordinator) may be following
+		// the very same worker job, and its result lands in the worker's
+		// cache either way — canceling would kill an innocent consumer's
+		// shard to save already-mostly-spent compute.
+		err := c.Events(ctx, st.ID, func(ev service.Event) error {
+			w.touch()
+			switch ev.Type {
+			case "progress":
+				agg.report(sh.Index, ev.Done)
+			case "error":
+				return fmt.Errorf("shard job %s failed: %s", st.ID, ev.Error)
+			case "state":
+				if ev.State == service.StateCanceled {
+					return fmt.Errorf("shard job %s canceled on worker", st.ID)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	data, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	w.touch()
+	var oj benchio.ObservationsJSON
+	if err := json.Unmarshal(data, &oj); err != nil {
+		return nil, fmt.Errorf("decoding shard result: %w", err)
+	}
+	om, err := oj.Observations()
+	if err != nil {
+		return nil, err
+	}
+	if len(om.Labels) != len(sh.Workloads) {
+		return nil, fmt.Errorf("shard result has %d workloads, want %d", len(om.Labels), len(sh.Workloads))
+	}
+	for i, name := range sh.Workloads {
+		if om.Labels[i] != name {
+			return nil, fmt.Errorf("shard result workload %d is %q, want %q", i, om.Labels[i], name)
+		}
+	}
+	if om.Runs() != sub.Cluster.Runs || om.Nodes() != sh.Nodes {
+		return nil, fmt.Errorf("shard result extents %d runs × %d nodes, want %d×%d",
+			om.Runs(), om.Nodes(), sub.Cluster.Runs, sh.Nodes)
+	}
+	if om.NodeOffset != sub.Cluster.NodeOffset {
+		return nil, fmt.Errorf("shard result node offset %d, want %d", om.NodeOffset, sub.Cluster.NodeOffset)
+	}
+	return om, nil
+}
+
+// merge re-assembles the shard matrices into the full grid in canonical
+// cell order — workloads in suite order, then runs, then absolute node
+// index — verifying exact coverage.
+func merge(spec service.JobSpec, names []string, runs, nodes int, shards []Shard, oms []*core.ObservationMatrix) (*core.ObservationMatrix, error) {
+	var metrics []string
+	cells := make([][][][]float64, len(names))
+	for w := range cells {
+		cells[w] = make([][][]float64, runs)
+		for r := range cells[w] {
+			cells[w][r] = make([][]float64, nodes)
+		}
+	}
+	for si, sh := range shards {
+		om := oms[si]
+		if om == nil {
+			return nil, fmt.Errorf("shard: shard %d produced no matrix", si)
+		}
+		if metrics == nil {
+			metrics = om.Metrics
+		} else {
+			// Columns must agree exactly across shards — a mixed-version
+			// fleet with reordered or renamed metrics would otherwise be
+			// stitched together silently into a wrong (but confidently
+			// hashed) result.
+			if len(metrics) != len(om.Metrics) {
+				return nil, fmt.Errorf("shard: shard %d has %d metrics, want %d", si, len(om.Metrics), len(metrics))
+			}
+			for mi := range metrics {
+				if metrics[mi] != om.Metrics[mi] {
+					return nil, fmt.Errorf("shard: shard %d metric %d is %q, want %q", si, mi, om.Metrics[mi], metrics[mi])
+				}
+			}
+		}
+		for wi := range om.Labels {
+			w := sh.WorkloadOffset + wi
+			if w >= len(names) || names[w] != om.Labels[wi] {
+				return nil, fmt.Errorf("shard: shard %d workload %q misaligned", si, om.Labels[wi])
+			}
+			for r := 0; r < runs; r++ {
+				for nd := 0; nd < sh.Nodes; nd++ {
+					tgt := sh.NodeOffset + nd
+					if tgt >= nodes || cells[w][r][tgt] != nil {
+						return nil, fmt.Errorf("shard: cell [%d][%d][%d] double-covered or out of range", w, r, tgt)
+					}
+					cells[w][r][tgt] = om.Cells[wi][r][nd]
+				}
+			}
+		}
+	}
+	for w := range cells {
+		for r := range cells[w] {
+			for nd := range cells[w][r] {
+				if cells[w][r][nd] == nil {
+					return nil, fmt.Errorf("shard: cell [%d][%d][%d] uncovered by the plan", w, r, nd)
+				}
+			}
+		}
+	}
+	return &core.ObservationMatrix{
+		Labels:     names,
+		Metrics:    metrics,
+		Cells:      cells,
+		NodeOffset: spec.Cluster.NodeOffset,
+	}, nil
+}

@@ -1,0 +1,123 @@
+// Package shard implements horizontal sharding of the characterization
+// grid across bdservd workers: a static planner that partitions a job's
+// workload×node axes into per-worker sub-specs, and a coordinator-side
+// executor that fans the sub-specs out over HTTP, multiplexes per-shard
+// progress into one merged event stream, retries failed shards on
+// healthy workers, and deterministically re-assembles the shard
+// observation matrices so the merged result is byte-identical to a
+// single-daemon run. cmd/bdcoord plugs the executor into a stock
+// service.Manager, inheriting its queue, cache, journal and HTTP API.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/service"
+)
+
+// Shard is one worker-sized slice of a job's measurement grid: a
+// contiguous workload range (in canonical suite order) crossed with a
+// contiguous node range. The run axis is never split — runs of one cell
+// column are cheap relative to workloads and nodes, and keeping them
+// together keeps sub-spec configs simple.
+type Shard struct {
+	Index int
+	// Workloads is the shard's workload selection, in canonical order.
+	Workloads []string
+	// WorkloadOffset is the first workload's index in the full job's
+	// canonical workload order.
+	WorkloadOffset int
+	// NodeOffset / Nodes delimit the shard's node range relative to the
+	// full job's own node axis.
+	NodeOffset, Nodes int
+}
+
+// Spec materializes the shard as a characterize-only sub-spec of the
+// full (normalized) job spec: same suite, seed and monitor config, the
+// shard's workload subset, and the shard's node window expressed through
+// cluster.Config.NodeOffset — whose per-cell seeds depend on absolute
+// node indexes, making the sub-grid bit-identical to the corresponding
+// cells of the full grid.
+func (s Shard) Spec(full service.JobSpec) service.JobSpec {
+	sub := full
+	sub.Mode = service.ModeObservations
+	sub.Workloads = append([]string(nil), s.Workloads...)
+	sub.Cluster.NodeOffset = full.Cluster.NodeOffset + s.NodeOffset
+	sub.Cluster.SlaveNodes = s.Nodes
+	return sub
+}
+
+// Plan statically partitions a job's grid into at most `workers` shards.
+// The split is deterministic: workloads are divided into contiguous
+// near-equal chunks; when there are fewer workloads than workers the
+// node axis is split as well, so every worker gets work whenever the
+// grid has at least `workers` workload×node columns.
+func Plan(spec service.JobSpec, workers int) ([]Shard, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("shard: need ≥1 worker, got %d", workers)
+	}
+	suite, err := spec.ResolveSuite()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(suite))
+	for i, w := range suite {
+		names[i] = w.Name
+	}
+	nodes := spec.Cluster.SlaveNodes
+	if nodes < 1 {
+		return nil, fmt.Errorf("shard: spec has %d slave nodes", nodes)
+	}
+
+	w := len(names)
+	var shards []Shard
+	if workers <= w {
+		// Workload-axis split only: contiguous chunks, sizes differing by
+		// at most one.
+		for i, lo := 0, 0; i < workers; i++ {
+			hi := lo + w/workers
+			if i < w%workers {
+				hi++
+			}
+			shards = append(shards, Shard{
+				Workloads:      names[lo:hi],
+				WorkloadOffset: lo,
+				NodeOffset:     0,
+				Nodes:          nodes,
+			})
+			lo = hi
+		}
+	} else {
+		// Fewer workloads than workers: one chunk per workload, with each
+		// workload's node axis split among its share of the workers.
+		per := make([]int, w) // node-splits per workload
+		for i := 0; i < w; i++ {
+			per[i] = workers / w
+			if i < workers%w {
+				per[i]++
+			}
+			if per[i] > nodes {
+				per[i] = nodes
+			}
+		}
+		for i := 0; i < w; i++ {
+			for p, lo := 0, 0; p < per[i]; p++ {
+				hi := lo + nodes/per[i]
+				if p < nodes%per[i] {
+					hi++
+				}
+				shards = append(shards, Shard{
+					Workloads:      names[i : i+1],
+					WorkloadOffset: i,
+					NodeOffset:     lo,
+					Nodes:          hi - lo,
+				})
+				lo = hi
+			}
+		}
+	}
+	for i := range shards {
+		shards[i].Index = i
+	}
+	return shards, nil
+}

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/cluster/kmeans"
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/service"
+	"repro/internal/sim/machine"
+)
+
+// tinySpec mirrors the service package's fast test job: 2-core node,
+// shrunken caches.
+func tinySpec(names ...string) service.JobSpec {
+	m := machine.Westmere()
+	m.Sockets, m.CoresPerSocket = 1, 2
+	m.L1I.SizeB = 1 << 10
+	m.L1D.SizeB = 1 << 10
+	m.L2.SizeB = 4 << 10
+	m.L3.SizeB = 32 << 10
+	if len(names) == 0 {
+		names = []string{"H-Sort", "S-Sort", "H-Grep", "S-Grep"}
+	}
+	return service.JobSpec{
+		Workloads: names,
+		Suite:     workloads.Config{Seed: 11, Scale: 1 << 16},
+		Cluster: cluster.Config{
+			Machine:             m,
+			SlaveNodes:          2,
+			InstructionsPerCore: 1500,
+			Slices:              8,
+			Monitor:             perf.DefaultMonitor(),
+			Runs:                1,
+			Seed:                11,
+			ExecutionJitter:     0.05,
+		},
+		Analysis: core.AnalysisConfig{
+			KMin: 2, KMax: 2,
+			KMeans: kmeans.Config{Restarts: 2, Seed: 7},
+		},
+	}
+}
+
+// coverage asserts a plan tiles the workload×node grid exactly once.
+func coverage(t *testing.T, spec service.JobSpec, shards []Shard) {
+	t.Helper()
+	suite, err := spec.ResolveSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([][]int, len(suite))
+	for w := range covered {
+		covered[w] = make([]int, spec.Cluster.SlaveNodes)
+	}
+	for _, sh := range shards {
+		if len(sh.Workloads) == 0 || sh.Nodes < 1 {
+			t.Fatalf("empty shard %+v", sh)
+		}
+		for wi, name := range sh.Workloads {
+			w := sh.WorkloadOffset + wi
+			if suite[w].Name != name {
+				t.Fatalf("shard %d workload %q misaligned with suite order", sh.Index, name)
+			}
+			for n := sh.NodeOffset; n < sh.NodeOffset+sh.Nodes; n++ {
+				covered[w][n]++
+			}
+		}
+	}
+	for w := range covered {
+		for n, c := range covered[w] {
+			if c != 1 {
+				t.Fatalf("grid cell workload=%d node=%d covered %d times", w, n, c)
+			}
+		}
+	}
+}
+
+func TestPlanCoversGridExactly(t *testing.T) {
+	for _, tc := range []struct {
+		workloads []string
+		nodes     int
+		workers   int
+		minShards int
+	}{
+		{[]string{"H-Sort", "S-Sort", "H-Grep", "S-Grep"}, 2, 1, 1},
+		{[]string{"H-Sort", "S-Sort", "H-Grep", "S-Grep"}, 2, 2, 2},
+		{[]string{"H-Sort", "S-Sort", "H-Grep", "S-Grep"}, 2, 3, 3},
+		{[]string{"H-Sort", "S-Sort", "H-Grep"}, 4, 3, 3},
+		// Fewer workloads than workers: the node axis splits too.
+		{[]string{"H-Sort", "S-Sort"}, 4, 5, 5},
+		{[]string{"H-Sort"}, 4, 3, 3},
+		// More workers than workload×node columns: capped at the grid.
+		{[]string{"H-Sort"}, 2, 8, 2},
+	} {
+		spec := tinySpec(tc.workloads...)
+		spec.Cluster.SlaveNodes = tc.nodes
+		shards, err := Plan(spec, tc.workers)
+		if err != nil {
+			t.Fatalf("%v/%d nodes/%d workers: %v", tc.workloads, tc.nodes, tc.workers, err)
+		}
+		if len(shards) < tc.minShards || len(shards) > tc.workers {
+			t.Errorf("%d workloads × %d nodes over %d workers: %d shards, want [%d,%d]",
+				len(tc.workloads), tc.nodes, tc.workers, len(shards), tc.minShards, tc.workers)
+		}
+		coverage(t, spec, shards)
+		for i, sh := range shards {
+			if sh.Index != i {
+				t.Errorf("shard %d carries index %d", i, sh.Index)
+			}
+		}
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	spec := tinySpec()
+	a, err := Plan(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plan sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].WorkloadOffset != b[i].WorkloadOffset || a[i].NodeOffset != b[i].NodeOffset ||
+			a[i].Nodes != b[i].Nodes || len(a[i].Workloads) != len(b[i].Workloads) {
+			t.Fatalf("plan differs at shard %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardSpecIsCharacterizeOnly(t *testing.T) {
+	spec := tinySpec()
+	shards, err := Plan(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := shards[1].Spec(spec)
+	if sub.Mode != service.ModeObservations {
+		t.Errorf("sub-spec mode %q, want observations", sub.Mode)
+	}
+	norm, err := sub.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Analysis != (core.AnalysisConfig{}) {
+		t.Error("sub-spec retained analysis config after normalization")
+	}
+	if norm.Cluster.Seed != spec.Cluster.Seed {
+		t.Error("sub-spec seed drifted")
+	}
+}

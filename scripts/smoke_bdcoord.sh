@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Smoke test for the bdcoord shard coordinator, run by CI and usable
+# locally: boot two characterize-only bdservd workers and one bdcoord,
+# submit the CI-scale job to the coordinator, and verify the merged
+# result hash (and bytes) are identical to a direct single-daemon run of
+# the same spec. Then restart the coordinator and verify the job journal
+# replays: the finished job's status and result are still served.
+set -euo pipefail
+
+W1_ADDR="127.0.0.1:8361"
+W2_ADDR="127.0.0.1:8362"
+CO_ADDR="127.0.0.1:8360"
+SD_ADDR="127.0.0.1:8363"
+CO="http://$CO_ADDR"
+SD="http://$SD_ADDR"
+WORKDIR="$(mktemp -d)"
+PIDS=()
+# ${PIDS[@]:-} so the trap survives an empty array under set -u (bash<4.4).
+trap 'kill "${PIDS[@]:-}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+echo "==> building bdservd + bdcoord"
+go build -o "$WORKDIR/bdservd" ./cmd/bdservd
+go build -o "$WORKDIR/bdcoord" ./cmd/bdcoord
+
+wait_healthy() { # wait_healthy <base-url> <pid>
+  for i in $(seq 1 50); do
+    if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$2" 2>/dev/null; then echo "daemon at $1 died" >&2; return 1; fi
+    sleep 0.2
+  done
+  echo "daemon at $1 never became healthy" >&2
+  return 1
+}
+
+json_field() { # json_field <file> <field> — bools print as True/False
+  python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get(sys.argv[2], ""))' "$1" "$2"
+}
+
+poll_done() { # poll_done <base-url> <job-id> <status-file>
+  local state=""
+  for i in $(seq 1 300); do
+    curl -fsS "$1/v1/jobs/$2" -o "$3"
+    state=$(json_field "$3" state)
+    case "$state" in
+      done) return 0 ;;
+      failed|canceled) echo "job ended $state:" >&2; cat "$3" >&2; return 1 ;;
+    esac
+    sleep 1
+  done
+  echo "job stuck in state '$state'" >&2
+  return 1
+}
+
+echo "==> starting two characterize-only workers"
+"$WORKDIR/bdservd" -addr "$W1_ADDR" -data-dir "$WORKDIR/w1" -characterize-only &
+PIDS+=($!); W1_PID=$!
+"$WORKDIR/bdservd" -addr "$W2_ADDR" -data-dir "$WORKDIR/w2" -characterize-only &
+PIDS+=($!); W2_PID=$!
+wait_healthy "http://$W1_ADDR" "$W1_PID"
+wait_healthy "http://$W2_ADDR" "$W2_PID"
+
+echo "==> starting coordinator + single-daemon reference"
+"$WORKDIR/bdcoord" -addr "$CO_ADDR" -data-dir "$WORKDIR/coord" \
+  -workers "http://$W1_ADDR,http://$W2_ADDR" &
+PIDS+=($!); CO_PID=$!
+"$WORKDIR/bdservd" -addr "$SD_ADDR" -data-dir "$WORKDIR/single" &
+PIDS+=($!); SD_PID=$!
+wait_healthy "$CO" "$CO_PID"
+wait_healthy "$SD" "$SD_PID"
+
+JOB='{"workloads":["H-Sort","S-Sort","H-Grep","S-Grep"],"nodes":2,"instructions":6000,"kmax":3}'
+
+echo "==> submitting job to the coordinator"
+curl -fsS -X POST -d "$JOB" "$CO/v1/jobs" -o "$WORKDIR/co_submit.json"
+CO_ID=$(json_field "$WORKDIR/co_submit.json" id)
+[ -n "$CO_ID" ] || { echo "no job id from coordinator" >&2; cat "$WORKDIR/co_submit.json" >&2; exit 1; }
+echo "    job $CO_ID"
+poll_done "$CO" "$CO_ID" "$WORKDIR/co_status.json"
+CO_HASH=$(json_field "$WORKDIR/co_status.json" result_hash)
+[ -n "$CO_HASH" ] || { echo "coordinator job has no result_hash" >&2; exit 1; }
+echo "    merged hash $CO_HASH"
+
+echo "==> verifying both workers actually executed shards"
+W1_STORES=$(curl -fsS "http://$W1_ADDR/v1/cache/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["stores"])')
+W2_STORES=$(curl -fsS "http://$W2_ADDR/v1/cache/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["stores"])')
+[ "$W1_STORES" -ge 1 ] || { echo "worker 1 executed no shard" >&2; exit 1; }
+[ "$W2_STORES" -ge 1 ] || { echo "worker 2 executed no shard" >&2; exit 1; }
+
+echo "==> running the same spec on a single daemon"
+curl -fsS -X POST -d "$JOB" "$SD/v1/jobs" -o "$WORKDIR/sd_submit.json"
+SD_ID=$(json_field "$WORKDIR/sd_submit.json" id)
+poll_done "$SD" "$SD_ID" "$WORKDIR/sd_status.json"
+SD_HASH=$(json_field "$WORKDIR/sd_status.json" result_hash)
+
+echo "==> comparing results"
+[ "$CO_ID" = "$SD_ID" ] || { echo "job IDs differ: $CO_ID vs $SD_ID" >&2; exit 1; }
+[ "$CO_HASH" = "$SD_HASH" ] || { echo "MERGE NOT DETERMINISTIC: coordinator $CO_HASH vs single-daemon $SD_HASH" >&2; exit 1; }
+curl -fsS "$CO/v1/jobs/$CO_ID/result" -o "$WORKDIR/co_result.json"
+curl -fsS "$SD/v1/jobs/$SD_ID/result" -o "$WORKDIR/sd_result.json"
+cmp "$WORKDIR/co_result.json" "$WORKDIR/sd_result.json"
+echo "    byte-identical at 2 workers vs 1 daemon"
+
+echo "==> restarting the coordinator (journal replay)"
+kill "$CO_PID"
+wait "$CO_PID" 2>/dev/null || true
+"$WORKDIR/bdcoord" -addr "$CO_ADDR" -data-dir "$WORKDIR/coord" \
+  -workers "http://$W1_ADDR,http://$W2_ADDR" &
+PIDS+=($!); CO_PID=$!
+wait_healthy "$CO" "$CO_PID"
+curl -fsS "$CO/v1/jobs/$CO_ID" -o "$WORKDIR/co_status2.json"
+STATE2=$(json_field "$WORKDIR/co_status2.json" state)
+HASH2=$(json_field "$WORKDIR/co_status2.json" result_hash)
+[ "$STATE2" = "done" ] || { echo "replayed job state=$STATE2" >&2; exit 1; }
+[ "$HASH2" = "$CO_HASH" ] || { echo "replayed hash $HASH2 != $CO_HASH" >&2; exit 1; }
+curl -fsS "$CO/v1/jobs/$CO_ID/result" -o "$WORKDIR/co_result2.json"
+cmp "$WORKDIR/co_result.json" "$WORKDIR/co_result2.json"
+echo "    journal replayed: job still done with identical result"
+
+echo "==> bdcoord smoke OK (job $CO_ID, merged hash $CO_HASH)"
