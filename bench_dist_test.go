@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// The distributed-mode benchmarks time the bdcoord work-stealing
+// coordinator over in-process bdservd workers at the CI-scale grid
+// (the same job scripts/smoke_bdcoord.sh submits): one worker, two
+// workers, and two workers with one throttled — the heterogeneous-fleet
+// case the dynamic dispatcher exists for. When all three have run, the
+// rows are merged into BENCH_pipeline.json (alongside the single-process
+// rows) with their shared merged result hash, asserting the
+// work-stealing merge stayed deterministic across fleet shapes:
+//
+//	go test -bench 'BenchmarkDistributed' -benchtime 3x -run '^$'
+//
+// Worker daemons run with Parallelism 1, so on a multi-core host the
+// two-worker rows also measure real horizontal speedup; on a 1-core CI
+// container they mostly measure coordination overhead (and, for the
+// throttled row, how well stealing hides a slow worker).
+
+const distBenchScale = "4 workloads, 2 nodes, 6000 instr/core (CI-scale), workers at parallelism 1"
+
+// distCellDelay throttles the slow worker in the one-slow row: large
+// against the ~tens-of-ms CI-scale cell, small against total runtime.
+const distCellDelay = 300 * time.Millisecond
+
+var (
+	distMu      sync.Mutex
+	distResults = map[string]benchio.DistVariant{}
+)
+
+func distSpec(b *testing.B) service.JobSpec {
+	kmax := 3
+	nodes, instr := 2, 6000
+	req := service.JobRequest{
+		Workloads:    []string{"H-Sort", "S-Sort", "H-Grep", "S-Grep"},
+		Nodes:        &nodes,
+		Instructions: &instr,
+		KMax:         &kmax,
+	}
+	spec, err := req.ToSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+// startBenchWorker boots one in-process bdservd on a loopback port.
+func startBenchWorker(b *testing.B, throttle time.Duration) (url string, shutdown func()) {
+	mgr, err := service.New(service.Config{Workers: 2, Parallelism: 1, CellDelay: throttle})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		b.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		srv.Close()
+		mgr.Close()
+	}
+}
+
+// runDistBench times one fleet shape end to end. Every iteration builds
+// a fresh fleet and coordinator (no result cache survives), so each op
+// is a full cold characterization + merge.
+func runDistBench(b *testing.B, name string, workers, throttled int) {
+	spec := distSpec(b)
+	var hash string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var urls []string
+		var downs []func()
+		for w := 0; w < workers; w++ {
+			delay := time.Duration(0)
+			if w >= workers-throttled {
+				delay = distCellDelay
+			}
+			u, down := startBenchWorker(b, delay)
+			urls = append(urls, u)
+			downs = append(downs, down)
+		}
+		exec, err := shard.New(shard.Config{Workers: urls, ProbeInterval: time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord, err := service.New(service.Config{Execute: exec.Execute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		st, err := coord.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			cur, ok := coord.Get(st.ID)
+			if !ok {
+				b.Fatal("job disappeared")
+			}
+			if cur.State == service.StateDone {
+				hash = cur.ResultHash
+				break
+			}
+			if cur.State == service.StateFailed || cur.State == service.StateCanceled {
+				b.Fatalf("bench job finished %s: %s", cur.State, cur.Error)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		b.StopTimer()
+		coord.Close()
+		exec.Close()
+		for _, down := range downs {
+			down()
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+
+	distMu.Lock()
+	defer distMu.Unlock()
+	distResults[name] = benchio.DistVariant{
+		SecondsPerOp:     b.Elapsed().Seconds() / float64(b.N),
+		Iterations:       b.N,
+		Workers:          workers,
+		ThrottledWorkers: throttled,
+		CellDelayMS:      int(distCellDelay.Milliseconds()) * min(throttled, 1),
+		ResultHash:       hash,
+	}
+	if len(distResults) == 3 {
+		if err := benchio.WriteDistributed(distBenchScale, distResults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributed_1Worker(b *testing.B) {
+	runDistBench(b, "1_worker", 1, 0)
+}
+
+func BenchmarkDistributed_2Workers(b *testing.B) {
+	runDistBench(b, "2_workers", 2, 0)
+}
+
+func BenchmarkDistributed_2WorkersOneSlow(b *testing.B) {
+	runDistBench(b, "2_workers_one_slow", 2, 1)
+}

@@ -1,20 +1,27 @@
 // Command bdcoord is the shard coordinator: it serves the same /v1/jobs
-// API as bdservd, but instead of executing jobs in-process it statically
-// partitions each job's characterization grid (on the workload×node
-// axes) into per-worker sub-specs, fans them out over HTTP to a set of
-// bdservd workers, multiplexes the per-shard NDJSON progress into one
-// merged event stream, retries failed shards on healthy workers, and
-// deterministically re-assembles the shard observation matrices before
-// running the statistical pipeline once, coordinator-side. The merged
-// result is byte-identical (same content hash) to a single-daemon run of
-// the same spec at any worker count.
+// API as bdservd, but instead of executing jobs in-process it tiles each
+// job's characterization grid (on the workload×node axes) into many
+// small work units and feeds them through a work-stealing dispatch loop
+// over a set of bdservd workers: each worker pulls its next unit the
+// moment the previous one completes, so fast workers naturally drain the
+// tail slow ones would stall on; units from failed or stalled workers
+// are re-queued. Per-worker circuit breakers — fed by unit outcomes and
+// a background /healthz prober (-probe-interval, -breaker-threshold) —
+// keep dead workers out of rotation between jobs, and half-open probes
+// re-admit them when they recover; /v1/workers exposes the live state.
+// Per-unit NDJSON progress is multiplexed into one merged event stream
+// and the unit observation matrices are deterministically re-assembled
+// before the statistical pipeline runs once, coordinator-side. The
+// merged result is byte-identical (same content hash) to a single-daemon
+// run of the same spec at any worker count.
 //
 // Usage:
 //
 //	bdcoord -workers http://h1:8356,http://h2:8356 [-addr :8360]
 //	        [-data-dir bdcoord-data] [-queue 64] [-cache-entries 256]
 //	        [-max-jobs 1024] [-parallelism 0] [-concurrent-jobs 1]
-//	        [-stall-timeout 5m]
+//	        [-stall-timeout 5m] [-probe-interval 15s]
+//	        [-breaker-threshold 3] [-units-per-worker 4]
 //
 // The coordinator keeps its own content-addressed result cache and
 // persistent job journal (under -data-dir), so repeated grids are served
@@ -23,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -57,11 +65,17 @@ func run() error {
 		maxJobs = flag.Int("max-jobs", 1024, "max retained job records (oldest terminal evicted)")
 		par     = flag.Int("parallelism", 0, "coordinator-side analysis parallelism (0 = GOMAXPROCS)")
 		conc    = flag.Int("concurrent-jobs", 1, "concurrently coordinated jobs")
-		stall   = flag.Duration("stall-timeout", 5*time.Minute, "per-shard worker inactivity bound before failover")
+		stall   = flag.Duration("stall-timeout", 5*time.Minute, "per-unit worker inactivity bound before re-queue")
+		probe   = flag.Duration("probe-interval", 15*time.Second, "worker /healthz probe period (negative disables; open breakers then re-admit via half-open dispatch trials)")
+		brk     = flag.Int("breaker-threshold", 3, "consecutive failures (units + probes) that open a worker's circuit breaker")
+		upw     = flag.Int("units-per-worker", 4, "target work units planned per worker (work-stealing granularity)")
 	)
 	flag.Parse()
 	if *queue < 1 || *entries < 1 || *maxJobs < 1 || *conc < 1 || *par < 0 {
 		return fmt.Errorf("-queue, -cache-entries, -max-jobs and -concurrent-jobs must be ≥1 and -parallelism ≥0")
+	}
+	if *brk < 1 || *upw < 1 {
+		return fmt.Errorf("-breaker-threshold and -units-per-worker must be ≥1")
 	}
 	var urls []string
 	for _, u := range strings.Split(*workers, ",") {
@@ -83,10 +97,18 @@ func run() error {
 		stop()
 	}
 
-	exec, err := shard.New(shard.Config{Workers: urls, Parallelism: *par, StallTimeout: *stall})
+	exec, err := shard.New(shard.Config{
+		Workers:          urls,
+		Parallelism:      *par,
+		StallTimeout:     *stall,
+		ProbeInterval:    *probe,
+		BreakerThreshold: *brk,
+		UnitsPerWorker:   *upw,
+	})
 	if err != nil {
 		return err
 	}
+	defer exec.Close()
 	journal := ""
 	if *dataDir != "" {
 		journal = filepath.Join(*dataDir, "journal.ndjson")
@@ -105,9 +127,20 @@ func run() error {
 	}
 	defer mgr.Close()
 
+	// The coordinator's API is the stock jobs API plus /v1/workers: the
+	// live breaker/health state of the fleet.
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(mgr))
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(exec.WorkerStatuses())
+	})
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(mgr),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

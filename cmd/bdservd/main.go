@@ -17,6 +17,7 @@
 //	bdservd [-addr :8356] [-data-dir bdservd-data] [-workers 1]
 //	        [-queue 64] [-cache-entries 256] [-max-jobs 1024]
 //	        [-journal auto] [-characterize-only] [-parallelism 0]
+//	        [-throttle-cell 0]
 //
 // API (see DESIGN.md §4 for the full reference):
 //
@@ -64,7 +65,9 @@ func run() error {
 		journal  = flag.String("journal", "auto", "job journal path ('auto' = <data-dir>/journal.ndjson, '' = disabled)")
 		charOnly = flag.Bool("characterize-only", false,
 			"accept only observation-matrix jobs (shard-worker role)")
-		par = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
+		par      = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
+		throttle = flag.Duration("throttle-cell", 0,
+			"artificial sleep per completed grid cell (testing knob: simulates a slow worker; never affects results)")
 	)
 	flag.Parse()
 	if *workers < 1 || *queue < 1 || *entries < 1 || *maxJobs < 1 || *par < 0 {
@@ -87,6 +90,7 @@ func run() error {
 		JournalPath:      journalPath,
 		CharacterizeOnly: *charOnly,
 		Parallelism:      *par,
+		CellDelay:        *throttle,
 	})
 	if err != nil {
 		return err

@@ -22,6 +22,20 @@ type Variant struct {
 	Subset []string `json:"-"`
 }
 
+// DistVariant is one distributed-mode (bdcoord over bdservd workers)
+// timing row: the CI-scale grid coordinated across Workers in-process
+// daemons, with ThrottledWorkers of them artificially slowed by
+// CellDelayMS per grid cell. ResultHash is the merged content hash —
+// identical across all rows by the coordinator's determinism guarantee.
+type DistVariant struct {
+	SecondsPerOp     float64 `json:"seconds_per_op"`
+	Iterations       int     `json:"iterations"`
+	Workers          int     `json:"workers"`
+	ThrottledWorkers int     `json:"throttled_workers,omitempty"`
+	CellDelayMS      int     `json:"cell_delay_ms,omitempty"`
+	ResultHash       string  `json:"result_hash"`
+}
+
 // Report is the BENCH_pipeline.json schema.
 type Report struct {
 	Benchmark  string             `json:"benchmark"`
@@ -32,6 +46,11 @@ type Report struct {
 	Results    map[string]Variant `json:"results"`
 	Speedup    float64            `json:"speedup"`
 	Identical  bool               `json:"identical_output"`
+	// DistributedScale and Distributed are written by the bdcoord bench
+	// harness (bench_dist_test.go); the single-process rows above are
+	// untouched when it runs.
+	DistributedScale string                 `json:"distributed_scale,omitempty"`
+	Distributed      map[string]DistVariant `json:"distributed,omitempty"`
 }
 
 // Identical reports whether the two variants produced the same analysis
@@ -57,16 +76,58 @@ func Write(benchmark, scale string, seq, par Variant) error {
 		return fmt.Errorf("benchio: sequential and parallel pipelines diverged: K %d vs %d, subsets %v vs %v",
 			seq.BestK, par.BestK, seq.Subset, par.Subset)
 	}
-	rep := Report{
-		Benchmark:  benchmark,
-		Scale:      scale,
-		GOOS:       runtime.GOOS,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Results:    map[string]Variant{"sequential": seq, "parallel": par},
-		Speedup:    seq.SecondsPerOp / par.SecondsPerOp,
-		Identical:  true,
+	rep := readReport()
+	rep.Benchmark = benchmark
+	rep.Scale = scale
+	rep.GOOS = runtime.GOOS
+	rep.NumCPU = runtime.NumCPU()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Results = map[string]Variant{"sequential": seq, "parallel": par}
+	rep.Speedup = seq.SecondsPerOp / par.SecondsPerOp
+	rep.Identical = true
+	return writeReport(rep)
+}
+
+// WriteDistributed merges the distributed-mode rows into
+// BENCH_pipeline.json, preserving the single-process rows. All rows must
+// carry the same merged result hash — a divergence means the
+// work-stealing merge broke determinism, which is an error here exactly
+// as output divergence is in Write.
+func WriteDistributed(scale string, rows map[string]DistVariant) error {
+	var hash string
+	for name, v := range rows {
+		if v.ResultHash == "" {
+			return fmt.Errorf("benchio: distributed row %q has no result hash", name)
+		}
+		if hash == "" {
+			hash = v.ResultHash
+		} else if v.ResultHash != hash {
+			return fmt.Errorf("benchio: distributed rows diverged: %q hashed %s, others %s", name, v.ResultHash, hash)
+		}
 	}
+	rep := readReport()
+	rep.DistributedScale = scale
+	rep.Distributed = rows
+	return writeReport(rep)
+}
+
+// readReport loads the existing artifact so partial writers (Write,
+// WriteDistributed) preserve each other's sections; a missing or broken
+// file starts fresh (a decode error discards any partially decoded
+// fields rather than resurrecting them into the rewritten artifact).
+func readReport() Report {
+	var rep Report
+	data, err := os.ReadFile("BENCH_pipeline.json")
+	if err != nil {
+		return Report{}
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}
+	}
+	return rep
+}
+
+func writeReport(rep Report) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,276 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func writeNDJSON(w http.ResponseWriter, evs ...service.Event) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	f, _ := w.(http.Flusher)
+	for _, ev := range evs {
+		enc.Encode(ev)
+		if f != nil {
+			f.Flush()
+		}
+	}
+}
+
+// TestEventsReplaysToTerminal: the full stream — replayed history plus a
+// terminal done event — is delivered to the callback in order and the
+// call returns nil.
+func TestEventsReplaysToTerminal(t *testing.T) {
+	evs := []service.Event{
+		{Seq: 1, Type: "state", State: service.StateQueued},
+		{Seq: 2, Type: "state", State: service.StateRunning},
+		{Seq: 3, Type: "progress", Stage: "characterize", Done: 4, Total: 8},
+		{Seq: 4, Type: "done", ResultHash: "abc123"},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j1/events" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		writeNDJSON(w, evs...)
+	}))
+	defer srv.Close()
+
+	var got []service.Event
+	err := New(srv.URL).Events(context.Background(), "j1", func(ev service.Event) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("saw %d events, want %d", len(got), len(evs))
+	}
+	for i, ev := range evs {
+		if got[i] != ev {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], ev)
+		}
+	}
+}
+
+// TestEventsMidStreamEOF: a stream that ends cleanly but before any
+// terminal event must surface an error — the coordinator treats it as
+// worker failure.
+func TestEventsMidStreamEOF(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeNDJSON(w,
+			service.Event{Seq: 1, Type: "state", State: service.StateRunning},
+			service.Event{Seq: 2, Type: "progress", Done: 1, Total: 8},
+		)
+	}))
+	defer srv.Close()
+
+	seen := 0
+	err := New(srv.URL).Events(context.Background(), "j1", func(service.Event) error {
+		seen++
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "before a terminal event") {
+		t.Fatalf("mid-stream EOF err = %v, want terminal-event error", err)
+	}
+	if seen != 2 {
+		t.Errorf("callback saw %d events before the EOF, want 2", seen)
+	}
+}
+
+// TestEventsCallbackErrorStopsStream: the callback's own error aborts the
+// stream and is returned verbatim.
+func TestEventsCallbackErrorStopsStream(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeNDJSON(w,
+			service.Event{Seq: 1, Type: "state", State: service.StateRunning},
+			service.Event{Seq: 2, Type: "error", Error: "boom"},
+			service.Event{Seq: 3, Type: "done"},
+		)
+	}))
+	defer srv.Close()
+
+	want := errors.New("job failed")
+	err := New(srv.URL).Events(context.Background(), "j1", func(ev service.Event) error {
+		if ev.Type == "error" {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("callback error not surfaced: %v", err)
+	}
+}
+
+// TestEventsContextCancel: cancelling the context while the server holds
+// the stream open must end the call promptly with an error.
+func TestEventsContextCancel(t *testing.T) {
+	first := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeNDJSON(w, service.Event{Seq: 1, Type: "state", State: service.StateRunning})
+		close(first)
+		<-r.Context().Done() // hold the stream open, never terminal
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-first
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		done <- New(srv.URL).Events(ctx, "j1", func(service.Event) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled Events returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Events did not return after context cancellation")
+	}
+}
+
+// TestNon2xxErrorSurfacing: the daemon's {"error": ...} body must reach
+// the caller for every entry point, with the bare status as fallback.
+func TestNon2xxErrorSurfacing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/events"):
+			http.Error(w, `{"error":"unknown job \"zzz\""}`, http.StatusNotFound)
+		case r.Method == http.MethodPost:
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+		case strings.HasSuffix(r.URL.Path, "/result"):
+			// Not JSON: the status line alone must still surface.
+			http.Error(w, "plain text panic", http.StatusInternalServerError)
+		default:
+			http.Error(w, `{"error":"nope"}`, http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, service.JobRequest{}); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Errorf("Submit error %v, want daemon message", err)
+	}
+	if _, err := c.Job(ctx, "zzz"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("Job error %v, want daemon message", err)
+	}
+	if _, err := c.Result(ctx, "zzz"); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("Result error %v, want status fallback", err)
+	}
+	if err := c.Events(ctx, "zzz", func(service.Event) error { return nil }); err == nil || !strings.Contains(err.Error(), "unknown job") {
+		t.Errorf("Events error %v, want daemon message", err)
+	}
+	if err := c.Cancel(ctx, "zzz"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("Cancel error %v, want daemon message", err)
+	}
+	if err := c.Health(ctx); err == nil || !strings.Contains(err.Error(), "unhealthy") {
+		t.Errorf("Health error %v, want unhealthy wrap", err)
+	}
+}
+
+// TestSubmitAndResultRoundtrip: Submit posts the request body and decodes
+// the accepted status; Result returns the raw bytes.
+func TestSubmitAndResultRoundtrip(t *testing.T) {
+	resultBody := []byte(`{"best_k": 3}`)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			var req service.JobRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				t.Errorf("submit body: %v", err)
+			}
+			if len(req.Workloads) != 2 {
+				t.Errorf("submit lost workloads: %+v", req)
+			}
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(service.JobStatus{ID: "cafe", State: service.StateQueued})
+		case r.URL.Path == "/v1/jobs/cafe/result":
+			w.Write(resultBody)
+		case r.URL.Path == "/healthz":
+			fmt.Fprint(w, `{"status":"ok"}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	c := New(srv.URL + "/") // trailing slash must be tolerated by New
+	if c.BaseURL != srv.URL {
+		t.Errorf("New kept trailing slash: %q", c.BaseURL)
+	}
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	st, err := c.Submit(ctx, service.JobRequest{Workloads: []string{"H-Sort", "S-Sort"}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID != "cafe" || st.State != service.StateQueued {
+		t.Fatalf("Submit status %+v", st)
+	}
+	data, err := c.Result(ctx, "cafe")
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if string(data) != string(resultBody) {
+		t.Fatalf("Result bytes %q, want %q", data, resultBody)
+	}
+}
+
+// TestWaitDone follows a stream to its terminal event and fetches the
+// final status.
+func TestWaitDone(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			writeNDJSON(w,
+				service.Event{Seq: 1, Type: "state", State: service.StateRunning},
+				service.Event{Seq: 2, Type: "done", ResultHash: "ff00"},
+			)
+			return
+		}
+		json.NewEncoder(w).Encode(service.JobStatus{ID: "j9", State: service.StateDone, ResultHash: "ff00"})
+	}))
+	defer srv.Close()
+
+	var seen int
+	st, err := New(srv.URL).WaitDone(context.Background(), "j9", func(service.Event) { seen++ })
+	if err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+	if st.State != service.StateDone || st.ResultHash != "ff00" {
+		t.Fatalf("WaitDone status %+v", st)
+	}
+	if seen != 2 {
+		t.Errorf("onEvent saw %d events, want 2", seen)
+	}
+}
+
+// TestEventsCanceledStateIsTerminal: a state=canceled event ends the
+// stream without error even though the connection stays open server-side.
+func TestEventsCanceledStateIsTerminal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeNDJSON(w,
+			service.Event{Seq: 1, Type: "state", State: service.StateQueued},
+			service.Event{Seq: 2, Type: "state", State: service.StateCanceled},
+		)
+	}))
+	defer srv.Close()
+	err := New(srv.URL).Events(context.Background(), "j1", func(service.Event) error { return nil })
+	if err != nil {
+		t.Fatalf("canceled-terminal stream errored: %v", err)
+	}
+}

@@ -172,6 +172,12 @@ type Config struct {
 	// so terminal job metadata (including done-job → result-hash
 	// mappings) survives restarts.
 	JournalPath string
+	// CellDelay, when positive, sleeps this long after every completed
+	// characterization grid cell — an artificial throttle for
+	// heterogeneous-fleet and fault testing (bdservd -throttle-cell).
+	// Purely an execution knob: it slows the measurement loop without
+	// touching any result byte.
+	CellDelay time.Duration
 	// CharacterizeOnly restricts the daemon to observation-matrix jobs
 	// (Mode == ModeObservations) — the worker role in a sharded
 	// deployment, where analysis runs coordinator-side.
@@ -676,6 +682,13 @@ func (m *Manager) maybeCompactJournal() {
 // hook or the local pipeline — and stores them in the result cache.
 func (m *Manager) execute(j *job) (string, error) {
 	progress := func(stage core.Stage, done, total int) {
+		if m.cfg.CellDelay > 0 && stage == core.StageCharacterize && total > 0 {
+			// The grid workers report each cell from their own goroutine,
+			// so sleeping here throttles the measurement loop itself.
+			// Deliberately before j.mu: a throttle must not block status
+			// reads.
+			time.Sleep(m.cfg.CellDelay)
+		}
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if string(stage) != j.stage {

@@ -3,7 +3,6 @@ package shard
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -12,6 +11,7 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/core"
+	"repro/internal/perf"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
@@ -25,10 +25,10 @@ type Config struct {
 	// connections but never answers fails the attempt instead of hanging
 	// it.
 	HTTPClient *http.Client
-	// StallTimeout bounds worker *unresponsiveness* per shard attempt:
+	// StallTimeout bounds worker *unresponsiveness* per unit attempt:
 	// after this long with no event-stream activity the coordinator
 	// probes the worker's job status, and only an unanswered probe
-	// abandons the attempt and fails the shard over. A shard legitimately
+	// abandons the attempt and re-queues the unit. A unit legitimately
 	// queued behind other jobs on a busy-but-healthy worker therefore
 	// waits indefinitely (the probes keep succeeding), while a worker
 	// that is connected but dead — SIGSTOP, network blackhole — is
@@ -37,24 +37,94 @@ type Config struct {
 	// Parallelism bounds the coordinator-side analysis stage (0 =
 	// GOMAXPROCS). It never affects results.
 	Parallelism int
+
+	// UnitsPerWorker is the target number of work units per worker the
+	// planner splits a job into (default 4). More units than workers is
+	// what makes stealing work: a fast worker naturally drains the tail
+	// a slow one would otherwise stall on. Granularity is capped at one
+	// unit per workload×node column, so tiny grids yield fewer units.
+	UnitsPerWorker int
+	// ProbeInterval is the period of the background /healthz prober
+	// (default 15s; negative disables probing). A failing probe counts
+	// toward the breaker threshold exactly like a failed unit, so dead
+	// workers are discovered between jobs, not per unit per job. With
+	// probing disabled, open breakers are re-admitted through dispatch
+	// trials instead (see BreakerRetry) — never permanently.
+	ProbeInterval time.Duration
+	// BreakerRetry only applies when probing is disabled: how long an
+	// open breaker waits before admitting one half-open *trial unit*
+	// (default 15s). Without it a breaker opened under a disabled prober
+	// could never close again.
+	BreakerRetry time.Duration
+	// ProbeTimeout bounds one health probe (default: ProbeInterval
+	// capped at 5s).
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count (units + probes)
+	// that opens a worker's circuit breaker (default 3). An open breaker
+	// refuses dispatch until a half-open probe succeeds.
+	BreakerThreshold int
+	// MaxUnitAttempts bounds how often one unit may fail — across all
+	// workers, transient faults included — before the job fails
+	// (default 4 + 2×workers).
+	MaxUnitAttempts int
+	// DownGrace is how long a job tolerates *all* breakers being open
+	// with units still pending before failing (default 30s). It rides
+	// out a transient full-fleet outage (a probe re-admitting any worker
+	// resumes dispatch) without hanging forever on a dead fleet.
+	DownGrace time.Duration
 }
 
-// Executor fans a job's grid out across bdservd workers and merges the
-// shard results deterministically. Its Execute method satisfies
-// service.ExecuteFunc, so a stock service.Manager (queue, dedupe, result
-// cache, journal, HTTP API) becomes a coordinator by plugging it in.
+// dispatchPoll is the idle-loop tick of the dispatch workers: how often
+// an idle dispatcher re-checks breaker state and the unit queue. Purely
+// a liveness knob — units take orders of magnitude longer.
+const dispatchPoll = 10 * time.Millisecond
+
+// Executor fans a job's grid out across bdservd workers through a
+// work-stealing dispatch loop and merges the unit results
+// deterministically. Its Execute method satisfies service.ExecuteFunc, so
+// a stock service.Manager (queue, dedupe, result cache, journal, HTTP
+// API) becomes a coordinator by plugging it in. Close stops the
+// background health prober.
 type Executor struct {
 	cfg     Config
-	clients []*client.Client
+	workers []*workerState
+
+	stop context.CancelFunc
+	wg   sync.WaitGroup
 }
 
-// New builds an executor over the configured workers.
+// New builds an executor over the configured workers and starts the
+// background health prober (unless ProbeInterval is negative).
 func New(cfg Config) (*Executor, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("shard: no workers configured")
 	}
 	if cfg.StallTimeout == 0 {
 		cfg.StallTimeout = 5 * time.Minute
+	}
+	if cfg.UnitsPerWorker < 1 {
+		cfg.UnitsPerWorker = 4
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 15 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+		if cfg.ProbeTimeout > 5*time.Second || cfg.ProbeTimeout <= 0 {
+			cfg.ProbeTimeout = 5 * time.Second
+		}
+	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerRetry <= 0 {
+		cfg.BreakerRetry = 15 * time.Second
+	}
+	if cfg.MaxUnitAttempts < 1 {
+		cfg.MaxUnitAttempts = 4 + 2*len(cfg.Workers)
+	}
+	if cfg.DownGrace <= 0 {
+		cfg.DownGrace = 30 * time.Second
 	}
 	if cfg.HTTPClient == nil {
 		// No overall timeout (event streams are long-lived), but bound
@@ -67,33 +137,46 @@ func New(cfg Config) (*Executor, error) {
 	for _, base := range cfg.Workers {
 		c := client.New(base)
 		c.HTTPClient = cfg.HTTPClient
-		e.clients = append(e.clients, c)
+		e.workers = append(e.workers, newWorkerState(base, c, cfg.BreakerThreshold))
+	}
+	pctx, stop := context.WithCancel(context.Background())
+	e.stop = stop
+	if cfg.ProbeInterval > 0 {
+		e.wg.Add(1)
+		go e.probeLoop(pctx)
 	}
 	return e, nil
 }
 
-// progressAgg multiplexes per-shard cell counts into one monotone
+// Close stops the background health prober. In-flight Execute calls are
+// unaffected.
+func (e *Executor) Close() {
+	e.stop()
+	e.wg.Wait()
+}
+
+// progressAgg multiplexes per-unit cell counts into one monotone
 // (done, total) pair over the full grid for the merged event stream.
 type progressAgg struct {
 	mu       sync.Mutex
-	perShard []int
+	perUnit  []int
 	total    int
 	emitted  int
 	progress core.Progress
 }
 
-// report records shard sh at done cells (monotone per shard — a failover
-// restart re-counts from zero but never regresses the aggregate).
-func (a *progressAgg) report(sh, done int) {
+// report records unit u at done cells (monotone per unit — a re-queued
+// unit re-counts from zero but never regresses the aggregate).
+func (a *progressAgg) report(u, done int) {
 	if a.progress == nil {
 		return
 	}
 	a.mu.Lock()
-	if done > a.perShard[sh] {
-		a.perShard[sh] = done
+	if done > a.perUnit[u] {
+		a.perUnit[u] = done
 	}
 	sum := 0
-	for _, d := range a.perShard {
+	for _, d := range a.perUnit {
 		sum += d
 	}
 	if sum <= a.emitted {
@@ -105,18 +188,165 @@ func (a *progressAgg) report(sh, done int) {
 	a.progress(core.StageCharacterize, sum, a.total)
 }
 
-// Execute implements service.ExecuteFunc: plan → fan out → multiplex
-// progress → merge → (for analyze jobs) run the statistical pipeline
-// once, coordinator-side. The merged result is byte-identical to a
-// single-daemon run of the same spec: per-cell seeds are functions of
-// absolute grid coordinates, cells are re-assembled in canonical order,
-// and the node/run reduction and analysis go through the same code path.
+// unitQueue is the shared work-stealing state of one job: pending unit
+// indexes, per-unit attempt accounting, and the terminal condition. All
+// methods are safe for concurrent dispatchers.
+type unitQueue struct {
+	mu          sync.Mutex
+	pending     []int
+	failedOn    []map[int]bool // unit → workers that failed it
+	attempts    []int
+	inflight    int
+	completed   int
+	total       int
+	workers     int
+	maxAttempts int
+	err         error
+	stuckSince  time.Time
+	onErr       context.CancelFunc // cancels sibling attempts on permanent failure
+}
+
+func newUnitQueue(total, workers, maxAttempts int, onErr context.CancelFunc) *unitQueue {
+	q := &unitQueue{
+		failedOn:    make([]map[int]bool, total),
+		attempts:    make([]int, total),
+		total:       total,
+		workers:     workers,
+		maxAttempts: maxAttempts,
+		onErr:       onErr,
+	}
+	for u := 0; u < total; u++ {
+		q.pending = append(q.pending, u)
+		q.failedOn[u] = make(map[int]bool)
+	}
+	return q
+}
+
+// settled reports whether the job is over (all units merged, or failed).
+func (q *unitQueue) settled() (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.completed == q.total || q.err != nil, q.err
+}
+
+// tryTake hands worker wi its next unit, preferring units the worker has
+// not previously failed. A unit this worker already failed is retried
+// only when no *other available* worker could still take it fresh — so a
+// flaky worker never steals a re-queued unit back from a healthy sibling,
+// while a lone (or last-standing) worker may retry transient faults, with
+// the per-unit attempt budget bounding the loop. avail reports whether a
+// worker's breaker currently admits dispatch. Returns ok=false when
+// nothing is dispatchable for wi right now.
+func (q *unitQueue) tryTake(wi int, avail func(int) bool) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil || len(q.pending) == 0 {
+		return 0, false
+	}
+	pick := -1
+	for i, u := range q.pending {
+		if !q.failedOn[u][wi] {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		for i, u := range q.pending {
+			fresh := false
+			for wj := 0; wj < q.workers; wj++ {
+				if wj != wi && !q.failedOn[u][wj] && avail(wj) {
+					fresh = true
+					break
+				}
+			}
+			if !fresh {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return 0, false
+	}
+	u := q.pending[pick]
+	q.pending = append(q.pending[:pick], q.pending[pick+1:]...)
+	q.inflight++
+	q.stuckSince = time.Time{}
+	return u, true
+}
+
+// complete marks a unit merged.
+func (q *unitQueue) complete(u int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight--
+	q.completed++
+}
+
+// release returns a unit taken by an attempt that was aborted by job
+// cancellation rather than worker failure — no attempt is charged.
+func (q *unitQueue) release(u int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight--
+	q.pending = append(q.pending, u)
+}
+
+// fail charges a failed attempt to the unit and re-queues it; a unit
+// exhausting its attempt budget permanently fails the job.
+func (q *unitQueue) fail(u, wi int, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight--
+	q.attempts[u]++
+	q.failedOn[u][wi] = true
+	if q.attempts[u] >= q.maxAttempts {
+		if q.err == nil {
+			q.err = fmt.Errorf("shard: unit %d exhausted %d attempts across %d worker(s): %w",
+				u, q.attempts[u], q.workers, err)
+			q.onErr()
+		}
+		return
+	}
+	q.pending = append(q.pending, u)
+}
+
+// stuckCheck fails the job if every worker's breaker has refused dispatch
+// — with units pending and none in flight — for longer than grace. Called
+// from dispatchers idling on an unavailable worker; any successful
+// dispatch or probe-driven re-admission resets the clock.
+func (q *unitQueue) stuckCheck(allUnavailable func() bool, grace time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil || q.inflight > 0 || len(q.pending) == 0 || !allUnavailable() {
+		q.stuckSince = time.Time{}
+		return
+	}
+	if q.stuckSince.IsZero() {
+		q.stuckSince = time.Now()
+		return
+	}
+	if time.Since(q.stuckSince) >= grace {
+		q.err = fmt.Errorf("shard: %d unit(s) exhausted dispatch: all %d worker(s) unavailable (circuit breakers open) for %v",
+			len(q.pending), q.workers, grace)
+		q.onErr()
+	}
+}
+
+// Execute implements service.ExecuteFunc: plan fine-grained units → run
+// the work-stealing dispatch loop → multiplex progress → merge → (for
+// analyze jobs) run the statistical pipeline once, coordinator-side. The
+// merged result is byte-identical to a single-daemon run of the same
+// spec: per-cell seeds are functions of absolute grid coordinates, cells
+// are re-assembled in canonical order regardless of which worker ran
+// which unit, and the node/run reduction and analysis go through the same
+// code path.
 func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress core.Progress) ([]byte, error) {
 	spec, err := spec.Normalized()
 	if err != nil {
 		return nil, err
 	}
-	shards, err := Plan(spec, len(e.clients))
+	units, err := Plan(spec, len(e.workers)*e.cfg.UnitsPerWorker)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +361,7 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 	runs, nodes := spec.Cluster.Runs, spec.Cluster.SlaveNodes
 
 	agg := &progressAgg{
-		perShard: make([]int, len(shards)),
+		perUnit:  make([]int, len(units)),
 		total:    len(names) * runs * nodes,
 		progress: progress,
 	}
@@ -139,51 +369,32 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 		progress(core.StageCharacterize, 0, 0)
 	}
 
-	// Fan out: every shard runs concurrently; the first failure cancels
-	// the siblings.
-	sctx, cancel := context.WithCancel(ctx)
+	// The dispatch loop: one goroutine per worker, each pulling its next
+	// unit from the shared queue the moment the previous one completes —
+	// fast workers steal the tail a slow one would otherwise stall on.
+	// Units from failed or stalled workers are re-queued; a permanent
+	// failure (attempt budget, dead fleet) cancels the siblings.
+	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	oms := make([]*core.ObservationMatrix, len(shards))
-	errs := make([]error, len(shards))
+	oms := make([]*core.ObservationMatrix, len(units))
+	q := newUnitQueue(len(units), len(e.workers), e.cfg.MaxUnitAttempts, cancel)
 	var wg sync.WaitGroup
-	for i := range shards {
+	for wi := range e.workers {
 		wg.Add(1)
-		go func(i int) {
+		go func(wi int) {
 			defer wg.Done()
-			oms[i], errs[i] = e.runShard(sctx, shards[i], spec, agg)
-			if errs[i] != nil {
-				cancel()
-			}
-		}(i)
+			e.dispatch(dctx, wi, q, units, spec, agg, oms)
+		}(wi)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// A shard's permanent failure cancels its siblings, so their errors
-	// are bare context.Canceled: report the first *causal* failure (in
-	// shard order) rather than a cancellation symptom, so the job settles
-	// as failed with the real reason instead of canceled.
-	var firstErr error
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, context.Canceled) {
-			firstErr = err
-			break
-		}
-	}
-	if firstErr == nil {
-		for _, err := range errs {
-			if err != nil {
-				firstErr = err
-				break
-			}
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	if _, qerr := q.settled(); qerr != nil {
+		return nil, qerr
 	}
 
-	om, err := merge(spec, names, runs, nodes, shards, oms)
+	om, err := merge(spec, names, runs, nodes, units, oms)
 	if err != nil {
 		return nil, err
 	}
@@ -199,60 +410,116 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 	return benchio.MarshalCanonical(benchio.EncodeAnalysis(an))
 }
 
-// runShard dispatches one shard, trying each worker at most once —
-// starting at the shard's home worker (Index mod workers, which spreads
-// the initial load) and failing over to the next on any error: submit
-// rejection, unreachable worker, broken event stream, or worker-side job
-// failure.
-func (e *Executor) runShard(ctx context.Context, sh Shard, full service.JobSpec, agg *progressAgg) (*core.ObservationMatrix, error) {
-	sub := sh.Spec(full)
-	cells := len(sh.Workloads) * full.Cluster.Runs * sh.Nodes
-	n := len(e.clients)
-	var lastErr error
-	for attempt := 0; attempt < n; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+// dispatch is one worker's dispatch loop: while its breaker admits it,
+// pull the next unit, run it, and report the outcome to the queue and the
+// worker's breaker. It returns when the job settles (all units done or
+// permanent failure) or the job context is canceled.
+func (e *Executor) dispatch(ctx context.Context, wi int, q *unitQueue, units []Shard, full service.JobSpec, agg *progressAgg, oms []*core.ObservationMatrix) {
+	w := e.workers[wi]
+	for {
+		if ctx.Err() != nil {
+			return
 		}
-		wi := (sh.Index + attempt) % n
-		om, err := e.runShardOn(ctx, e.clients[wi], sub, sh, agg)
+		if done, _ := q.settled(); done {
+			return
+		}
+		admitted, trial := e.admit(w)
+		if !admitted {
+			q.stuckCheck(e.allUnavailable, e.cfg.DownGrace)
+			sleepCtx(ctx, dispatchPoll)
+			continue
+		}
+		u, ok := q.tryTake(wi, func(wj int) bool { return e.workers[wj].available() })
+		if !ok {
+			// Nothing dispatchable for this worker right now: siblings
+			// hold the remaining units (in flight, or re-queued units
+			// this worker failed that a fresh worker should retry), or
+			// the job is settling.
+			if trial {
+				// The half-open trial found no unit to prove itself on;
+				// re-open rather than wedging in half-open forever.
+				w.cancelTrial()
+			}
+			sleepCtx(ctx, dispatchPoll)
+			continue
+		}
+		om, err := e.runUnitOn(ctx, w, units[u], full, u, agg)
 		if err == nil {
-			agg.report(sh.Index, cells)
-			return om, nil
+			oms[u] = om
+			w.recordSuccess()
+			agg.report(u, len(units[u].Workloads)*full.Cluster.Runs*units[u].Nodes)
+			q.complete(u)
+			continue
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			// Canceled mid-attempt: the error is a cancellation symptom,
+			// not a verdict on the worker or the unit.
+			q.release(u)
+			return
 		}
-		lastErr = fmt.Errorf("worker %s: %w", e.cfg.Workers[wi], err)
+		w.recordFailure(err)
+		q.fail(u, wi, fmt.Errorf("worker %s: %w", w.url, err))
+		// Brief backoff after a failure: gives a healthy sibling first
+		// claim on the re-queued unit and keeps a fast-failing worker
+		// (connection refused) from spinning.
+		sleepCtx(ctx, dispatchPoll)
 	}
-	return nil, fmt.Errorf("shard: shard %d exhausted all %d workers: %w", sh.Index, n, lastErr)
 }
 
-// shardWatch is the stall watchdog state for one shard attempt: the last
+// admit decides whether worker w may receive a unit right now. A closed
+// breaker always admits. An open breaker admits nothing while the
+// background prober owns re-admission; with probing disabled, an open
+// breaker past its BreakerRetry cooldown admits exactly one half-open
+// trial unit (trial=true) — its outcome closes or re-opens the breaker —
+// so disabling the prober never strands a recovered worker permanently.
+func (e *Executor) admit(w *workerState) (admitted, trial bool) {
+	if w.available() {
+		return true, false
+	}
+	if e.cfg.ProbeInterval > 0 {
+		return false, false
+	}
+	if w.tryDispatchTrial(e.cfg.BreakerRetry) {
+		return true, true
+	}
+	return false, false
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// unitWatch is the stall watchdog state for one unit attempt: the last
 // activity timestamp plus an optional liveness probe installed once the
 // worker-side job ID is known.
-type shardWatch struct {
+type unitWatch struct {
 	last  atomic.Int64
 	probe atomic.Value // func(context.Context) error
 }
 
-func (w *shardWatch) touch() { w.last.Store(time.Now().UnixNano()) }
+func (w *unitWatch) touch() { w.last.Store(time.Now().UnixNano()) }
 
-// runShardOn runs one shard attempt against one worker: submit, stream
+// runUnitOn runs one unit attempt against one worker: submit, stream
 // progress events into the aggregate, fetch and decode the observation
-// matrix, and sanity-check its shape against the shard plan. The whole
-// attempt runs under a stall watchdog: when the worker goes silent past
+// matrix, and sanity-check its shape against the plan. The whole attempt
+// runs under a stall watchdog: when the worker goes silent past
 // StallTimeout, its job status is probed, and only an unanswered probe
 // abandons the attempt — so a healthy worker whose queue is merely busy
 // is never failed over, while a dead-but-connected one is.
-func (e *Executor) runShardOn(ctx context.Context, c *client.Client, sub service.JobSpec, sh Shard, agg *progressAgg) (*core.ObservationMatrix, error) {
+func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, full service.JobSpec, u int, agg *progressAgg) (*core.ObservationMatrix, error) {
 	stall := e.cfg.StallTimeout
 	if stall <= 0 {
-		return e.attemptShard(ctx, c, sub, sh, agg, &shardWatch{})
+		return e.attemptUnit(ctx, w.client, unit, full, u, agg, &unitWatch{})
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	w := &shardWatch{}
-	w.touch()
+	uw := &unitWatch{}
+	uw.touch()
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
@@ -269,17 +536,17 @@ func (e *Executor) runShardOn(ctx context.Context, c *client.Client, sub service
 			case <-actx.Done():
 				return
 			case <-t.C:
-				if time.Since(time.Unix(0, w.last.Load())) <= stall {
+				if time.Since(time.Unix(0, uw.last.Load())) <= stall {
 					continue
 				}
 				// Silent past the bound: distinguish "busy" from "dead"
 				// with a status probe before giving up on the worker.
-				if p, ok := w.probe.Load().(func(context.Context) error); ok && p != nil {
+				if p, ok := uw.probe.Load().(func(context.Context) error); ok && p != nil {
 					pctx, pcancel := context.WithTimeout(actx, stall/4)
 					err := p(pctx)
 					pcancel()
 					if err == nil {
-						w.touch()
+						uw.touch()
 						continue
 					}
 				}
@@ -289,7 +556,7 @@ func (e *Executor) runShardOn(ctx context.Context, c *client.Client, sub service
 		}
 	}()
 
-	om, err := e.attemptShard(actx, c, sub, sh, agg, w)
+	om, err := e.attemptUnit(actx, w.client, unit, full, u, agg, uw)
 	if err != nil && actx.Err() != nil && ctx.Err() == nil {
 		// The watchdog (not the job) aborted the attempt. Report it as a
 		// worker *failure* — deliberately not wrapping the underlying
@@ -300,8 +567,9 @@ func (e *Executor) runShardOn(ctx context.Context, c *client.Client, sub service
 	return om, err
 }
 
-// attemptShard is the watchdog-free body of one shard attempt.
-func (e *Executor) attemptShard(ctx context.Context, c *client.Client, sub service.JobSpec, sh Shard, agg *progressAgg, w *shardWatch) (*core.ObservationMatrix, error) {
+// attemptUnit is the watchdog-free body of one unit attempt.
+func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard, full service.JobSpec, u int, agg *progressAgg, w *unitWatch) (*core.ObservationMatrix, error) {
+	sub := unit.Spec(full)
 	st, err := c.SubmitSpec(ctx, sub)
 	if err != nil {
 		return nil, err
@@ -309,7 +577,7 @@ func (e *Executor) attemptShard(ctx context.Context, c *client.Client, sub servi
 	w.touch()
 	// With the job ID known, silence can be disambiguated: the watchdog
 	// probes the job's status and only an unanswered probe means a dead
-	// worker (a queued shard on a busy worker answers and keeps waiting).
+	// worker (a queued unit on a busy worker answers and keeps waiting).
 	w.probe.Store(func(pctx context.Context) error {
 		_, err := c.Job(pctx, st.ID)
 		return err
@@ -318,7 +586,7 @@ func (e *Executor) attemptShard(ctx context.Context, c *client.Client, sub servi
 	case service.StateDone:
 		// Cache hit on the worker: the matrix is immediately fetchable.
 	case service.StateFailed, service.StateCanceled:
-		return nil, fmt.Errorf("shard job %s born %s: %s", st.ID, st.State, st.Error)
+		return nil, fmt.Errorf("unit job %s born %s: %s", st.ID, st.State, st.Error)
 	default:
 		// Follow the worker's NDJSON stream, multiplexing its per-cell
 		// progress into the coordinator's merged stream. The worker job
@@ -327,17 +595,17 @@ func (e *Executor) attemptShard(ctx context.Context, c *client.Client, sub servi
 		// coordinator job (or a concurrent coordinator) may be following
 		// the very same worker job, and its result lands in the worker's
 		// cache either way — canceling would kill an innocent consumer's
-		// shard to save already-mostly-spent compute.
+		// unit to save already-mostly-spent compute.
 		err := c.Events(ctx, st.ID, func(ev service.Event) error {
 			w.touch()
 			switch ev.Type {
 			case "progress":
-				agg.report(sh.Index, ev.Done)
+				agg.report(u, ev.Done)
 			case "error":
-				return fmt.Errorf("shard job %s failed: %s", st.ID, ev.Error)
+				return fmt.Errorf("unit job %s failed: %s", st.ID, ev.Error)
 			case "state":
 				if ev.State == service.StateCanceled {
-					return fmt.Errorf("shard job %s canceled on worker", st.ID)
+					return fmt.Errorf("unit job %s canceled on worker", st.ID)
 				}
 			}
 			return nil
@@ -354,34 +622,57 @@ func (e *Executor) attemptShard(ctx context.Context, c *client.Client, sub servi
 	w.touch()
 	var oj benchio.ObservationsJSON
 	if err := json.Unmarshal(data, &oj); err != nil {
-		return nil, fmt.Errorf("decoding shard result: %w", err)
+		return nil, fmt.Errorf("decoding unit result: %w", err)
 	}
 	om, err := oj.Observations()
 	if err != nil {
 		return nil, err
 	}
-	if len(om.Labels) != len(sh.Workloads) {
-		return nil, fmt.Errorf("shard result has %d workloads, want %d", len(om.Labels), len(sh.Workloads))
-	}
-	for i, name := range sh.Workloads {
-		if om.Labels[i] != name {
-			return nil, fmt.Errorf("shard result workload %d is %q, want %q", i, om.Labels[i], name)
-		}
-	}
-	if om.Runs() != sub.Cluster.Runs || om.Nodes() != sh.Nodes {
-		return nil, fmt.Errorf("shard result extents %d runs × %d nodes, want %d×%d",
-			om.Runs(), om.Nodes(), sub.Cluster.Runs, sh.Nodes)
-	}
-	if om.NodeOffset != sub.Cluster.NodeOffset {
-		return nil, fmt.Errorf("shard result node offset %d, want %d", om.NodeOffset, sub.Cluster.NodeOffset)
+	if err := validateUnitResult(om, unit, sub); err != nil {
+		return nil, err
 	}
 	return om, nil
 }
 
-// merge re-assembles the shard matrices into the full grid in canonical
+// validateUnitResult checks a worker's observation sub-matrix against the
+// unit's sub-spec: workload identity and order, run/node extents, node
+// offset, and the exact canonical metric schema. Catching a wrong-shape
+// response here makes it a *unit-level* failure — re-queued and retried
+// on another worker — instead of a job-level merge error, and stops a
+// mixed-version or corrupted worker from feeding bad cells into a
+// confidently-hashed merged result.
+func validateUnitResult(om *core.ObservationMatrix, unit Shard, sub service.JobSpec) error {
+	if len(om.Labels) != len(unit.Workloads) {
+		return fmt.Errorf("unit result has %d workloads, want %d", len(om.Labels), len(unit.Workloads))
+	}
+	for i, name := range unit.Workloads {
+		if om.Labels[i] != name {
+			return fmt.Errorf("unit result workload %d is %q, want %q", i, om.Labels[i], name)
+		}
+	}
+	if om.Runs() != sub.Cluster.Runs || om.Nodes() != unit.Nodes {
+		return fmt.Errorf("unit result extents %d runs × %d nodes, want %d×%d",
+			om.Runs(), om.Nodes(), sub.Cluster.Runs, unit.Nodes)
+	}
+	if om.NodeOffset != sub.Cluster.NodeOffset {
+		return fmt.Errorf("unit result node offset %d, want %d", om.NodeOffset, sub.Cluster.NodeOffset)
+	}
+	want := perf.MetricNames()
+	if len(om.Metrics) != len(want) {
+		return fmt.Errorf("unit result has %d metrics, want %d", len(om.Metrics), len(want))
+	}
+	for i, m := range want {
+		if om.Metrics[i] != m {
+			return fmt.Errorf("unit result metric %d is %q, want %q", i, om.Metrics[i], m)
+		}
+	}
+	return nil
+}
+
+// merge re-assembles the unit matrices into the full grid in canonical
 // cell order — workloads in suite order, then runs, then absolute node
 // index — verifying exact coverage.
-func merge(spec service.JobSpec, names []string, runs, nodes int, shards []Shard, oms []*core.ObservationMatrix) (*core.ObservationMatrix, error) {
+func merge(spec service.JobSpec, names []string, runs, nodes int, units []Shard, oms []*core.ObservationMatrix) (*core.ObservationMatrix, error) {
 	var metrics []string
 	cells := make([][][][]float64, len(names))
 	for w := range cells {
@@ -390,31 +681,31 @@ func merge(spec service.JobSpec, names []string, runs, nodes int, shards []Shard
 			cells[w][r] = make([][]float64, nodes)
 		}
 	}
-	for si, sh := range shards {
+	for si, sh := range units {
 		om := oms[si]
 		if om == nil {
-			return nil, fmt.Errorf("shard: shard %d produced no matrix", si)
+			return nil, fmt.Errorf("shard: unit %d produced no matrix", si)
 		}
 		if metrics == nil {
 			metrics = om.Metrics
 		} else {
-			// Columns must agree exactly across shards — a mixed-version
-			// fleet with reordered or renamed metrics would otherwise be
-			// stitched together silently into a wrong (but confidently
-			// hashed) result.
+			// Columns must agree exactly across units — per-unit
+			// validation enforces the canonical schema, and this is the
+			// merge-time backstop against stitching mismatched matrices
+			// into a wrong (but confidently hashed) result.
 			if len(metrics) != len(om.Metrics) {
-				return nil, fmt.Errorf("shard: shard %d has %d metrics, want %d", si, len(om.Metrics), len(metrics))
+				return nil, fmt.Errorf("shard: unit %d has %d metrics, want %d", si, len(om.Metrics), len(metrics))
 			}
 			for mi := range metrics {
 				if metrics[mi] != om.Metrics[mi] {
-					return nil, fmt.Errorf("shard: shard %d metric %d is %q, want %q", si, mi, om.Metrics[mi], metrics[mi])
+					return nil, fmt.Errorf("shard: unit %d metric %d is %q, want %q", si, mi, om.Metrics[mi], metrics[mi])
 				}
 			}
 		}
 		for wi := range om.Labels {
 			w := sh.WorkloadOffset + wi
 			if w >= len(names) || names[w] != om.Labels[wi] {
-				return nil, fmt.Errorf("shard: shard %d workload %q misaligned", si, om.Labels[wi])
+				return nil, fmt.Errorf("shard: unit %d workload %q misaligned", si, om.Labels[wi])
 			}
 			for r := 0; r < runs; r++ {
 				for nd := 0; nd < sh.Nodes; nd++ {

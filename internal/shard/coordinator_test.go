@@ -43,12 +43,27 @@ func startWorker(t *testing.T, cfg service.Config) *worker {
 // only the network presence dies.
 func (w *worker) kill() { w.srv.Close() }
 
+// fastCoordConfig is the test-speed executor configuration: tight
+// probe/breaker/grace knobs so failure paths settle in milliseconds
+// instead of the production-scale defaults.
+func fastCoordConfig(urls []string) Config {
+	return Config{
+		Workers:          urls,
+		Parallelism:      2,
+		ProbeInterval:    100 * time.Millisecond,
+		ProbeTimeout:     time.Second,
+		BreakerThreshold: 3,
+		DownGrace:        time.Second,
+	}
+}
+
 func newCoordinator(t *testing.T, urls []string) *service.Manager {
 	t.Helper()
-	exec, err := New(Config{Workers: urls, Parallelism: 2})
+	exec, err := New(fastCoordConfig(urls))
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(exec.Close)
 	mgr, err := service.New(service.Config{Workers: 2, Execute: exec.Execute})
 	if err != nil {
 		t.Fatal(err)
@@ -250,14 +265,13 @@ func TestCoordinatorFailsOverStalledWorker(t *testing.T) {
 	t.Cleanup(func() { stallSrv.Close() })
 
 	live := startWorker(t, service.Config{Workers: 2, Parallelism: 2})
-	exec, err := New(Config{
-		Workers:      []string{"http://" + ln.Addr().String(), live.url},
-		StallTimeout: 500 * time.Millisecond,
-		Parallelism:  2,
-	})
+	cfg := fastCoordConfig([]string{"http://" + ln.Addr().String(), live.url})
+	cfg.StallTimeout = 500 * time.Millisecond
+	exec, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(exec.Close)
 	coord, err := service.New(service.Config{Workers: 2, Execute: exec.Execute})
 	if err != nil {
 		t.Fatal(err)

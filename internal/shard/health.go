@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/service/client"
+)
+
+// BreakerState is the circuit-breaker state of one worker.
+type BreakerState string
+
+const (
+	// BreakerClosed: the worker is believed healthy and receives units.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the worker accumulated BreakerThreshold consecutive
+	// failures (unit dispatch or health probes) and receives no units
+	// until a probe succeeds.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the breaker was open and a re-admission probe is
+	// in flight. The worker still receives no units; the probe's outcome
+	// moves the breaker to closed or back to open.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// WorkerStatus is the externally visible health snapshot of one worker,
+// served on the coordinator's /v1/workers endpoint.
+type WorkerStatus struct {
+	URL                 string       `json:"url"`
+	Breaker             BreakerState `json:"breaker"`
+	ConsecutiveFailures int          `json:"consecutive_failures"`
+	LastError           string       `json:"last_error,omitempty"`
+	LastProbe           *time.Time   `json:"last_probe,omitempty"`
+	LastTransition      *time.Time   `json:"last_transition,omitempty"`
+	UnitsDone           int          `json:"units_done"`
+	UnitsFailed         int          `json:"units_failed"`
+	Probes              int          `json:"probes"`
+	ProbeFailures       int          `json:"probe_failures"`
+}
+
+// workerState is the coordinator's per-worker record: the client handle
+// plus breaker and counter state shared between the dispatch loops and
+// the background health prober.
+type workerState struct {
+	url       string
+	client    *client.Client
+	threshold int
+
+	mu             sync.Mutex
+	state          BreakerState
+	consecFails    int
+	lastErr        string
+	lastProbe      time.Time
+	lastTransition time.Time
+	unitsDone      int
+	unitsFailed    int
+	probes         int
+	probeFails     int
+}
+
+func newWorkerState(url string, c *client.Client, threshold int) *workerState {
+	return &workerState{url: url, client: c, threshold: threshold, state: BreakerClosed}
+}
+
+// available reports whether the dispatch loop may hand this worker a
+// unit. Open and half-open breakers both refuse: a worker is re-admitted
+// only through a successful probe (or an in-flight unit completing, which
+// proves the worker alive just as well).
+func (w *workerState) available() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state == BreakerClosed
+}
+
+func (w *workerState) transitionLocked(s BreakerState) {
+	if w.state != s {
+		w.state = s
+		w.lastTransition = time.Now()
+	}
+}
+
+// recordSuccess notes a successfully completed unit: the worker is
+// demonstrably alive, so the failure streak resets and an open breaker
+// closes (an in-flight unit finishing after the breaker opened is as good
+// a liveness proof as a probe).
+func (w *workerState) recordSuccess() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails = 0
+	w.unitsDone++
+	w.transitionLocked(BreakerClosed)
+}
+
+// recordFailure notes a failed unit attempt; threshold consecutive
+// failures open the breaker.
+func (w *workerState) recordFailure(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.unitsFailed++
+	w.consecFails++
+	w.lastErr = err.Error()
+	if w.state == BreakerHalfOpen || w.consecFails >= w.threshold {
+		w.transitionLocked(BreakerOpen)
+	}
+}
+
+// tryDispatchTrial converts an open breaker past its cooldown into a
+// half-open dispatch trial (used only when the background prober is
+// disabled). At most one trial runs at a time: half-open itself does not
+// qualify, and the trial's outcome (recordSuccess / recordFailure /
+// cancelTrial) settles the state either way.
+func (w *workerState) tryDispatchTrial(cooldown time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.state != BreakerOpen || time.Since(w.lastTransition) < cooldown {
+		return false
+	}
+	w.transitionLocked(BreakerHalfOpen)
+	return true
+}
+
+// cancelTrial re-opens a half-open breaker whose dispatch trial never
+// secured a unit, so the state cannot wedge in half-open.
+func (w *workerState) cancelTrial() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.state == BreakerHalfOpen {
+		w.transitionLocked(BreakerOpen)
+	}
+}
+
+// beginProbe marks the probe start; on an open breaker this is the
+// half-open trial.
+func (w *workerState) beginProbe() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.probes++
+	if w.state == BreakerOpen {
+		w.transitionLocked(BreakerHalfOpen)
+	}
+}
+
+// finishProbe applies a probe outcome: success re-admits the worker
+// (closes the breaker, resets the streak); failure re-opens a half-open
+// breaker and counts toward the threshold of a closed one.
+func (w *workerState) finishProbe(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lastProbe = time.Now()
+	if err == nil {
+		w.consecFails = 0
+		w.transitionLocked(BreakerClosed)
+		return
+	}
+	w.probeFails++
+	w.consecFails++
+	w.lastErr = err.Error()
+	if w.state == BreakerHalfOpen || w.consecFails >= w.threshold {
+		w.transitionLocked(BreakerOpen)
+	}
+}
+
+func (w *workerState) snapshot() WorkerStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WorkerStatus{
+		URL:                 w.url,
+		Breaker:             w.state,
+		ConsecutiveFailures: w.consecFails,
+		LastError:           w.lastErr,
+		UnitsDone:           w.unitsDone,
+		UnitsFailed:         w.unitsFailed,
+		Probes:              w.probes,
+		ProbeFailures:       w.probeFails,
+	}
+	if !w.lastProbe.IsZero() {
+		t := w.lastProbe
+		st.LastProbe = &t
+	}
+	if !w.lastTransition.IsZero() {
+		t := w.lastTransition
+		st.LastTransition = &t
+	}
+	return st
+}
+
+// WorkerStatuses returns the current health snapshot of every worker, in
+// configuration order — the body of bdcoord's /v1/workers endpoint.
+func (e *Executor) WorkerStatuses() []WorkerStatus {
+	out := make([]WorkerStatus, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.snapshot()
+	}
+	return out
+}
+
+// probeLoop is the background health prober: every ProbeInterval it
+// probes all workers' /healthz concurrently. A failing probe counts
+// toward the breaker threshold exactly like a failed unit, so a worker
+// dying *between* jobs is discovered (and its breaker opened) before any
+// job dispatches units to it; a succeeding probe on an open breaker is
+// the half-open trial that re-admits a recovered worker.
+func (e *Executor) probeLoop(ctx context.Context) {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			e.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll probes every worker once, concurrently, bounding each probe at
+// ProbeTimeout.
+func (e *Executor) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			w.beginProbe()
+			pctx, cancel := context.WithTimeout(ctx, e.cfg.ProbeTimeout)
+			err := w.client.Health(pctx)
+			cancel()
+			if ctx.Err() != nil {
+				return // shutting down: not a verdict on the worker
+			}
+			w.finishProbe(err)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// allUnavailable reports whether every worker's breaker currently refuses
+// dispatch — the condition under which a job with pending units can make
+// no progress.
+func (e *Executor) allUnavailable() bool {
+	for _, w := range e.workers {
+		if w.available() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,12 +1,19 @@
 // Package shard implements horizontal sharding of the characterization
-// grid across bdservd workers: a static planner that partitions a job's
-// workload×node axes into per-worker sub-specs, and a coordinator-side
-// executor that fans the sub-specs out over HTTP, multiplexes per-shard
-// progress into one merged event stream, retries failed shards on
-// healthy workers, and deterministically re-assembles the shard
-// observation matrices so the merged result is byte-identical to a
-// single-daemon run. cmd/bdcoord plugs the executor into a stock
+// grid across bdservd workers: a deterministic planner that tiles a
+// job's workload×node axes into many small cell-range work units, and a
+// coordinator-side executor that feeds the units through a work-stealing
+// dispatch loop — each worker pulls its next unit the moment the
+// previous one completes, units from failed or stalled workers are
+// re-queued, and per-worker circuit breakers (fed by unit outcomes and a
+// background /healthz prober) keep dead workers out of the rotation.
+// Per-unit progress is multiplexed into one merged event stream, and the
+// unit observation matrices are re-assembled in canonical order, so the
+// merged result is byte-identical to a single-daemon run no matter which
+// worker ran which unit. cmd/bdcoord plugs the executor into a stock
 // service.Manager, inheriting its queue, cache, journal and HTTP API.
+// internal/shard/chaostest is the fault-injection harness that proves
+// the determinism claim under latency, disconnect, crash-and-restart and
+// wrong-shape faults.
 package shard
 
 import (
@@ -15,11 +22,13 @@ import (
 	"repro/internal/service"
 )
 
-// Shard is one worker-sized slice of a job's measurement grid: a
+// Shard is one dispatchable work unit of a job's measurement grid: a
 // contiguous workload range (in canonical suite order) crossed with a
-// contiguous node range. The run axis is never split — runs of one cell
-// column are cheap relative to workloads and nodes, and keeping them
-// together keeps sub-spec configs simple.
+// contiguous node range. The dispatch loop plans several units per
+// worker, so a unit is deliberately much smaller than a worker's fair
+// share. The run axis is never split — runs of one cell column are cheap
+// relative to workloads and nodes, and keeping them together keeps
+// sub-spec configs simple.
 type Shard struct {
 	Index int
 	// Workloads is the shard's workload selection, in canonical order.
@@ -47,14 +56,17 @@ func (s Shard) Spec(full service.JobSpec) service.JobSpec {
 	return sub
 }
 
-// Plan statically partitions a job's grid into at most `workers` shards.
-// The split is deterministic: workloads are divided into contiguous
-// near-equal chunks; when there are fewer workloads than workers the
-// node axis is split as well, so every worker gets work whenever the
-// grid has at least `workers` workload×node columns.
-func Plan(spec service.JobSpec, workers int) ([]Shard, error) {
+// Plan deterministically tiles a job's grid into at most `parts` units.
+// Workloads are divided into contiguous near-equal chunks; when there
+// are fewer workloads than parts the node axis is split as well, so the
+// plan yields `parts` units whenever the grid has at least that many
+// workload×node columns (and one unit per column otherwise). The
+// coordinator plans UnitsPerWorker × workers parts, then dispatches them
+// dynamically — the plan itself carries no worker assignment.
+func Plan(spec service.JobSpec, parts int) ([]Shard, error) {
+	workers := parts
 	if workers < 1 {
-		return nil, fmt.Errorf("shard: need ≥1 worker, got %d", workers)
+		return nil, fmt.Errorf("shard: need ≥1 plan part, got %d", workers)
 	}
 	suite, err := spec.ResolveSuite()
 	if err != nil {

@@ -5,12 +5,21 @@
 # result hash (and bytes) are identical to a direct single-daemon run of
 # the same spec. Then restart the coordinator and verify the job journal
 # replays: the finished job's status and result are still served.
+# Finally, run the heterogeneous-speed scenario: one worker throttled
+# with -throttle-cell, asserting the work-stealing dispatcher (a) still
+# produces the identical hash, (b) beats the static-planner worst case
+# wall-clock, and (c) reports both workers healthy on /v1/workers with
+# the fast worker having executed more units.
 set -euo pipefail
 
 W1_ADDR="127.0.0.1:8361"
 W2_ADDR="127.0.0.1:8362"
 CO_ADDR="127.0.0.1:8360"
 SD_ADDR="127.0.0.1:8363"
+W3_ADDR="127.0.0.1:8364"
+W4_ADDR="127.0.0.1:8365"
+C2_ADDR="127.0.0.1:8366"
+C2="http://$C2_ADDR"
 CO="http://$CO_ADDR"
 SD="http://$SD_ADDR"
 WORKDIR="$(mktemp -d)"
@@ -115,5 +124,57 @@ HASH2=$(json_field "$WORKDIR/co_status2.json" result_hash)
 curl -fsS "$CO/v1/jobs/$CO_ID/result" -o "$WORKDIR/co_result2.json"
 cmp "$WORKDIR/co_result.json" "$WORKDIR/co_result2.json"
 echo "    journal replayed: job still done with identical result"
+
+echo "==> heterogeneous-speed scenario: one worker throttled 3s/cell"
+# Fresh workers and coordinator (fresh data dirs: no cache replay). The
+# job grid has 8 workload×node cells; under the old *static* planner the
+# throttled worker would own half of them, so any static schedule costs
+# at least 4 × 3s = 12s of injected delay alone. Work stealing must let
+# the fast worker drain the tail and finish well under that bound.
+CELL_DELAY=3
+STATIC_BOUND=12
+"$WORKDIR/bdservd" -addr "$W3_ADDR" -data-dir "$WORKDIR/w3" -characterize-only &
+PIDS+=($!); W3_PID=$!
+"$WORKDIR/bdservd" -addr "$W4_ADDR" -data-dir "$WORKDIR/w4" -characterize-only \
+  -throttle-cell "${CELL_DELAY}s" &
+PIDS+=($!); W4_PID=$!
+wait_healthy "http://$W3_ADDR" "$W3_PID"
+wait_healthy "http://$W4_ADDR" "$W4_PID"
+"$WORKDIR/bdcoord" -addr "$C2_ADDR" -data-dir "$WORKDIR/coord2" \
+  -workers "http://$W3_ADDR,http://$W4_ADDR" -probe-interval 1s &
+PIDS+=($!); C2_PID=$!
+wait_healthy "$C2" "$C2_PID"
+
+T0=$(python3 -c 'import time; print(time.time())')
+curl -fsS -X POST -d "$JOB" "$C2/v1/jobs" -o "$WORKDIR/c2_submit.json"
+C2_ID=$(json_field "$WORKDIR/c2_submit.json" id)
+[ "$C2_ID" = "$CO_ID" ] || { echo "heterogeneous job id $C2_ID != $CO_ID" >&2; exit 1; }
+poll_done "$C2" "$C2_ID" "$WORKDIR/c2_status.json"
+T1=$(python3 -c 'import time; print(time.time())')
+ELAPSED=$(python3 -c "print($T1 - $T0)")
+
+C2_HASH=$(json_field "$WORKDIR/c2_status.json" result_hash)
+[ "$C2_HASH" = "$CO_HASH" ] || { echo "heterogeneous-fleet hash $C2_HASH != $CO_HASH" >&2; exit 1; }
+echo "    hash identical under a throttled worker ($C2_HASH)"
+python3 -c "
+import sys
+elapsed = $ELAPSED
+bound = $STATIC_BOUND
+print(f'    wall-clock {elapsed:.1f}s vs static-planner worst case >= {bound}s')
+sys.exit(0 if elapsed < bound else 1)
+" || { echo "work stealing did not beat the static-planner worst case" >&2; exit 1; }
+
+echo "==> checking /v1/workers health + unit distribution"
+curl -fsS "$C2/v1/workers" -o "$WORKDIR/c2_workers.json"
+python3 - "$WORKDIR/c2_workers.json" "http://$W3_ADDR" "http://$W4_ADDR" <<'PY'
+import json, sys
+ws = {w["url"]: w for w in json.load(open(sys.argv[1]))}
+fast, slow = ws[sys.argv[2]], ws[sys.argv[3]]
+assert fast["breaker"] == "closed" and slow["breaker"] == "closed", ws
+assert fast["units_done"] > slow["units_done"] > 0 or slow["units_done"] == 0, ws
+assert fast["units_done"] + slow["units_done"] >= 8, ws
+assert fast["probes"] > 0, ws
+print(f"    fast worker ran {fast['units_done']} units, throttled worker {slow['units_done']}; breakers closed")
+PY
 
 echo "==> bdcoord smoke OK (job $CO_ID, merged hash $CO_HASH)"
