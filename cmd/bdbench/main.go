@@ -1,12 +1,21 @@
-// Command bdbench characterizes the 32 BigDataBench workloads (or a named
-// subset) on the simulated five-node cluster and writes the workload×45
-// metric matrix as CSV — the data-collection stage of the paper (§IV).
+// Command bdbench characterizes workloads on the simulated five-node
+// cluster and writes the workload×45 metric matrix as CSV — the
+// data-collection stage of the paper (§IV). The workload registry is
+// open: alongside the 32 built-ins it holds the embedded preset scenario
+// families (StreamIngest, PointLookup, MLTrain, ETLScan, MemThrash,
+// Stencil — each with H-/S- variants) and any custom definitions loaded
+// from a -workload-file JSON (see DESIGN.md §8 for the schema).
 //
 // Usage:
 //
-//	bdbench [-out metrics.csv] [-workloads H-Sort,S-Sort] [-nodes 4]
+//	bdbench [-out metrics.csv] [-workloads H-Sort,S-MemThrash,...]
+//	        [-workload-file defs.json] [-list-workloads] [-nodes 4]
 //	        [-instructions 60000] [-scale 4096] [-seed 20140901]
 //	        [-runs 1] [-no-multiplex] [-jitter 0.06] [-parallelism 0]
+//
+// With no -workloads selection the run covers the built-ins plus every
+// -workload-file definition; presets join a run when named in
+// -workloads. -list-workloads prints the full registry and exits.
 //
 // With -bench, bdbench instead times the full pipeline (characterize +
 // analyze) once sequentially and once with parallel worker pools, checks
@@ -17,13 +26,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/benchio"
 	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/custom"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
 )
@@ -38,19 +50,21 @@ func main() {
 // options collects every flag so validation and config assembly are unit
 // testable without going through the flag package or os.Exit.
 type options struct {
-	out         string
-	workloads   string
-	nodes       int
-	instr       int
-	scale       float64
-	seed        uint64
-	runs        int
-	slices      int
-	noMultiplex bool
-	jitter      float64
-	par         int
-	bench       bool
-	benchReps   int
+	out           string
+	workloads     string
+	workloadFile  string
+	listWorkloads bool
+	nodes         int
+	instr         int
+	scale         float64
+	seed          uint64
+	runs          int
+	slices        int
+	noMultiplex   bool
+	jitter        float64
+	par           int
+	bench         bool
+	benchReps     int
 }
 
 // validate rejects bad flag combinations up front, before any simulation
@@ -86,22 +100,106 @@ func (o options) validate() error {
 	return nil
 }
 
-// resolveSuite builds the (possibly filtered) workload suite via the
-// shared selection helper. Unknown names error with the full list of
-// valid ones.
+// fileDefs loads the -workload-file definitions (nil without the flag).
+func (o options) fileDefs() ([]custom.Definition, error) {
+	if o.workloadFile == "" {
+		return nil, nil
+	}
+	defs, err := custom.LoadFile(o.workloadFile)
+	if err != nil {
+		return nil, fmt.Errorf("-workload-file: %w", err)
+	}
+	return defs, nil
+}
+
+// registry synthesizes the full name-resolvable workload registry —
+// built-ins, then embedded presets, then -workload-file definitions —
+// plus the source tag of every name. Preset and file definitions share
+// one collision namespace, so a file redefining a preset name errors
+// instead of silently shadowing it.
+func (o options) registry(fileDefs []custom.Definition) ([]workloads.Workload, map[string]string, error) {
+	cfg := workloads.Config{Seed: o.seed, Scale: o.scale}
+	suite, err := workloads.Suite(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	source := make(map[string]string, len(suite))
+	for _, w := range suite {
+		source[w.Name] = "built-in"
+	}
+	tag := func(defs []custom.Definition, label string) error {
+		ws, err := custom.Build(defs, cfg)
+		if err != nil {
+			return err
+		}
+		for _, w := range ws {
+			source[w.Name] = label
+		}
+		suite = append(suite, ws...)
+		return nil
+	}
+	// One NormalizeAll over presets+file catches cross-source collisions;
+	// building per source keeps the tags.
+	if _, err := custom.NormalizeAll(append(append([]custom.Definition(nil), custom.Presets()...), fileDefs...)); err != nil {
+		return nil, nil, err
+	}
+	if err := tag(custom.Presets(), "preset"); err != nil {
+		return nil, nil, err
+	}
+	if err := tag(fileDefs, "file"); err != nil {
+		return nil, nil, err
+	}
+	return suite, source, nil
+}
+
+// resolveSuite builds the workloads the invocation will run. With no
+// -workloads selection: the built-ins plus every -workload-file
+// definition (presets stay opt-in by name). With a selection: the named
+// workloads, resolved against the full registry so preset names work
+// without any file.
 func (o options) resolveSuite() ([]workloads.Workload, error) {
-	suite, err := workloads.Suite(workloads.Config{Seed: o.seed, Scale: o.scale})
+	fileDefs, err := o.fileDefs()
+	if err != nil {
+		return nil, err
+	}
+	reg, source, err := o.registry(fileDefs)
 	if err != nil {
 		return nil, err
 	}
 	if o.workloads == "" {
-		return suite, nil
+		picked := make([]workloads.Workload, 0, len(reg))
+		for _, w := range reg {
+			if source[w.Name] != "preset" {
+				picked = append(picked, w)
+			}
+		}
+		return picked, nil
 	}
-	picked, err := workloads.Select(suite, strings.Split(o.workloads, ","))
+	picked, err := workloads.Select(reg, strings.Split(o.workloads, ","))
 	if err != nil {
+		// The remedy for an unknown name is the registry listing itself:
+		// the same table -list-workloads prints, on stderr.
+		fmt.Fprintln(os.Stderr, "valid workloads:")
+		writeWorkloadTable(os.Stderr, reg, source)
 		return nil, fmt.Errorf("-workloads: %w", err)
 	}
 	return picked, nil
+}
+
+// writeWorkloadTable renders the registry with category/stack columns —
+// shared by -list-workloads and the unknown-workload error path.
+func writeWorkloadTable(w io.Writer, suite []workloads.Workload, source map[string]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tCATEGORY\tSTACK\tPROBLEM SIZE\tSOURCE")
+	for _, wl := range suite {
+		stackName := wl.Stack.Name
+		if stackName == "" {
+			stackName = "raw profile"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			wl.Name, wl.Category, stackName, wl.ProblemSize, source[wl.Name])
+	}
+	tw.Flush()
 }
 
 // clusterConfig assembles the cluster configuration from validated flags.
@@ -123,7 +221,9 @@ func (o options) clusterConfig() cluster.Config {
 func run() error {
 	var o options
 	flag.StringVar(&o.out, "out", "", "output CSV path (default stdout)")
-	flag.StringVar(&o.workloads, "workloads", "", "comma-separated workload names (default all 32)")
+	flag.StringVar(&o.workloads, "workloads", "", "comma-separated workload names (default: built-ins + -workload-file definitions)")
+	flag.StringVar(&o.workloadFile, "workload-file", "", "JSON file of custom workload definitions (DESIGN.md §8)")
+	flag.BoolVar(&o.listWorkloads, "list-workloads", false, "print the workload registry (built-ins, presets, file definitions) and exit")
 	flag.IntVar(&o.nodes, "nodes", 4, "slave nodes to measure")
 	flag.IntVar(&o.instr, "instructions", 60000, "instructions per core per node")
 	flag.Float64Var(&o.scale, "scale", 4096, "divisor applied to the paper's dataset sizes")
@@ -139,6 +239,18 @@ func run() error {
 
 	if err := o.validate(); err != nil {
 		return err
+	}
+	if o.listWorkloads {
+		fileDefs, err := o.fileDefs()
+		if err != nil {
+			return err
+		}
+		reg, source, err := o.registry(fileDefs)
+		if err != nil {
+			return err
+		}
+		writeWorkloadTable(os.Stdout, reg, source)
+		return nil
 	}
 	suite, err := o.resolveSuite()
 	if err != nil {

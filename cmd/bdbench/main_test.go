@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -103,6 +105,90 @@ func TestResolveSuiteRejectsEmptyAndDuplicateNames(t *testing.T) {
 	o.workloads = "H-Sort,H-Sort"
 	if _, err := o.resolveSuite(); err == nil {
 		t.Error("duplicate workload name accepted")
+	}
+}
+
+// writeDefs writes a one-definition workload file and returns its path.
+func writeDefs(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "defs.json")
+	body := `[{"name":"` + name + `","data":{"paper_bytes":1073741824,"skew":0.3},
+		"mix":{"LoadFrac":0.3,"StoreFrac":0.1,"SeqFrac":0.6},"shuffle_frac":0.1}]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResolveSuitePresetByName(t *testing.T) {
+	o := validOptions()
+	o.workloads = "H-MemThrash,S-StreamIngest"
+	suite, err := o.resolveSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 2 || suite[0].Name != "H-MemThrash" || suite[1].Name != "S-StreamIngest" {
+		t.Fatalf("preset selection resolved to %+v", suite)
+	}
+}
+
+func TestResolveSuiteWorkloadFile(t *testing.T) {
+	o := validOptions()
+	o.workloadFile = writeDefs(t, "Probe")
+
+	// No selection: built-ins + the file's H-/S- pair.
+	suite, err := o.resolveSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 34 {
+		t.Fatalf("default run with a workload file has %d workloads, want 34", len(suite))
+	}
+	if suite[32].Name != "H-Probe" || suite[33].Name != "S-Probe" {
+		t.Errorf("file workloads not appended: %s, %s", suite[32].Name, suite[33].Name)
+	}
+
+	// Named selection mixing built-in, preset and file workloads.
+	o.workloads = "S-Probe,H-Sort,H-Stencil"
+	suite, err = o.resolveSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 3 || suite[0].Name != "S-Probe" || suite[2].Name != "H-Stencil" {
+		t.Fatalf("mixed selection resolved to %+v", suite)
+	}
+}
+
+func TestRegistryRejectsFilePresetCollision(t *testing.T) {
+	o := validOptions()
+	o.workloadFile = writeDefs(t, "StreamIngest")
+	if _, err := o.resolveSuite(); err == nil {
+		t.Error("file definition shadowing a preset accepted")
+	}
+}
+
+func TestWorkloadTableListsRegistry(t *testing.T) {
+	o := validOptions()
+	o.workloadFile = writeDefs(t, "Probe")
+	defs, err := o.fileDefs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, source, err := o.registry(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg) != 32+12+2 {
+		t.Fatalf("registry has %d workloads, want 46", len(reg))
+	}
+	var sb strings.Builder
+	writeWorkloadTable(&sb, reg, source)
+	out := sb.String()
+	for _, want := range []string{"NAME", "CATEGORY", "STACK", "SOURCE",
+		"H-Sort", "built-in", "H-MemThrash", "preset", "H-Probe", "file"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -9,11 +9,17 @@
 //	report -in metrics.csv  # reuse a cached characterization
 //	report -save metrics.csv# cache the characterization for later runs
 //	report -server URL      # offload characterization to a bdservd/bdcoord
+//	report -workload-file f # extend the suite with custom definitions
 //
 // With -server the spec is submitted over the jobs API, progress is
 // followed on the daemon's event stream, and the tables render from the
 // fetched result's metric matrix — the expensive simulation runs (or
 // replays from the daemon's cache) remotely instead of locally.
+//
+// -workload-file loads custom workload definitions (DESIGN.md §8) and
+// appends their workloads to the characterized suite — locally or, with
+// -server, by carrying the definitions inside the submitted job spec, so
+// any bdservd/bdcoord measures them without knowing them in advance.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/custom"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
 	"repro/internal/report"
@@ -43,15 +50,30 @@ func main() {
 
 func run() error {
 	var (
-		in     = flag.String("in", "", "reuse a cached metrics CSV instead of simulating")
-		server = flag.String("server", "", "bdservd/bdcoord base URL: characterize there instead of locally")
-		save   = flag.String("save", "", "write the characterization CSV here")
-		only   = flag.String("only", "", "one of: table1..table5, figure1..figure6, observations")
-		seed   = flag.Uint64("seed", 20140901, "seed for all stochastic components")
+		in       = flag.String("in", "", "reuse a cached metrics CSV instead of simulating")
+		server   = flag.String("server", "", "bdservd/bdcoord base URL: characterize there instead of locally")
+		save     = flag.String("save", "", "write the characterization CSV here")
+		only     = flag.String("only", "", "one of: table1..table5, figure1..figure6, observations")
+		seed     = flag.Uint64("seed", 20140901, "seed for all stochastic components")
+		defsFile = flag.String("workload-file", "", "JSON file of custom workload definitions to add to the suite (DESIGN.md §8)")
 	)
 	flag.Parse()
 	if *in != "" && *server != "" {
 		return fmt.Errorf("-in and -server are mutually exclusive")
+	}
+	if *in != "" && *defsFile != "" {
+		// A cached CSV has no rows for the definitions: rendering them in
+		// Table I while every other artifact excludes them would be a
+		// silently inconsistent report.
+		return fmt.Errorf("-in and -workload-file are mutually exclusive (the CSV fixes the characterized suite)")
+	}
+
+	var defs []custom.Definition
+	if *defsFile != "" {
+		var err error
+		if defs, err = custom.LoadFile(*defsFile); err != nil {
+			return fmt.Errorf("-workload-file: %w", err)
+		}
 	}
 
 	suiteCfg := workloads.DefaultConfig()
@@ -59,6 +81,13 @@ func run() error {
 	suite, err := workloads.Suite(suiteCfg)
 	if err != nil {
 		return err
+	}
+	if len(defs) > 0 {
+		cw, err := custom.Build(defs, suiteCfg)
+		if err != nil {
+			return err
+		}
+		suite = append(suite, cw...)
 	}
 
 	var ds *core.Dataset
@@ -74,14 +103,14 @@ func run() error {
 			return err
 		}
 	case *server != "":
-		ds, err = fetchDataset(*server, *seed)
+		ds, err = fetchDataset(*server, *seed, defs)
 		if err != nil {
 			return err
 		}
 	default:
 		ccfg := cluster.DefaultConfig()
 		ccfg.Seed = *seed
-		fmt.Fprintln(os.Stderr, "characterizing 32 workloads on the simulated cluster (~1 min)...")
+		fmt.Fprintf(os.Stderr, "characterizing %d workloads on the simulated cluster (~1 min)...\n", len(suite))
 		ds, err = core.CharacterizeSuite(suite, ccfg)
 		if err != nil {
 			return err
@@ -156,12 +185,14 @@ func run() error {
 // renderers need the full Analysis object); the minutes-scale simulation
 // happens — or replays from the cache — on the daemon. Observations mode
 // also works against every daemon role, including `bdservd
-// -characterize-only` shard workers.
-func fetchDataset(base string, seed uint64) (*core.Dataset, error) {
+// -characterize-only` shard workers. Custom workload definitions travel
+// inside the spec, so the daemon measures them without prior knowledge.
+func fetchDataset(base string, seed uint64, defs []custom.Definition) (*core.Dataset, error) {
 	spec := service.DefaultSpec()
 	spec.Mode = service.ModeObservations
 	spec.Suite.Seed = seed
 	spec.Cluster.Seed = seed
+	spec.CustomWorkloads = defs
 
 	c := client.New(base)
 	ctx := context.Background()

@@ -1,82 +1,75 @@
-// Customsuite shows that the library generalizes beyond BigDataBench: it
-// defines a brand-new workload from scratch (a streaming log analyzer on
-// both stacks), characterizes it together with a few standard workloads,
-// and subsets the combined suite — the workflow a benchmark designer
-// would use to decide whether a new workload is redundant.
+// Customsuite walks the benchmark-designer workflow on the open
+// scenario registry (internal/bigdata/custom, DESIGN.md §8): load
+// declarative workload definitions from scenarios.json, mix them with
+// built-ins and an embedded preset inside one JobSpec, characterize the
+// suite, and read the subsetting verdict — does the new scenario exhibit
+// behaviour the existing suite lacks, or is it redundant?
+//
+// Because the definitions live in the spec, the same JSON runs unchanged
+// against a bdservd/bdcoord daemon (`report -workload-file … -server …`
+// or a {"custom_workloads": …} job submission), with the same
+// content-addressed job ID everywhere.
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/bigdata/cluster"
-	"repro/internal/bigdata/stack"
-	"repro/internal/bigdata/workloads"
+	"repro/internal/bigdata/custom"
 	"repro/internal/core"
-	"repro/internal/trace"
+	"repro/internal/service"
 )
 
-// logAnalyzer builds a custom workload profile on the given stack: a
-// sequential scan with a small hot dictionary, very branch-heavy.
-func logAnalyzer(st stack.Profile) workloads.Workload {
-	user := trace.Params{
-		LoadFrac: 0.33, StoreFrac: 0.04, BranchFrac: 0.26, FPFrac: 0.002, SSEFrac: 0.004,
-		KernelFrac:     0.03,
-		UopsPerInstr:   1.3,
-		ComplexFrac:    0.06,
-		DepFrac:        0.2,
-		BranchEntropy:  0.1,
-		CodeFootprintB: 128 << 10, CodeJumpFrac: 0.09, CodeSkew: 0.6,
-		DataFootprintB: uint64(14 << 20 * st.DataScale), DataSkew: 0.55, SeqFrac: 0.9,
-		SharedFrac: 0, SharedFootprintB: 1 << 20, SharedWriteFrac: 0.1,
-	}
-	compute := trace.Blend(user, st.Base, st.Dominance)
-	shuffle := compute
-	shuffle.KernelFrac = st.ShuffleKernelFrac
-	shuffle.SeqFrac = st.ShuffleSeqFrac
-	prof := trace.Profile{
-		Name:        st.Prefix + "LogAnalyzer",
-		Compute:     compute,
-		Shuffle:     shuffle,
-		ShuffleFrac: 0.1,
-		PhasePeriod: 8192,
-	}
-	return workloads.Workload{
-		Name:        prof.Name,
-		Algorithm:   "LogAnalyzer",
-		Stack:       st,
-		Category:    workloads.CategoryOffline,
-		ProblemSize: "64 GB (custom)",
-		DataType:    "unstructured log",
-		Profile:     prof,
-	}
-}
+// The definitions ship inside the binary, so the example runs from any
+// directory; the same file works verbatim as `bdbench -workload-file
+// examples/customsuite/scenarios.json`.
+//
+//go:embed scenarios.json
+var scenariosJSON string
 
 func main() {
-	std, err := workloads.Suite(workloads.DefaultConfig())
+	defs, err := custom.Load(strings.NewReader(scenariosJSON))
 	if err != nil {
 		log.Fatal(err)
 	}
-	var suite []workloads.Workload
-	for _, name := range []string{"H-Grep", "S-Grep", "H-WordCount", "S-WordCount", "H-Sort", "S-Sort"} {
-		w, err := workloads.ByName(std, name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		suite = append(suite, w)
+	presets, err := custom.PresetsByName([]string{"MemThrash"})
+	if err != nil {
+		log.Fatal(err)
 	}
-	suite = append(suite, logAnalyzer(stack.Hadoop()), logAnalyzer(stack.Spark()))
+	defs = append(defs, presets...)
 
-	ccfg := cluster.DefaultConfig()
-	ccfg.SlaveNodes = 2
-	ccfg.InstructionsPerCore = 20000
-	ds, err := core.CharacterizeSuite(suite, ccfg)
+	// One spec carries everything: a built-in anchor set, the file
+	// definitions' H-/S- variants, and the preset. The job ID is a hash
+	// of the normalized spec — definitions included — so this exact job
+	// dedupes against any daemon that ever ran it.
+	spec := service.DefaultSpec()
+	spec.Workloads = []string{
+		"H-Grep", "S-Grep", "H-WordCount", "S-WordCount", "H-Sort", "S-Sort",
+		"H-LogAnalyzer", "S-LogAnalyzer",
+		"H-GraphTriangles", "S-GraphTriangles",
+		"H-MemThrash", "S-MemThrash",
+	}
+	spec.CustomWorkloads = defs
+	spec.Cluster.SlaveNodes = 2
+	spec.Cluster.InstructionsPerCore = 20000
+	spec.Analysis.KMax = 8
+	id, err := spec.ID()
 	if err != nil {
 		log.Fatal(err)
 	}
-	acfg := core.DefaultAnalysis()
-	acfg.KMax = 6
-	an, err := core.Analyze(ds, acfg)
+	fmt.Printf("content-addressed job ID (definitions included): %s\n\n", id)
+
+	suite, err := spec.ResolveSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := core.CharacterizeSuite(suite, spec.Cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := core.Analyze(ds, spec.Analysis)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,8 +82,13 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Println("\nverdict for the new workloads:")
-	for _, name := range []string{"H-LogAnalyzer", "S-LogAnalyzer"} {
+
+	fmt.Println("\nverdict for the custom scenarios:")
+	for _, name := range []string{
+		"H-LogAnalyzer", "S-LogAnalyzer",
+		"H-GraphTriangles", "S-GraphTriangles",
+		"H-MemThrash", "S-MemThrash",
+	} {
 		for i, l := range ds.Labels {
 			if l != name {
 				continue
@@ -99,8 +97,8 @@ func main() {
 			if len(members) == 1 {
 				fmt.Printf("  %s exhibits unique behaviour → keep it in the suite\n", name)
 			} else {
-				fmt.Printf("  %s clusters with %d existing workloads → redundant for\n", name, len(members)-1)
-				fmt.Println("    microarchitectural studies; an existing representative covers it")
+				fmt.Printf("  %s clusters with %d other workload(s) → an existing\n", name, len(members)-1)
+				fmt.Println("    representative covers it for microarchitectural studies")
 			}
 		}
 	}

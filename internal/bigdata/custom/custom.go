@@ -1,0 +1,427 @@
+// Package custom opens the workload suite beyond the paper's Table I: a
+// Definition declaratively describes a new scenario in the paper's own
+// vocabulary — category, problem size, data traits (footprint, skew,
+// sequentiality bias à la bdgs) and an instruction/access-mix profile —
+// and the package synthesizes it through the exact blending path the 32
+// built-ins use (workloads.Synthesize: stack.Profile base + Dominance
+// weighting), so a custom algorithm gets H-/S- variants just like a
+// Table I entry. A Definition may instead carry a raw trace.Profile for
+// full low-level control, bypassing stack blending.
+//
+// Definitions are JSON-serializable and participate in service job
+// identity: they are validated (NaN/Inf, out-of-range knobs, name
+// collisions with the built-ins) and canonically normalized, so two
+// specs carrying semantically identical definitions hash to the same
+// content-addressed job ID and deduplicate through the result cache —
+// locally, on bdservd, and across bdcoord shard fan-out.
+package custom
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/bigdata/stack"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/trace"
+)
+
+// DataSpec carries a blended definition's data traits: what the BDGS
+// analog would report about the scenario's generated input.
+type DataSpec struct {
+	// PaperBytes is the dataset size at paper scale (e.g. 80 GB for
+	// Sort); workloads.Config.Scale divides it down to the simulation
+	// footprint, and the stack's DataScale multiplies it (Spark's
+	// in-memory RDDs enlarge the live set).
+	PaperBytes uint64 `json:"paper_bytes"`
+	// Skew in [0, 0.9] is the access-concentration knob: the probability
+	// an access lands in the hot region (dictionary heads, centroids).
+	Skew float64 `json:"skew,omitempty"`
+	// SeqBias in [0, 1] is additional sequentiality from the data layout,
+	// added onto the mix's SeqFrac (capped at 1).
+	SeqBias float64 `json:"seq_bias,omitempty"`
+}
+
+// Definition is one declarative custom scenario. Exactly one of Mix
+// (blended mode: the definition is an algorithm synthesized on both
+// software stacks, yielding H-<Name> and S-<Name>) or Raw (one workload
+// named <Name>, profile used verbatim) must be set.
+type Definition struct {
+	// Name is the algorithm name (blended mode; the workloads are
+	// H-<Name> and S-<Name>) or the literal workload name (raw mode). It
+	// must not collide with the 32 built-ins and must be usable in
+	// comma-separated selections: no whitespace, commas or control bytes.
+	Name string `json:"name"`
+	// Category is workloads.CategoryOffline (default) or
+	// CategoryInteractive; "offline"/"interactive" shorthands are
+	// accepted and canonicalized. Interactive definitions run on
+	// Hive/Shark, offline ones on Hadoop/Spark, exactly like Table I.
+	Category string `json:"category,omitempty"`
+	// ProblemSize and DataType are Table I metadata columns (default
+	// "custom").
+	ProblemSize string `json:"problem_size,omitempty"`
+	DataType    string `json:"data_type,omitempty"`
+
+	// Data describes the generated input (blended mode only).
+	Data DataSpec `json:"data"`
+	// Mix is the user-code contribution to the instruction stream
+	// (blended mode). Its DataFootprintB is derived from Data.PaperBytes
+	// and zeroed during normalization; UopsPerInstr, CodeFootprintB and
+	// SharedFootprintB get Table-I-like defaults when zero.
+	Mix *trace.Params `json:"mix,omitempty"`
+	// ShuffleFrac in [0, 0.5] is the fraction of execution spent in
+	// shuffle/IO phases (blended mode).
+	ShuffleFrac float64 `json:"shuffle_frac,omitempty"`
+
+	// Raw, when set, is used verbatim as the single workload's profile
+	// (raw mode); Data, Mix and ShuffleFrac must be unset.
+	Raw *trace.Profile `json:"raw,omitempty"`
+}
+
+// mixDefaults are the structural-knob defaults filled into a blended
+// definition's Mix when zero, mirroring the built-in user-code baseline.
+const (
+	defaultUopsPerInstr   = 1.35
+	defaultCodeFootprintB = 192 << 10
+	defaultSharedB        = 1 << 20
+)
+
+// zeroDeadShared clears the shared-region knobs when no access ever
+// reaches them. Blended mixes keep theirs: the stack base contributes
+// nonzero SharedFrac, so a mix's shared footprint blends into execution
+// even when the mix's own SharedFrac is zero.
+func zeroDeadShared(p *trace.Params) {
+	if p.SharedFrac == 0 {
+		p.SharedFootprintB = 0
+		p.SharedWriteFrac = 0
+	}
+}
+
+// finite rejects NaN and ±Inf across a set of named float knobs — range
+// checks alone let NaN through (every comparison with NaN is false).
+func finite(context string, knobs map[string]float64) error {
+	for name, v := range knobs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("custom: %s: %s is %v (NaN/Inf rejected)", context, name, v)
+		}
+	}
+	return nil
+}
+
+// finiteParams checks every float field of a trace.Params.
+func finiteParams(context string, p trace.Params) error {
+	return finite(context, map[string]float64{
+		"LoadFrac": p.LoadFrac, "StoreFrac": p.StoreFrac, "BranchFrac": p.BranchFrac,
+		"FPFrac": p.FPFrac, "SSEFrac": p.SSEFrac, "KernelFrac": p.KernelFrac,
+		"UopsPerInstr": p.UopsPerInstr, "ComplexFrac": p.ComplexFrac, "DepFrac": p.DepFrac,
+		"BranchEntropy": p.BranchEntropy, "CodeJumpFrac": p.CodeJumpFrac,
+		"CodeSkew": p.CodeSkew, "DataSkew": p.DataSkew, "SeqFrac": p.SeqFrac,
+		"SharedFrac": p.SharedFrac, "SharedWriteFrac": p.SharedWriteFrac,
+	})
+}
+
+// validName rejects names that would break comma-separated selections,
+// JSON readability or the H-/S- naming scheme. Printable ASCII only: a
+// Unicode allowlist would still admit invisible characters (NBSP,
+// zero-width space) that make a listed name impossible to type back.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("custom: definition with empty name")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("custom: name %q longer than 64 bytes", name)
+	}
+	for _, r := range name {
+		if r <= ' ' || r >= 0x7f || r == ',' {
+			return fmt.Errorf("custom: name %q must be printable ASCII without spaces or commas", name)
+		}
+	}
+	return nil
+}
+
+// Normalized validates the definition and returns its canonical form:
+// defaults filled, shorthands expanded, derived knobs folded, execution-
+// irrelevant junk zeroed. Two semantically identical definitions
+// normalize to identical values, which is what lets them participate in
+// content-addressed job IDs.
+func (d Definition) Normalized() (Definition, error) {
+	n := d
+	n.Name = strings.TrimSpace(n.Name)
+	if err := validName(n.Name); err != nil {
+		return n, err
+	}
+
+	switch strings.ToLower(strings.TrimSpace(n.Category)) {
+	case "", "offline", strings.ToLower(workloads.CategoryOffline):
+		n.Category = workloads.CategoryOffline
+	case "interactive", strings.ToLower(workloads.CategoryInteractive):
+		n.Category = workloads.CategoryInteractive
+	default:
+		return n, fmt.Errorf("custom: %s: unknown category %q (%s, %s)",
+			n.Name, n.Category, workloads.CategoryOffline, workloads.CategoryInteractive)
+	}
+	if strings.TrimSpace(n.ProblemSize) == "" {
+		n.ProblemSize = "custom"
+	}
+	if strings.TrimSpace(n.DataType) == "" {
+		n.DataType = "custom"
+	}
+
+	switch {
+	case n.Raw != nil:
+		if n.Mix != nil || n.ShuffleFrac != 0 || n.Data != (DataSpec{}) {
+			return n, fmt.Errorf("custom: %s: raw and blended (data/mix/shuffle_frac) fields are mutually exclusive", n.Name)
+		}
+		raw := *n.Raw
+		// The workload name is the definition's name; a divergent inner
+		// profile name would leak into labels and break selection.
+		raw.Name = n.Name
+		if err := finiteParams(n.Name+" raw compute", raw.Compute); err != nil {
+			return n, err
+		}
+		if err := finiteParams(n.Name+" raw shuffle", raw.Shuffle); err != nil {
+			return n, err
+		}
+		if err := finite(n.Name, map[string]float64{"raw ShuffleFrac": raw.ShuffleFrac}); err != nil {
+			return n, err
+		}
+		if err := raw.Validate(); err != nil {
+			return n, fmt.Errorf("custom: %s: %w", n.Name, err)
+		}
+		// Canonicalize dead knobs the generator never reads, so they
+		// cannot split the job-ID space between byte-identical runs: the
+		// generator treats PhasePeriod ≤ 0 as 4096, never enters the
+		// shuffle phase at ShuffleFrac 0, and never touches the shared
+		// region at SharedFrac 0.
+		if raw.PhasePeriod <= 0 {
+			raw.PhasePeriod = 4096
+		}
+		if raw.ShuffleFrac == 0 {
+			raw.Shuffle = trace.Params{}
+		}
+		zeroDeadShared(&raw.Compute)
+		zeroDeadShared(&raw.Shuffle)
+		n.Raw = &raw
+
+	case n.Mix != nil:
+		if err := finite(n.Name, map[string]float64{
+			"data.skew": n.Data.Skew, "data.seq_bias": n.Data.SeqBias, "shuffle_frac": n.ShuffleFrac,
+		}); err != nil {
+			return n, err
+		}
+		if err := finiteParams(n.Name+" mix", *n.Mix); err != nil {
+			return n, err
+		}
+		if n.Data.PaperBytes == 0 {
+			return n, fmt.Errorf("custom: %s: data.paper_bytes is required (dataset size at paper scale)", n.Name)
+		}
+		if n.Data.Skew < 0 || n.Data.Skew > 0.9 {
+			return n, fmt.Errorf("custom: %s: data.skew %v out of [0, 0.9]", n.Name, n.Data.Skew)
+		}
+		if n.Data.SeqBias < 0 || n.Data.SeqBias > 1 {
+			return n, fmt.Errorf("custom: %s: data.seq_bias %v out of [0, 1]", n.Name, n.Data.SeqBias)
+		}
+		if n.ShuffleFrac < 0 || n.ShuffleFrac > 0.5 {
+			return n, fmt.Errorf("custom: %s: shuffle_frac %v out of [0, 0.5]", n.Name, n.ShuffleFrac)
+		}
+		mix := *n.Mix
+		if mix.UopsPerInstr == 0 {
+			mix.UopsPerInstr = defaultUopsPerInstr
+		}
+		if mix.CodeFootprintB == 0 {
+			mix.CodeFootprintB = defaultCodeFootprintB
+		}
+		if mix.SharedFrac > 0 && mix.SharedFootprintB == 0 {
+			mix.SharedFootprintB = defaultSharedB
+		}
+		// Range-check the mix itself, before blending or folding can mask
+		// nonsense: Blend pulls out-of-range user values back into valid
+		// ranges via the stack's Dominance weight, so the post-blend
+		// profile validation alone would silently characterize (and
+		// permanently cache) a scenario unrelated to the declared mix.
+		// The footprint placeholder stands in for the value derived from
+		// Data.PaperBytes at build time.
+		chk := mix
+		chk.DataFootprintB = 1 << 20
+		if err := chk.Validate(); err != nil {
+			return n, fmt.Errorf("custom: %s: mix: %w", n.Name, err)
+		}
+		// SeqBias is a data-layout trait; fold it into the access mix so
+		// the canonical form carries one sequentiality knob.
+		mix.SeqFrac = math.Min(1, mix.SeqFrac+n.Data.SeqBias)
+		n.Data.SeqBias = 0
+		// The data footprint is derived from Data.PaperBytes at suite
+		// scale; a stale value here must not split the job-ID space.
+		mix.DataFootprintB = 0
+		n.Mix = &mix
+
+	default:
+		return n, fmt.Errorf("custom: %s: definition needs either mix+data (blended) or raw", n.Name)
+	}
+	return n, nil
+}
+
+// WorkloadNames returns the workload names the definition yields, in
+// suite order: H-<Name>, S-<Name> for blended definitions (both
+// categories use the H-/S- prefixes, like Hive/Shark in Table I), or the
+// bare name for raw ones.
+func (d Definition) WorkloadNames() []string {
+	if d.Raw != nil {
+		return []string{d.Name}
+	}
+	return []string{"H-" + d.Name, "S-" + d.Name}
+}
+
+// NormalizeAll normalizes every definition and enforces set-level
+// invariants: no generated workload name may collide with another
+// definition's or with the 32 built-ins. Order is preserved — it is
+// semantic, fixing suite (and therefore dataset row) order.
+func NormalizeAll(defs []Definition) ([]Definition, error) {
+	if len(defs) == 0 {
+		return nil, nil
+	}
+	builtin := make(map[string]bool)
+	for _, n := range workloads.BuiltinNames() {
+		builtin[n] = true
+	}
+	seen := make(map[string]bool)
+	out := make([]Definition, len(defs))
+	for i, d := range defs {
+		n, err := d.Normalized()
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range n.WorkloadNames() {
+			if builtin[name] {
+				return nil, fmt.Errorf("custom: %s collides with built-in workload %q", n.Name, name)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("custom: workload name %q defined twice", name)
+			}
+			seen[name] = true
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Build synthesizes the workloads a definition set describes at the given
+// suite configuration: blended definitions go through the identical
+// workloads.Synthesize path as the built-ins (per-engine stack selection,
+// Dominance blending, footprint scaling), raw ones are wrapped verbatim.
+// Callers append the result after the built-in suite; per-cell seeds are
+// functions of workload *names*, so appending custom workloads never
+// perturbs built-in measurements.
+func Build(defs []Definition, cfg workloads.Config) ([]workloads.Workload, error) {
+	norm, err := NormalizeAll(defs)
+	if err != nil {
+		return nil, err
+	}
+	var out []workloads.Workload
+	for _, d := range norm {
+		if d.Raw != nil {
+			out = append(out, workloads.Workload{
+				Name:        d.Name,
+				Algorithm:   d.Name,
+				Category:    d.Category,
+				ProblemSize: d.ProblemSize,
+				DataType:    d.DataType,
+				Profile:     *d.Raw,
+			})
+			continue
+		}
+		alg := workloads.Algorithm{
+			Name:             d.Name,
+			Category:         d.Category,
+			ProblemSize:      d.ProblemSize,
+			DataType:         d.DataType,
+			PaperBytes:       d.Data.PaperBytes,
+			User:             *d.Mix,
+			ShuffleIntensity: d.ShuffleFrac,
+			Skew:             d.Data.Skew,
+		}
+		for _, eng := range []stack.Engine{stack.EngineHadoop, stack.EngineSpark} {
+			w, err := workloads.Synthesize(alg, eng, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("custom: %s: %w", d.Name, err)
+			}
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// Load decodes definitions from JSON: either a bare array of definitions
+// or an object with a "custom_workloads" array (the JobSpec field form,
+// so a spec file fragment round-trips). Unknown fields are rejected —
+// a typoed knob silently defaulting would characterize the wrong
+// scenario.
+func Load(r io.Reader) ([]Definition, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' })
+	var raw []json.RawMessage
+	if strings.HasPrefix(trimmed, "{") {
+		var obj struct {
+			CustomWorkloads []json.RawMessage `json:"custom_workloads"`
+		}
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&obj); err != nil {
+			return nil, fmt.Errorf("custom: decoding workload file: %w", err)
+		}
+		if err := ensureEOF(dec); err != nil {
+			return nil, err
+		}
+		raw = obj.CustomWorkloads
+	} else {
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("custom: decoding workload file: %w", err)
+		}
+		if err := ensureEOF(dec); err != nil {
+			return nil, err
+		}
+	}
+	defs := make([]Definition, len(raw))
+	for i, r := range raw {
+		dec := json.NewDecoder(strings.NewReader(string(r)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&defs[i]); err != nil {
+			return nil, fmt.Errorf("custom: definition %d: %w", i, err)
+		}
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("custom: workload file contains no definitions")
+	}
+	return defs, nil
+}
+
+// ensureEOF rejects content after the first JSON value — a second
+// concatenated array (or stray text) silently dropped would characterize
+// fewer scenarios than the file describes.
+func ensureEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("custom: workload file has trailing content after the first JSON value")
+	}
+	return nil
+}
+
+// LoadFile reads definitions from a JSON file (see Load).
+func LoadFile(path string) ([]Definition, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	defs, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return defs, nil
+}

@@ -1,0 +1,365 @@
+package custom
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bigdata/stack"
+	"repro/internal/bigdata/workloads"
+	"repro/internal/trace"
+)
+
+// blendedDef returns a minimal valid blended definition.
+func blendedDef(name string) Definition {
+	return Definition{
+		Name: name,
+		Data: DataSpec{PaperBytes: 16 << 30, Skew: 0.4},
+		Mix: &trace.Params{
+			LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.15,
+			DepFrac: 0.2, SeqFrac: 0.5,
+		},
+		ShuffleFrac: 0.2,
+	}
+}
+
+// rawDef returns a minimal valid raw definition.
+func rawDef(name string) Definition {
+	prof := trace.Profile{
+		Compute: trace.Params{
+			LoadFrac: 0.3, StoreFrac: 0.1, UopsPerInstr: 1.3,
+			CodeFootprintB: 64 << 10, DataFootprintB: 8 << 20,
+		},
+	}
+	return Definition{Name: name, Raw: &prof}
+}
+
+func TestNormalizedFillsDefaults(t *testing.T) {
+	n, err := blendedDef("Foo").Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Category != workloads.CategoryOffline {
+		t.Errorf("default category = %q", n.Category)
+	}
+	if n.ProblemSize != "custom" || n.DataType != "custom" {
+		t.Errorf("default metadata = %q / %q", n.ProblemSize, n.DataType)
+	}
+	if n.Mix.UopsPerInstr != defaultUopsPerInstr {
+		t.Errorf("UopsPerInstr = %v", n.Mix.UopsPerInstr)
+	}
+	if n.Mix.CodeFootprintB != defaultCodeFootprintB {
+		t.Errorf("CodeFootprintB = %v", n.Mix.CodeFootprintB)
+	}
+}
+
+func TestNormalizedCanonicalizesEquivalentForms(t *testing.T) {
+	a := blendedDef("Foo")
+	a.Category = "offline"
+	a.Mix.DataFootprintB = 123 << 20 // stale junk: derived from Data at build time
+
+	b := blendedDef("Foo")
+	b.Category = workloads.CategoryOffline
+	b.Mix.UopsPerInstr = defaultUopsPerInstr
+
+	na, err := a.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(na)
+	jb, _ := json.Marshal(nb)
+	if string(ja) != string(jb) {
+		t.Errorf("equivalent definitions normalize differently:\n%s\n%s", ja, jb)
+	}
+}
+
+// Dead knobs the generator never reads must not split the job-ID space:
+// PhasePeriod 0 and 4096 are the same execution, as are junk shuffle or
+// shared parameters behind a zero fraction.
+func TestNormalizedCanonicalizesRawDeadKnobs(t *testing.T) {
+	a := rawDef("Foo")
+	a.Raw.PhasePeriod = 0
+	a.Raw.Shuffle = trace.Params{LoadFrac: 0.9, UopsPerInstr: 3} // dead: ShuffleFrac == 0
+	a.Raw.Compute.SharedFootprintB = 99 << 20                    // dead: SharedFrac == 0
+	a.Raw.Compute.SharedWriteFrac = 0.7
+
+	b := rawDef("Foo")
+	b.Raw.PhasePeriod = 4096
+
+	na, err := a.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(na)
+	jb, _ := json.Marshal(nb)
+	if string(ja) != string(jb) {
+		t.Errorf("execution-identical raw definitions normalize differently:\n%s\n%s", ja, jb)
+	}
+	// Live shared knobs must survive canonicalization.
+	c := rawDef("Foo")
+	c.Raw.Compute.SharedFrac = 0.1
+	c.Raw.Compute.SharedFootprintB = 2 << 20
+	nc, err := c.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc.Raw.Compute.SharedFootprintB != 2<<20 {
+		t.Error("live SharedFootprintB was zeroed")
+	}
+}
+
+func TestNormalizedFoldsSeqBias(t *testing.T) {
+	d := blendedDef("Foo")
+	d.Mix.SeqFrac = 0.9
+	d.Data.SeqBias = 0.3
+	n, err := d.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Mix.SeqFrac != 1 || n.Data.SeqBias != 0 {
+		t.Errorf("SeqFrac=%v SeqBias=%v, want folded 1/0", n.Mix.SeqFrac, n.Data.SeqBias)
+	}
+}
+
+func TestNormalizedRejectsBadDefinitions(t *testing.T) {
+	cases := map[string]func() Definition{
+		"empty name":      func() Definition { d := blendedDef(""); return d },
+		"name whitespace": func() Definition { return blendedDef("My Workload") },
+		"name comma":      func() Definition { return blendedDef("a,b") },
+		"name NBSP":       func() Definition { return blendedDef("Foo Bar") },
+		"name ZWSP":       func() Definition { return blendedDef("Foo​Bar") },
+		"name non-ASCII":  func() Definition { return blendedDef("Fôo") },
+		"bad category":    func() Definition { d := blendedDef("Foo"); d.Category = "Streaming"; return d },
+		"neither mode":    func() Definition { return Definition{Name: "Foo"} },
+		"both modes": func() Definition {
+			d := blendedDef("Foo")
+			d.Raw = rawDef("Foo").Raw
+			return d
+		},
+		"raw with shuffle_frac": func() Definition {
+			d := rawDef("Foo")
+			d.ShuffleFrac = 0.1
+			return d
+		},
+		"zero paper_bytes": func() Definition { d := blendedDef("Foo"); d.Data.PaperBytes = 0; return d },
+		"skew too high":    func() Definition { d := blendedDef("Foo"); d.Data.Skew = 0.95; return d },
+		"seq_bias range":   func() Definition { d := blendedDef("Foo"); d.Data.SeqBias = 1.5; return d },
+		"shuffle range":    func() Definition { d := blendedDef("Foo"); d.ShuffleFrac = 0.7; return d },
+		"NaN skew":         func() Definition { d := blendedDef("Foo"); d.Data.Skew = math.NaN(); return d },
+		"Inf mix":          func() Definition { d := blendedDef("Foo"); d.Mix.LoadFrac = math.Inf(1); return d },
+		"negative mix frac": func() Definition {
+			d := blendedDef("Foo")
+			d.Mix.LoadFrac = -0.3
+			return d
+		},
+		"mix SeqFrac above 1": func() Definition {
+			d := blendedDef("Foo")
+			d.Mix.SeqFrac = 1.7
+			return d
+		},
+		"mix DataSkew at 1": func() Definition {
+			d := blendedDef("Foo")
+			d.Mix.DataSkew = 1
+			return d
+		},
+		"mix uops out of range": func() Definition {
+			d := blendedDef("Foo")
+			d.Mix.UopsPerInstr = 0.5
+			return d
+		},
+		"NaN mix entropy": func() Definition { d := blendedDef("Foo"); d.Mix.BranchEntropy = math.NaN(); return d },
+		"NaN raw":         func() Definition { d := rawDef("Foo"); d.Raw.Compute.DepFrac = math.NaN(); return d },
+		"raw invalid":     func() Definition { d := rawDef("Foo"); d.Raw.Compute.DataFootprintB = 0; return d },
+	}
+	for name, mk := range cases {
+		if _, err := mk().Normalized(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNormalizeAllRejectsCollisions(t *testing.T) {
+	if _, err := NormalizeAll([]Definition{blendedDef("Sort")}); err == nil {
+		t.Error("collision with built-in H-Sort/S-Sort accepted")
+	}
+	if _, err := NormalizeAll([]Definition{rawDef("H-Grep")}); err == nil {
+		t.Error("raw collision with built-in H-Grep accepted")
+	}
+	if _, err := NormalizeAll([]Definition{blendedDef("Foo"), blendedDef("Foo")}); err == nil {
+		t.Error("duplicate definition accepted")
+	}
+	if _, err := NormalizeAll([]Definition{blendedDef("Foo"), rawDef("H-Foo")}); err == nil {
+		t.Error("raw name colliding with blended variant accepted")
+	}
+}
+
+func TestBuildBlendedMatchesBuiltinSynthesisPath(t *testing.T) {
+	cfg := workloads.DefaultConfig()
+	ws, err := Build([]Definition{blendedDef("Foo")}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Name != "H-Foo" || ws[1].Name != "S-Foo" {
+		t.Fatalf("built %d workloads: %+v", len(ws), ws)
+	}
+	for _, w := range ws {
+		if err := w.Profile.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if ws[0].Stack.Engine != stack.EngineHadoop || ws[1].Stack.Engine != stack.EngineSpark {
+		t.Errorf("engines %v / %v", ws[0].Stack.Engine, ws[1].Stack.Engine)
+	}
+	// Spark's DataScale must show through, like Observation 8.
+	if ws[1].Profile.Compute.DataFootprintB <= ws[0].Profile.Compute.DataFootprintB {
+		t.Errorf("S-Foo footprint %d not larger than H-Foo %d",
+			ws[1].Profile.Compute.DataFootprintB, ws[0].Profile.Compute.DataFootprintB)
+	}
+}
+
+func TestBuildInteractiveUsesHiveShark(t *testing.T) {
+	d := blendedDef("Bar")
+	d.Category = "interactive"
+	ws, err := Build([]Definition{d}, workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Stack.Name != "Hive" || ws[1].Stack.Name != "Shark" {
+		t.Errorf("stacks %s / %s, want Hive / Shark", ws[0].Stack.Name, ws[1].Stack.Name)
+	}
+}
+
+func TestBuildRaw(t *testing.T) {
+	ws, err := Build([]Definition{rawDef("MicroKernel")}, workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].Name != "MicroKernel" {
+		t.Fatalf("raw build: %+v", ws)
+	}
+	if ws[0].Profile.Name != "MicroKernel" {
+		t.Errorf("inner profile name %q not canonicalized", ws[0].Profile.Name)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	defs := append(Presets(), rawDef("MicroKernel"))
+	cfg := workloads.DefaultConfig()
+	a, err := Build(defs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(defs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Error("Build is not deterministic")
+	}
+}
+
+func TestPresetsValidAndComplete(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 6 {
+		t.Fatalf("only %d presets, want ≥6", len(ps))
+	}
+	ws, err := Build(ps, workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2*len(ps) {
+		t.Fatalf("%d presets built %d workloads, want H-/S- pairs", len(ps), len(ws))
+	}
+	cats := map[string]bool{}
+	for _, w := range ws {
+		cats[w.Category] = true
+	}
+	if !cats[workloads.CategoryOffline] || !cats[workloads.CategoryInteractive] {
+		t.Error("presets do not cover both Table I categories")
+	}
+}
+
+func TestPresetsByName(t *testing.T) {
+	ds, err := PresetsByName([]string{"MemThrash", "StreamIngest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].Name != "MemThrash" || ds[1].Name != "StreamIngest" {
+		t.Fatalf("resolved %+v", ds)
+	}
+	_, err = PresetsByName([]string{"Nope"})
+	if err == nil || !strings.Contains(err.Error(), "StreamIngest") {
+		t.Errorf("unknown preset error should list presets: %v", err)
+	}
+}
+
+func TestLoadArrayAndObjectForms(t *testing.T) {
+	arr := `[{"name":"Foo","data":{"paper_bytes":1073741824},"mix":{"LoadFrac":0.3,"SeqFrac":0.5}}]`
+	defs, err := Load(strings.NewReader(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 1 || defs[0].Name != "Foo" {
+		t.Fatalf("array form: %+v", defs)
+	}
+	obj := `{"custom_workloads":` + arr + `}`
+	defs, err = Load(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 1 || defs[0].Name != "Foo" {
+		t.Fatalf("object form: %+v", defs)
+	}
+	if _, err := Load(strings.NewReader(`[]`)); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := Load(strings.NewReader(`[{"name":"Foo","typo_knob":1}]`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// Trailing content must not be silently dropped.
+	if _, err := Load(strings.NewReader(arr + arr)); err == nil {
+		t.Error("concatenated arrays accepted (second one silently dropped)")
+	}
+	if _, err := Load(strings.NewReader(obj + "junk")); err == nil {
+		t.Error("trailing garbage after object form accepted")
+	}
+	if _, err := Load(strings.NewReader(arr + "\n  \n")); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	if got := blendedDef("Foo").WorkloadNames(); len(got) != 2 || got[0] != "H-Foo" || got[1] != "S-Foo" {
+		t.Errorf("blended names %v", got)
+	}
+	if got := rawDef("Bar").WorkloadNames(); len(got) != 1 || got[0] != "Bar" {
+		t.Errorf("raw names %v", got)
+	}
+}
+
+func TestBuiltinNamesMatchSuite(t *testing.T) {
+	suite, err := workloads.Suite(workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := workloads.BuiltinNames()
+	if len(names) != len(suite) {
+		t.Fatalf("BuiltinNames has %d entries, suite %d", len(names), len(suite))
+	}
+	for i, w := range suite {
+		if names[i] != w.Name {
+			t.Errorf("BuiltinNames[%d] = %q, suite %q", i, names[i], w.Name)
+		}
+	}
+}

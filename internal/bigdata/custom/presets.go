@@ -1,0 +1,178 @@
+package custom
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Presets returns the embedded library of scenario families beyond
+// Table I, in canonical order. All are blended definitions, so each
+// yields H-/S- variants and runs at full grid scale exactly like a
+// built-in; all pass NormalizeAll against the built-in name set (pinned
+// by tests). The knob rationale follows the same profiled-workload
+// reasoning as the Table I entries (workloads.algorithms).
+func Presets() []Definition {
+	f := func(p trace.Params) *trace.Params { return &p }
+	return []Definition{
+		{
+			// Streaming ingest: an append-heavy event pipeline. Stores
+			// dominate the data traffic (buffer fills, index appends),
+			// access is mostly sequential with a warm dictionary, and a
+			// sizable shuffle fraction models the partition/route stage.
+			Name:        "StreamIngest",
+			Category:    "offline",
+			ProblemSize: "120 GB/day event stream",
+			DataType:    "unstructured log events",
+			Data:        DataSpec{PaperBytes: 120 << 30, Skew: 0.55, SeqBias: 0.15},
+			Mix: f(trace.Params{
+				LoadFrac: 0.27, StoreFrac: 0.19, BranchFrac: 0.16, FPFrac: 0.003, SSEFrac: 0.007,
+				KernelFrac:    0.06, // socket reads at the ingest edge
+				ComplexFrac:   0.07,
+				DepFrac:       0.22,
+				BranchEntropy: 0.10,
+				CodeJumpFrac:  0.10, CodeSkew: 0.55,
+				DataSkew: 0.30, SeqFrac: 0.60,
+			}),
+			ShuffleFrac: 0.30,
+		},
+		{
+			// OLTP-style point access: key-value lookups against a large
+			// table. Almost no sequentiality, deep pointer chasing into
+			// hash buckets, data-dependent branches — the cache/TLB
+			// adversary the paper's scan-shaped queries never exercise.
+			Name:        "PointLookup",
+			Category:    "interactive",
+			ProblemSize: "500 million point queries",
+			DataType:    "structured key-value table",
+			Data:        DataSpec{PaperBytes: 40 << 30, Skew: 0.45},
+			Mix: f(trace.Params{
+				LoadFrac: 0.34, StoreFrac: 0.04, BranchFrac: 0.22, FPFrac: 0.002, SSEFrac: 0.004,
+				KernelFrac:    0.02,
+				ComplexFrac:   0.08,
+				DepFrac:       0.48, // each hop consumes the previous load
+				BranchEntropy: 0.30, // hit-or-miss probe outcomes
+				CodeJumpFrac:  0.12, CodeSkew: 0.5,
+				DataSkew: 0.45, SeqFrac: 0.05,
+			}),
+			ShuffleFrac: 0.08,
+		},
+		{
+			// ML training sweep: SGD-style epochs streaming a dense
+			// feature matrix against a scorching-hot model. Heavy vector
+			// math, near-perfect prefetchability on the input, extreme
+			// reuse on the parameters.
+			Name:        "MLTrain",
+			Category:    "offline",
+			ProblemSize: "30 GB dense feature matrix",
+			DataType:    "numeric matrix",
+			Data:        DataSpec{PaperBytes: 30 << 30, Skew: 0.85, SeqBias: 0.2},
+			Mix: f(trace.Params{
+				LoadFrac: 0.31, StoreFrac: 0.05, BranchFrac: 0.12, FPFrac: 0.05, SSEFrac: 0.16,
+				KernelFrac:    0.01,
+				ComplexFrac:   0.06,
+				DepFrac:       0.35,
+				BranchEntropy: 0.04, // tight fixed-trip-count loops
+				CodeJumpFrac:  0.07, CodeSkew: 0.7,
+				DataSkew: 0.80, SeqFrac: 0.62,
+			}),
+			ShuffleFrac: 0.06, // model averaging between epochs
+		},
+		{
+			// Scan-heavy ETL: read-transform-write over a wide table.
+			// The most sequential scenario in the registry: both the scan
+			// and the materialized output stream.
+			Name:        "ETLScan",
+			Category:    "interactive",
+			ProblemSize: "1 billion rows scan-transform",
+			DataType:    "structured table",
+			Data:        DataSpec{PaperBytes: 96 << 30, Skew: 0.25, SeqBias: 0.1},
+			Mix: f(trace.Params{
+				LoadFrac: 0.30, StoreFrac: 0.13, BranchFrac: 0.17, FPFrac: 0.004, SSEFrac: 0.012,
+				KernelFrac:    0.04,
+				ComplexFrac:   0.07,
+				DepFrac:       0.18,
+				BranchEntropy: 0.06, // predictable per-row dispatch
+				CodeJumpFrac:  0.09, CodeSkew: 0.55,
+				DataSkew: 0.25, SeqFrac: 0.82,
+			}),
+			ShuffleFrac: 0.15,
+		},
+		{
+			// Memory-thrash adversarial: a worst-case pointer chase over a
+			// working set far beyond every cache and TLB level, with no
+			// hot region and coin-flip branches. Deliberately outside any
+			// Table I behaviour — the stress probe for "does the stack
+			// still dominate when the algorithm is hostile?".
+			Name:        "MemThrash",
+			Category:    "offline",
+			ProblemSize: "64 GB random-access working set",
+			DataType:    "pointer graph",
+			Data:        DataSpec{PaperBytes: 64 << 30, Skew: 0.02},
+			Mix: f(trace.Params{
+				LoadFrac: 0.38, StoreFrac: 0.12, BranchFrac: 0.18, FPFrac: 0.001, SSEFrac: 0.002,
+				KernelFrac:    0.01,
+				ComplexFrac:   0.05,
+				DepFrac:       0.55, // every hop serialized on the miss
+				BranchEntropy: 0.35,
+				CodeJumpFrac:  0.08, CodeSkew: 0.4,
+				DataSkew: 0.02, SeqFrac: 0.02,
+			}),
+			ShuffleFrac: 0.05,
+		},
+		{
+			// Cache-friendly stencil: iterative nearest-neighbour updates
+			// on a modest grid. Dense FP/SIMD, almost fully sequential,
+			// highly predictable — the opposite pole from MemThrash, so
+			// the pair brackets the registry's locality spectrum.
+			Name:        "Stencil",
+			Category:    "offline",
+			ProblemSize: "8 GB structured grid",
+			DataType:    "numeric grid",
+			Data:        DataSpec{PaperBytes: 8 << 30, Skew: 0.30, SeqBias: 0.25},
+			Mix: f(trace.Params{
+				LoadFrac: 0.29, StoreFrac: 0.11, BranchFrac: 0.11, FPFrac: 0.10, SSEFrac: 0.13,
+				KernelFrac:     0.005,
+				ComplexFrac:    0.04,
+				DepFrac:        0.30,
+				BranchEntropy:  0.02,
+				CodeFootprintB: 64 << 10, // one hot kernel
+				CodeJumpFrac:   0.05, CodeSkew: 0.75,
+				DataSkew: 0.20, SeqFrac: 0.70,
+			}),
+			ShuffleFrac: 0.04, // halo exchange
+		},
+	}
+}
+
+// PresetNames returns the preset family names in canonical order.
+func PresetNames() []string {
+	ps := Presets()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// PresetsByName resolves preset family names (e.g. "StreamIngest") to
+// their definitions, preserving the requested order. Unknown names error
+// with the full preset list.
+func PresetsByName(names []string) ([]Definition, error) {
+	byName := make(map[string]Definition)
+	for _, p := range Presets() {
+		byName[p.Name] = p
+	}
+	out := make([]Definition, 0, len(names))
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if d, ok := byName[name]; ok {
+			out = append(out, d)
+			continue
+		}
+		return nil, fmt.Errorf("custom: unknown preset %q (presets: %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return out, nil
+}

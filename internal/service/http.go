@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/bigdata/custom"
 	"repro/internal/cluster/hier"
 )
 
@@ -18,8 +19,17 @@ type JobRequest struct {
 	// (characterize-only; result is the raw observation matrix).
 	Mode string `json:"mode,omitempty"`
 
-	// Workloads selects suite members by name; empty = all 32.
+	// Workloads selects suite members by name; empty = every workload the
+	// request defines (built-ins + custom).
 	Workloads []string `json:"workloads,omitempty"`
+
+	// CustomWorkloads extends the suite with declarative scenario
+	// definitions (see internal/bigdata/custom); Presets names embedded
+	// preset families (e.g. "StreamIngest") whose definitions are
+	// materialized into the spec before hashing, so the job ID always
+	// reflects the definition content, never just its name.
+	CustomWorkloads []custom.Definition `json:"custom_workloads,omitempty"`
+	Presets         []string            `json:"presets,omitempty"`
 
 	Seed         *uint64  `json:"seed,omitempty"`         // suite + cluster seed
 	Scale        *float64 `json:"scale,omitempty"`        // dataset scale divisor
@@ -43,7 +53,8 @@ type JobRequest struct {
 // ToSpec materializes the request into a full JobSpec.
 func (r *JobRequest) ToSpec() (JobSpec, error) {
 	if r.Spec != nil {
-		if r.Mode != "" || len(r.Workloads) != 0 || r.Seed != nil || r.Scale != nil || r.Nodes != nil ||
+		if r.Mode != "" || len(r.Workloads) != 0 || len(r.CustomWorkloads) != 0 ||
+			len(r.Presets) != 0 || r.Seed != nil || r.Scale != nil || r.Nodes != nil ||
 			r.Instructions != nil || r.Slices != nil || r.Runs != nil || r.Jitter != nil ||
 			r.Multiplex != nil || r.KMin != nil || r.KMax != nil || r.Restarts != nil ||
 			r.Linkage != nil {
@@ -54,6 +65,14 @@ func (r *JobRequest) ToSpec() (JobSpec, error) {
 	s := DefaultSpec()
 	s.Mode = r.Mode
 	s.Workloads = r.Workloads
+	s.CustomWorkloads = r.CustomWorkloads
+	if len(r.Presets) > 0 {
+		defs, err := custom.PresetsByName(r.Presets)
+		if err != nil {
+			return JobSpec{}, err
+		}
+		s.CustomWorkloads = append(append([]custom.Definition(nil), s.CustomWorkloads...), defs...)
+	}
 	if r.Seed != nil {
 		s.Suite.Seed = *r.Seed
 		s.Cluster.Seed = *r.Seed

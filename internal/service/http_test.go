@@ -215,6 +215,57 @@ func TestHTTPConvenienceFieldsAndValidation(t *testing.T) {
 	}
 }
 
+// Custom-workload request forms: inline definitions, preset names, and
+// their interaction with validation and the spec/convenience exclusivity
+// rule.
+func TestHTTPCustomWorkloadsAndPresets(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Parallelism: 2})
+
+	// Inline definition: materialized into the spec and selectable.
+	inline := `{"workloads":["H-Sort","H-Probe"],"nodes":2,"instructions":1000,
+		"custom_workloads":[{"name":"Probe","data":{"paper_bytes":1073741824,"skew":0.3},
+		"mix":{"LoadFrac":0.3,"StoreFrac":0.1,"SeqFrac":0.6}}]}`
+	st, code := postJob(t, srv, inline)
+	if code != http.StatusAccepted {
+		t.Fatalf("inline custom POST: code %d", code)
+	}
+	if n := len(st.Spec.CustomWorkloads); n != 1 {
+		t.Fatalf("spec carries %d definitions, want 1", n)
+	}
+	if got := st.Spec.CustomWorkloads[0].Name; got != "Probe" {
+		t.Errorf("definition name %q", got)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	// Preset names materialize full definitions into the spec, so the job
+	// ID is a function of the preset's content.
+	st, code = postJob(t, srv, `{"workloads":["H-StreamIngest"],"nodes":2,"instructions":1000,"presets":["StreamIngest"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("preset POST: code %d", code)
+	}
+	if n := len(st.Spec.CustomWorkloads); n != 1 || st.Spec.CustomWorkloads[0].Name != "StreamIngest" {
+		t.Fatalf("preset not materialized into the spec: %+v", st.Spec.CustomWorkloads)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	for name, body := range map[string]string{
+		"unknown preset":    `{"presets":["Nope"]}`,
+		"builtin collision": `{"custom_workloads":[{"name":"Sort","data":{"paper_bytes":1048576},"mix":{"LoadFrac":0.3}}]}`,
+		"bad definition":    `{"custom_workloads":[{"name":"X","data":{"paper_bytes":0},"mix":{"LoadFrac":0.3}}]}`,
+		"spec+custom":       fmt.Sprintf(`{"presets":["StreamIngest"],"spec":%s}`, mustJSON(t, tinySpec())),
+	} {
+		if _, code := postJob(t, srv, body); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", name, code)
+		}
+	}
+}
+
 func mustJSON(t *testing.T, v any) string {
 	t.Helper()
 	data, err := json.Marshal(v)

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/custom"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
 	"repro/internal/perf"
@@ -47,8 +48,16 @@ type JobSpec struct {
 	// for the characterize-only observation matrix.
 	Mode string `json:"mode,omitempty"`
 	// Workloads selects suite members by paper name (e.g. "H-Sort").
-	// Empty means the full 32-workload suite.
+	// Empty means every workload the spec defines: the 32 built-ins plus
+	// the workloads of CustomWorkloads, in that order.
 	Workloads []string `json:"workloads,omitempty"`
+	// CustomWorkloads extends the suite with declarative scenario
+	// definitions (internal/bigdata/custom), appended after the built-ins
+	// in definition order. Definitions are normalized into the canonical
+	// spec and therefore participate in the content-addressed job ID:
+	// identical custom jobs dedupe and cache like built-in ones, and the
+	// field is omitted when empty so pre-existing job IDs are unchanged.
+	CustomWorkloads []custom.Definition `json:"custom_workloads,omitempty"`
 	// Suite configures workload synthesis (seed, dataset scale).
 	Suite workloads.Config `json:"suite"`
 	// Cluster configures the simulated five-node measurement cluster.
@@ -150,6 +159,16 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 		return n, fmt.Errorf("service: invalid K range [%d,%d]", n.Analysis.KMin, n.Analysis.KMax)
 	}
 
+	if len(n.CustomWorkloads) == 0 {
+		n.CustomWorkloads = nil
+	} else {
+		defs, err := custom.NormalizeAll(n.CustomWorkloads)
+		if err != nil {
+			return n, err
+		}
+		n.CustomWorkloads = defs
+	}
+
 	if len(n.Workloads) == 0 {
 		n.Workloads = nil
 	} else {
@@ -158,23 +177,45 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 			names[i] = strings.TrimSpace(w)
 		}
 		n.Workloads = names
-		// Validate the selection (empty/duplicate/unknown names) against
-		// the suite the spec will synthesize.
+	}
+	switch {
+	case n.Workloads != nil:
+		// Validate the selection (empty/duplicate/unknown names) and any
+		// custom definitions' synthesized profiles against the suite the
+		// spec will actually build.
 		if _, err := n.ResolveSuite(); err != nil {
+			return n, err
+		}
+	case n.CustomWorkloads != nil:
+		// No selection to resolve: only the definitions' synthesized
+		// profiles need validating, which does not require synthesizing
+		// the 32 built-ins (Normalized runs on every Submit/ID and every
+		// bdcoord unit sub-spec, so this path stays cheap).
+		if _, err := custom.Build(n.CustomWorkloads, n.Suite); err != nil {
 			return n, err
 		}
 	}
 	return n, nil
 }
 
-// ResolveSuite synthesizes the workload list the spec describes: the full
-// suite for an empty selection, otherwise the named workloads in the
-// given order via the shared selection helper (unknown names error with
-// the list of valid ones).
+// ResolveSuite synthesizes the workload list the spec describes: the 32
+// built-ins plus any custom definitions' workloads (appended in
+// definition order — per-cell seeds are functions of workload names, so
+// the extension never perturbs built-in cells). An empty selection means
+// the whole extended suite; otherwise the named workloads are picked in
+// the given order via the shared selection helper (unknown names error
+// with the list of valid ones).
 func (s JobSpec) ResolveSuite() ([]workloads.Workload, error) {
 	suite, err := workloads.Suite(s.Suite)
 	if err != nil {
 		return nil, err
+	}
+	if len(s.CustomWorkloads) > 0 {
+		cw, err := custom.Build(s.CustomWorkloads, s.Suite)
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, cw...)
 	}
 	if len(s.Workloads) == 0 {
 		return suite, nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/custom"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/cluster/kmeans"
 	"repro/internal/core"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/sim/machine"
+	"repro/internal/trace"
 )
 
 // chaosSpec builds a fast CI-scale job over the named workloads.
@@ -49,6 +51,33 @@ func chaosSpec(names []string, nodes, runs, instr, slices int, observations bool
 		spec.Mode = service.ModeObservations
 	}
 	return spec
+}
+
+// chaosCustomDefs returns the custom definitions the chaos suite mixes
+// in: one blended scenario (H-/S-ChaosProbe) and one raw profile
+// (RawProbe) — both cheap at chaos scale.
+func chaosCustomDefs() []custom.Definition {
+	return []custom.Definition{
+		{
+			Name: "ChaosProbe",
+			Data: custom.DataSpec{PaperBytes: 2 << 30, Skew: 0.35},
+			Mix: &trace.Params{
+				LoadFrac: 0.33, StoreFrac: 0.07, BranchFrac: 0.19,
+				DepFrac: 0.25, SeqFrac: 0.45, BranchEntropy: 0.12,
+			},
+			ShuffleFrac: 0.15,
+		},
+		{
+			Name: "RawProbe",
+			Raw: &trace.Profile{
+				Compute: trace.Params{
+					LoadFrac: 0.3, StoreFrac: 0.1, UopsPerInstr: 1.3,
+					CodeFootprintB: 64 << 10, DataFootprintB: 4 << 20,
+					DataSkew: 0.3, SeqFrac: 0.5,
+				},
+			},
+		},
+	}
 }
 
 // worker is one in-process bdservd behind a real HTTP listener.
@@ -233,6 +262,55 @@ func TestChaosWrongShape(t *testing.T) {
 	}
 }
 
+// TestChaosCustomWorkloads: a spec carrying custom workload definitions
+// (blended H-/S- pair plus a raw profile) runs under mid-stream
+// disconnects and corrupt results on one worker; the merged bytes must
+// still match the single-daemon golden run, and resubmission must be a
+// cache hit with the unchanged job ID — the acceptance property for the
+// open scenario registry.
+func TestChaosCustomWorkloads(t *testing.T) {
+	spec := chaosSpec([]string{"H-Sort", "H-ChaosProbe", "S-ChaosProbe", "RawProbe"}, 2, 1, 1500, 8, false)
+	spec.CustomWorkloads = chaosCustomDefs()
+	wantHash, wantBytes := golden(t, spec)
+	flaky := newProxy(t, startWorker(t).url, Script{
+		StreamFaults: []StreamFault{{CutAfterLines: 1}},
+		ResultFaults: []Corrupt{CorruptDropWorkload},
+	})
+	clean := newProxy(t, startWorker(t).url, Script{})
+	urls := []string{flaky.URL(), clean.URL()}
+	exec, err := shard.New(chaosExecConfig(urls, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	coord, err := service.New(service.Config{Workers: 2, Execute: exec.Execute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	st, err := coord.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, coord, st.ID, 120*time.Second)
+	if fin.State != service.StateDone {
+		t.Fatalf("custom chaotic job finished %s: %s", fin.State, fin.Error)
+	}
+	data, ok := coord.Result(st.ID)
+	if !ok {
+		t.Fatal("custom chaotic job has no result bytes")
+	}
+	assertIdentical(t, "custom workloads under faults", wantHash, wantBytes, fin.ResultHash, data)
+
+	again, err := coord.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.ID != st.ID || again.ResultHash != wantHash {
+		t.Errorf("resubmission not a stable cache hit: %+v", again)
+	}
+}
+
 // TestChaosCrashRestart: a worker's network dies mid-job and comes back;
 // the breaker opens, the half-open probe re-admits it, and the merge is
 // unchanged.
@@ -269,9 +347,11 @@ func TestChaosCrashFreshWorker(t *testing.T) {
 // scripts (latency, mid-stream disconnects, wrong-shape results,
 // crash-and-restart), the coordinator's merged result must be
 // byte-identical to the single-daemon golden run. Fault scripts are
-// finite by construction, so every run converges.
+// finite by construction, so every run converges. Half the draws carry
+// custom workload definitions (their names joining the selection pool),
+// so the determinism property covers the open scenario registry too.
 func TestChaosPropertyMergedHashMatchesGolden(t *testing.T) {
-	pool := []string{"H-Sort", "S-Sort", "H-Grep", "S-Grep", "H-WordCount", "S-WordCount"}
+	builtins := []string{"H-Sort", "S-Sort", "H-Grep", "S-Grep", "H-WordCount", "S-WordCount"}
 	iters := 4
 	if testing.Short() {
 		iters = 1
@@ -280,6 +360,14 @@ func TestChaosPropertyMergedHashMatchesGolden(t *testing.T) {
 		iter := iter
 		t.Run(fmt.Sprintf("iter%d", iter), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(0xC0FFEE + 7*iter)))
+			withCustom := rng.Intn(2) == 0
+			pool := append([]string(nil), builtins...)
+			if withCustom {
+				// Custom names go first so the pre-shuffle window always
+				// sees them; the shuffle may still trim them out, which
+				// exercises definitions carried but not selected.
+				pool = append([]string{"H-ChaosProbe", "S-ChaosProbe", "RawProbe"}, builtins...)
+			}
 			nw := 2 + rng.Intn(3) // workloads
 			names := append([]string(nil), pool[:nw+2]...)
 			rngShuffleTrim(rng, &names, nw)
@@ -291,6 +379,9 @@ func TestChaosPropertyMergedHashMatchesGolden(t *testing.T) {
 				4+rng.Intn(5),
 				rng.Intn(3) == 0, // sometimes characterize-only
 			)
+			if withCustom {
+				spec.CustomWorkloads = chaosCustomDefs()
+			}
 			wantHash, wantBytes := golden(t, spec)
 
 			workers := 1 + rng.Intn(3)

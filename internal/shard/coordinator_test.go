@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bigdata/custom"
 	"repro/internal/service"
 )
 
@@ -136,6 +137,60 @@ func TestCoordinatorHashMatchesSingleDaemon(t *testing.T) {
 			t.Errorf("%d workers: merged result bytes differ from single-daemon bytes", n)
 		}
 	}
+}
+
+// TestCoordinatorCustomWorkloadsMatchSingleDaemon is the acceptance test
+// for the open scenario registry: a job whose spec carries custom
+// workload definitions (a preset plus an ad-hoc one), fanned out across
+// 2 and 3 workers, must merge byte-identical to the single-daemon run,
+// and resubmitting to the coordinator must be a cache hit with the same
+// job ID.
+func TestCoordinatorCustomWorkloadsMatchSingleDaemon(t *testing.T) {
+	spec := customSpec("H-Sort", "S-Sort", "H-MemThrash", "S-MemThrash", "H-ScanProbe", "S-ScanProbe")
+	spec.CustomWorkloads = append([]custom.Definition{pickPreset(t, "MemThrash")}, spec.CustomWorkloads...)
+
+	single, err := service.New(service.Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(single.Close)
+	ref, refBytes := runToDone(t, single, spec)
+
+	for _, n := range []int{2, 3} {
+		var urls []string
+		for i := 0; i < n; i++ {
+			urls = append(urls, startWorker(t, service.Config{Workers: 2, Parallelism: 2}).url)
+		}
+		coord := newCoordinator(t, urls)
+		fin, data := runToDone(t, coord, spec)
+		if fin.ID != ref.ID {
+			t.Errorf("%d workers: job ID %s != single-daemon ID %s", n, fin.ID, ref.ID)
+		}
+		if fin.ResultHash != ref.ResultHash {
+			t.Errorf("%d workers: merged hash %s != single-daemon hash %s", n, fin.ResultHash, ref.ResultHash)
+		}
+		if !bytes.Equal(data, refBytes) {
+			t.Errorf("%d workers: merged custom-workload bytes differ from single-daemon bytes", n)
+		}
+
+		// Resubmission: cache hit, unchanged ID and hash.
+		again, err := coord.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.CacheHit || again.ID != ref.ID || again.ResultHash != ref.ResultHash {
+			t.Errorf("%d workers: resubmission not a stable cache hit: %+v", n, again)
+		}
+	}
+}
+
+func pickPreset(t *testing.T, name string) custom.Definition {
+	t.Helper()
+	defs, err := custom.PresetsByName([]string{name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return defs[0]
 }
 
 // TestCoordinatorFailsOverDeadWorker points the coordinator at one dead

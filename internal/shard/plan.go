@@ -19,6 +19,7 @@ package shard
 import (
 	"fmt"
 
+	"repro/internal/bigdata/custom"
 	"repro/internal/service"
 )
 
@@ -47,13 +48,44 @@ type Shard struct {
 // cluster.Config.NodeOffset — whose per-cell seeds depend on absolute
 // node indexes, making the sub-grid bit-identical to the corresponding
 // cells of the full grid.
+//
+// Custom workload definitions are pruned to those the shard's workload
+// range actually references: per-cell results are functions of workload
+// names, never of what else the suite defines, so dropping unused
+// definitions cannot change a byte — but it normalizes a built-in-only
+// unit of a custom-carrying job to the *same worker job ID* as the
+// corresponding unit of a plain job, so worker-side caches are shared
+// across them.
 func (s Shard) Spec(full service.JobSpec) service.JobSpec {
 	sub := full
 	sub.Mode = service.ModeObservations
 	sub.Workloads = append([]string(nil), s.Workloads...)
+	sub.CustomWorkloads = pruneDefs(full.CustomWorkloads, s.Workloads)
 	sub.Cluster.NodeOffset = full.Cluster.NodeOffset + s.NodeOffset
 	sub.Cluster.SlaveNodes = s.Nodes
 	return sub
+}
+
+// pruneDefs keeps the definitions (in order) whose generated workload
+// names intersect the shard's workload selection.
+func pruneDefs(defs []custom.Definition, selected []string) []custom.Definition {
+	if len(defs) == 0 {
+		return nil
+	}
+	want := make(map[string]bool, len(selected))
+	for _, n := range selected {
+		want[n] = true
+	}
+	var out []custom.Definition
+	for _, d := range defs {
+		for _, n := range d.WorkloadNames() {
+			if want[n] {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // Plan deterministically tiles a job's grid into at most `parts` units.

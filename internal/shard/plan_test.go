@@ -4,12 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/bigdata/cluster"
+	"repro/internal/bigdata/custom"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/cluster/kmeans"
 	"repro/internal/core"
 	"repro/internal/perf"
 	"repro/internal/service"
 	"repro/internal/sim/machine"
+	"repro/internal/trace"
 )
 
 // tinySpec mirrors the service package's fast test job: 2-core node,
@@ -132,6 +134,84 @@ func TestPlanIsDeterministic(t *testing.T) {
 			a[i].Nodes != b[i].Nodes || len(a[i].Workloads) != len(b[i].Workloads) {
 			t.Fatalf("plan differs at shard %d: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// customSpec extends tinySpec with one blended custom definition, whose
+// H-/S- workloads are appended after the built-in selection.
+func customSpec(names ...string) service.JobSpec {
+	spec := tinySpec(names...)
+	spec.CustomWorkloads = []custom.Definition{{
+		Name: "ScanProbe",
+		Data: custom.DataSpec{PaperBytes: 4 << 30, Skew: 0.3},
+		Mix: &trace.Params{
+			LoadFrac: 0.32, StoreFrac: 0.08, BranchFrac: 0.18,
+			DepFrac: 0.2, SeqFrac: 0.8,
+		},
+		ShuffleFrac: 0.1,
+	}}
+	return spec
+}
+
+// Custom workloads plan and tile like built-ins, and the coverage
+// invariant holds over the extended suite.
+func TestPlanCoversCustomWorkloads(t *testing.T) {
+	spec := customSpec("H-Sort", "S-Sort", "H-ScanProbe", "S-ScanProbe")
+	for _, workers := range []int{1, 2, 3, 5} {
+		shards, err := Plan(spec, workers)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		coverage(t, spec, shards)
+	}
+}
+
+// Sub-specs carry only the definitions their workload range references:
+// a built-in-only unit of a custom-carrying job must normalize to the
+// same worker job ID as the corresponding unit of a plain job, so
+// worker-side caches are shared across them.
+func TestShardSpecPrunesUnreferencedDefinitions(t *testing.T) {
+	names := []string{"H-Sort", "S-Sort", "H-ScanProbe", "S-ScanProbe"}
+	spec := customSpec(names...)
+	shards, err := Plan(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("planned %d shards, want 2", len(shards))
+	}
+	// Shard 0 covers the built-ins, shard 1 the custom pair.
+	builtinSub := shards[0].Spec(spec)
+	if len(builtinSub.CustomWorkloads) != 0 {
+		t.Errorf("built-in-only sub-spec retained %d definitions", len(builtinSub.CustomWorkloads))
+	}
+	customSub := shards[1].Spec(spec)
+	if len(customSub.CustomWorkloads) != 1 || customSub.CustomWorkloads[0].Name != "ScanProbe" {
+		t.Errorf("custom sub-spec definitions: %+v", customSub.CustomWorkloads)
+	}
+
+	// The plain job planned as one unit yields the same workload×node
+	// range as the custom job's built-in shard.
+	plain := tinySpec(names[:2]...)
+	plainShards, err := Plan(plain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, err := plainShards[0].Spec(plain).ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, err := builtinSub.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != wantID {
+		t.Errorf("built-in unit of a custom job got ID %s, plain job's unit %s — worker cache not shared", gotID, wantID)
+	}
+
+	// And the custom sub-spec must still resolve and validate.
+	if _, err := customSub.Normalized(); err != nil {
+		t.Errorf("custom sub-spec does not normalize: %v", err)
 	}
 }
 

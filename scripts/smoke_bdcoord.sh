@@ -5,6 +5,10 @@
 # result hash (and bytes) are identical to a direct single-daemon run of
 # the same spec. Then restart the coordinator and verify the job journal
 # replays: the finished job's status and result are still served.
+# Next, submit a job whose spec carries custom workload definitions (a
+# preset family plus an inline ad-hoc definition) and assert the merged
+# result is byte-identical to the single-daemon run and that
+# resubmission is a cache hit with an unchanged job ID.
 # Finally, run the heterogeneous-speed scenario: one worker throttled
 # with -throttle-cell, asserting the work-stealing dispatcher (a) still
 # produces the identical hash, (b) beats the static-planner worst case
@@ -124,6 +128,40 @@ HASH2=$(json_field "$WORKDIR/co_status2.json" result_hash)
 curl -fsS "$CO/v1/jobs/$CO_ID/result" -o "$WORKDIR/co_result2.json"
 cmp "$WORKDIR/co_result.json" "$WORKDIR/co_result2.json"
 echo "    journal replayed: job still done with identical result"
+
+echo "==> custom-workload job: preset + inline definition through the coordinator"
+# The spec carries the MemThrash preset (materialized into the spec by
+# the daemon) plus an inline ad-hoc definition, selecting a mix of
+# built-in, preset and custom workloads. The merged result at 2 workers
+# must be byte-identical to the single-daemon run, and resubmission must
+# be a cache hit with the unchanged job ID.
+CJOB='{"workloads":["H-Sort","H-MemThrash","S-MemThrash","H-Probe","S-Probe"],"nodes":2,"instructions":6000,"kmax":3,"presets":["MemThrash"],"custom_workloads":[{"name":"Probe","data":{"paper_bytes":1073741824,"skew":0.3},"mix":{"LoadFrac":0.3,"StoreFrac":0.1,"BranchFrac":0.18,"SeqFrac":0.6},"shuffle_frac":0.1}]}'
+
+curl -fsS -X POST -d "$CJOB" "$CO/v1/jobs" -o "$WORKDIR/cu_submit.json"
+CU_ID=$(json_field "$WORKDIR/cu_submit.json" id)
+[ -n "$CU_ID" ] || { echo "no job id for custom job" >&2; cat "$WORKDIR/cu_submit.json" >&2; exit 1; }
+echo "    custom job $CU_ID"
+poll_done "$CO" "$CU_ID" "$WORKDIR/cu_status.json"
+CU_HASH=$(json_field "$WORKDIR/cu_status.json" result_hash)
+[ -n "$CU_HASH" ] || { echo "custom job has no result_hash" >&2; exit 1; }
+
+curl -fsS -X POST -d "$CJOB" "$SD/v1/jobs" -o "$WORKDIR/cu_sd_submit.json"
+CU_SD_ID=$(json_field "$WORKDIR/cu_sd_submit.json" id)
+[ "$CU_SD_ID" = "$CU_ID" ] || { echo "custom job IDs differ: $CU_ID vs $CU_SD_ID" >&2; exit 1; }
+poll_done "$SD" "$CU_SD_ID" "$WORKDIR/cu_sd_status.json"
+CU_SD_HASH=$(json_field "$WORKDIR/cu_sd_status.json" result_hash)
+[ "$CU_HASH" = "$CU_SD_HASH" ] || { echo "CUSTOM MERGE NOT DETERMINISTIC: coordinator $CU_HASH vs single-daemon $CU_SD_HASH" >&2; exit 1; }
+curl -fsS "$CO/v1/jobs/$CU_ID/result" -o "$WORKDIR/cu_result.json"
+curl -fsS "$SD/v1/jobs/$CU_SD_ID/result" -o "$WORKDIR/cu_sd_result.json"
+cmp "$WORKDIR/cu_result.json" "$WORKDIR/cu_sd_result.json"
+echo "    custom-workload result byte-identical at 2 workers vs 1 daemon ($CU_HASH)"
+
+curl -fsS -X POST -d "$CJOB" "$CO/v1/jobs" -o "$WORKDIR/cu_again.json"
+CU_AGAIN_ID=$(json_field "$WORKDIR/cu_again.json" id)
+CU_AGAIN_HIT=$(json_field "$WORKDIR/cu_again.json" cache_hit)
+[ "$CU_AGAIN_ID" = "$CU_ID" ] || { echo "resubmitted custom job ID drifted: $CU_AGAIN_ID" >&2; exit 1; }
+[ "$CU_AGAIN_HIT" = "True" ] || { echo "custom resubmission was not a cache hit" >&2; cat "$WORKDIR/cu_again.json" >&2; exit 1; }
+echo "    resubmission: cache hit, unchanged job ID"
 
 echo "==> heterogeneous-speed scenario: one worker throttled 3s/cell"
 # Fresh workers and coordinator (fresh data dirs: no cache replay). The
