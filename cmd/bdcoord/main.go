@@ -15,17 +15,26 @@
 // merged result is byte-identical (same content hash) to a single-daemon
 // run of the same spec at any worker count.
 //
+// Fleet membership is elastic: -workers seeds permanent members, and
+// further workers join/leave at runtime through POST/DELETE /v1/workers
+// under heartbeat leases (bdservd -register automates this). Running
+// jobs pick up joins and leaves mid-flight.
+//
 // Usage:
 //
-//	bdcoord -workers http://h1:8356,http://h2:8356 [-addr :8360]
+//	bdcoord [-workers http://h1:8356,http://h2:8356] [-addr :8360]
 //	        [-data-dir bdcoord-data] [-queue 64] [-cache-entries 256]
 //	        [-max-jobs 1024] [-parallelism 0] [-concurrent-jobs 1]
 //	        [-stall-timeout 5m] [-probe-interval 15s]
 //	        [-breaker-threshold 3] [-units-per-worker 4]
+//	        [-drain-timeout 30s]
 //
-// The coordinator keeps its own content-addressed result cache and
-// persistent job journal (under -data-dir), so repeated grids are served
-// without touching the workers and job metadata survives restarts.
+// The coordinator keeps its own content-addressed result cache, a
+// persistent job journal with per-unit progress records, and a unit
+// store (all under -data-dir): repeated grids are served without
+// touching the workers, job metadata survives restarts, and a
+// coordinator killed mid-job re-adopts the job on restart and
+// re-dispatches only the units not journaled as done.
 package main
 
 import (
@@ -58,8 +67,8 @@ func main() {
 func run() error {
 	var (
 		addr    = flag.String("addr", ":8360", "listen address")
-		workers = flag.String("workers", "", "comma-separated bdservd worker base URLs (required)")
-		dataDir = flag.String("data-dir", "bdcoord-data", "on-disk result store + journal ('' = memory only)")
+		workers = flag.String("workers", "", "comma-separated bdservd worker base URLs seeding the fleet (optional: workers may instead join at runtime via POST /v1/workers)")
+		dataDir = flag.String("data-dir", "bdcoord-data", "on-disk result store + journal + unit store ('' = memory only, no crash recovery)")
 		queue   = flag.Int("queue", 64, "max queued jobs")
 		entries = flag.Int("cache-entries", 256, "in-memory LRU result entries")
 		maxJobs = flag.Int("max-jobs", 1024, "max retained job records (oldest terminal evicted)")
@@ -69,6 +78,7 @@ func run() error {
 		probe   = flag.Duration("probe-interval", 15*time.Second, "worker /healthz probe period (negative disables; open breakers then re-admit via half-open dispatch trials)")
 		brk     = flag.Int("breaker-threshold", 3, "consecutive failures (units + probes) that open a worker's circuit breaker")
 		upw     = flag.Int("units-per-worker", 4, "target work units planned per worker (work-stealing granularity)")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long to let in-flight jobs finish before cutting them short (they re-adopt on restart)")
 	)
 	flag.Parse()
 	if *queue < 1 || *entries < 1 || *maxJobs < 1 || *conc < 1 || *par < 0 {
@@ -84,7 +94,7 @@ func run() error {
 		}
 	}
 	if len(urls) == 0 {
-		return fmt.Errorf("-workers is required (comma-separated bdservd URLs)")
+		log.Printf("bdcoord: no -workers seed; waiting for runtime registrations (bdservd -register)")
 	}
 
 	// Surface obviously dead workers at startup — advisory only: workers
@@ -97,6 +107,11 @@ func run() error {
 		stop()
 	}
 
+	journal, unitDir := "", ""
+	if *dataDir != "" {
+		journal = filepath.Join(*dataDir, "journal.ndjson")
+		unitDir = filepath.Join(*dataDir, "units")
+	}
 	exec, err := shard.New(shard.Config{
 		Workers:          urls,
 		Parallelism:      *par,
@@ -104,15 +119,12 @@ func run() error {
 		ProbeInterval:    *probe,
 		BreakerThreshold: *brk,
 		UnitsPerWorker:   *upw,
+		UnitCacheDir:     unitDir,
 	})
 	if err != nil {
 		return err
 	}
 	defer exec.Close()
-	journal := ""
-	if *dataDir != "" {
-		journal = filepath.Join(*dataDir, "journal.ndjson")
-	}
 	mgr, err := service.New(service.Config{
 		DataDir:      *dataDir,
 		Workers:      *conc,
@@ -127,8 +139,9 @@ func run() error {
 	}
 	defer mgr.Close()
 
-	// The coordinator's API is the stock jobs API plus /v1/workers: the
-	// live breaker/health state of the fleet.
+	// The coordinator's API is the stock jobs API plus /v1/workers: GET
+	// lists the fleet's live breaker/health/lease state, POST registers
+	// (or heartbeat-renews) a worker, DELETE releases its lease.
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(mgr))
 	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
@@ -136,6 +149,35 @@ func run() error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(exec.WorkerStatuses())
+	})
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var reg client.WorkerRegistration
+		if err := dec.Decode(&reg); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding registration: %w", err))
+			return
+		}
+		st, err := exec.Register(reg.URL, time.Duration(reg.TTLSeconds*float64(time.Second)))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("DELETE /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		u := r.URL.Query().Get("url")
+		if u == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("missing url query parameter"))
+			return
+		}
+		if !exec.Deregister(u) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("worker %q is not a fleet member", u))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "deregistered", "url": u})
 	})
 
 	srv := &http.Server{
@@ -157,11 +199,25 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("bdcoord: shutting down")
+	// Graceful shutdown: stop accepting connections, let in-flight jobs
+	// drain within -drain-timeout, then Close — which cuts any stragglers
+	// short WITHOUT journaling a terminal record, so the next incarnation
+	// re-adopts them and (thanks to the unit store) re-dispatches only the
+	// units not yet journaled done.
+	log.Printf("bdcoord: shutting down (draining up to %v)", *drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	if !mgr.Drain(*drain) {
+		log.Printf("bdcoord: drain timeout: cutting in-flight jobs short (they will be re-adopted on restart)")
+	}
 	return nil
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

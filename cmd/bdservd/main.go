@@ -10,14 +10,19 @@
 // NDJSON journal under -data-dir and replayed on boot, so a restarted
 // daemon still serves previously completed jobs' status and results.
 // With -characterize-only the daemon accepts only observation-matrix
-// jobs — the worker role behind a bdcoord shard coordinator.
+// jobs — the worker role behind a bdcoord shard coordinator. With
+// -register it self-registers with a coordinator under a heartbeat
+// lease (renewed every lease-ttl/3, retried with backoff across
+// coordinator restarts) and releases the lease on shutdown.
 //
 // Usage:
 //
 //	bdservd [-addr :8356] [-data-dir bdservd-data] [-workers 1]
 //	        [-queue 64] [-cache-entries 256] [-max-jobs 1024]
 //	        [-journal auto] [-characterize-only] [-parallelism 0]
-//	        [-throttle-cell 0]
+//	        [-throttle-cell 0] [-drain-timeout 30s]
+//	        [-register http://coord:8360 -advertise http://thishost:8356
+//	         -lease-ttl 30s]
 //
 // API (see DESIGN.md §4 for the full reference):
 //
@@ -41,10 +46,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 func main() {
@@ -68,10 +75,24 @@ func run() error {
 		par      = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
 		throttle = flag.Duration("throttle-cell", 0,
 			"artificial sleep per completed grid cell (testing knob: simulates a slow worker; never affects results)")
+		register = flag.String("register", "",
+			"bdcoord base URL to self-register with (elastic fleet membership under a heartbeat lease)")
+		advertise = flag.String("advertise", "",
+			"own base URL to register as, e.g. http://thishost:8356 (required with -register)")
+		leaseTTL = flag.Duration("lease-ttl", 30*time.Second,
+			"heartbeat lease length requested from the coordinator (with -register)")
+		drain = flag.Duration("drain-timeout", 30*time.Second,
+			"on SIGTERM/SIGINT: how long to let in-flight jobs finish before cutting them short")
 	)
 	flag.Parse()
 	if *workers < 1 || *queue < 1 || *entries < 1 || *maxJobs < 1 || *par < 0 {
 		return fmt.Errorf("-workers, -queue, -cache-entries and -max-jobs must be ≥1 and -parallelism ≥0")
+	}
+	if *register != "" && *advertise == "" {
+		return fmt.Errorf("-register requires -advertise (the URL the coordinator should dial this daemon at)")
+	}
+	if *leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive")
 	}
 	journalPath := *journal
 	if journalPath == "auto" {
@@ -110,16 +131,94 @@ func run() error {
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("bdservd: listening on %s (data dir %q, %d worker(s))", *addr, *dataDir, *workers)
 
+	var hb *heartbeat
+	if *register != "" {
+		hb = startHeartbeat(ctx, *register, *advertise, *leaseTTL)
+	}
+
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("bdservd: shutting down")
+	// Graceful shutdown: release the lease first (the coordinator stops
+	// dispatching new units here and releases any it had in flight), stop
+	// accepting connections, then let running jobs drain.
+	log.Printf("bdservd: shutting down (draining up to %v)", *drain)
+	if hb != nil {
+		hb.close()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	if !mgr.Drain(*drain) {
+		log.Printf("bdservd: drain timeout: cutting in-flight jobs short")
+	}
 	return nil
+}
+
+// heartbeat maintains this worker's fleet membership on a coordinator:
+// register with retry/backoff, then renew the lease every ttl/3 so a
+// transient miss never lapses it, and release it on close.
+type heartbeat struct {
+	c    *client.Client
+	self string
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startHeartbeat(ctx context.Context, coordURL, selfURL string, ttl time.Duration) *heartbeat {
+	hb := &heartbeat{c: client.New(coordURL), self: selfURL, done: make(chan struct{})}
+	hb.wg.Add(1)
+	go func() {
+		defer hb.wg.Done()
+		registered := false
+		backoff := time.Second
+		for {
+			rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			err := hb.c.RegisterWorker(rctx, selfURL, ttl.Seconds())
+			cancel()
+			wait := ttl / 3
+			switch {
+			case err == nil && !registered:
+				registered = true
+				backoff = time.Second
+				log.Printf("bdservd: registered with coordinator %s (lease %v)", coordURL, ttl)
+			case err != nil:
+				// Keep trying: the coordinator may be restarting. Back off
+				// so a long outage doesn't spin, but cap well under any
+				// plausible lease so recovery is prompt.
+				if registered {
+					log.Printf("bdservd: heartbeat to %s failed: %v", coordURL, err)
+					registered = false
+				}
+				wait = backoff
+				if backoff *= 2; backoff > 15*time.Second {
+					backoff = 15 * time.Second
+				}
+			}
+			select {
+			case <-hb.done:
+				return
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		}
+	}()
+	return hb
+}
+
+// close stops the renewal loop and releases the lease (best effort: an
+// unreachable coordinator just expires it by TTL instead).
+func (hb *heartbeat) close() {
+	close(hb.done)
+	hb.wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := hb.c.DeregisterWorker(ctx, hb.self); err != nil {
+		log.Printf("bdservd: lease release failed (will expire by TTL): %v", err)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"repro/internal/service"
@@ -148,6 +149,63 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("client: cancel %s: %w", id, apiError(resp))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// WorkerRegistration is the body of a coordinator's POST /v1/workers: a
+// worker announcing (or heartbeat-renewing) its fleet membership.
+type WorkerRegistration struct {
+	// URL is the worker's own base URL, as the coordinator should dial it.
+	URL string `json:"url"`
+	// TTLSeconds is the requested lease length; 0 takes the coordinator's
+	// default. The worker must re-register within the TTL or be swept
+	// from the fleet.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// RegisterWorker registers workerURL with the coordinator at c.BaseURL
+// under a heartbeat lease (ttlSeconds 0 = coordinator default). Calling
+// it again before the lease expires renews it — this is the heartbeat.
+func (c *Client) RegisterWorker(ctx context.Context, workerURL string, ttlSeconds float64) error {
+	body, err := json.Marshal(WorkerRegistration{URL: workerURL, TTLSeconds: ttlSeconds})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: register worker: %w", apiError(resp))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// DeregisterWorker releases workerURL's lease on the coordinator at
+// c.BaseURL — the orderly-leave half of registration, called by a worker
+// shutting down.
+func (c *Client) DeregisterWorker(ctx context.Context, workerURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/v1/workers?url="+url.QueryEscape(workerURL), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: deregister worker: %w", apiError(resp))
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil

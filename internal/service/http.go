@@ -135,6 +135,17 @@ func (r *JobRequest) ToSpec() (JobSpec, error) {
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// A journal that has lost a record degrades the daemon: running
+		// jobs still complete (the result cache stays authoritative), but
+		// restart replay can no longer be trusted to be complete. The 503
+		// also takes a disk-failing shard worker out of its coordinator's
+		// rotation — probes fail, the breaker opens.
+		if ok, detail := m.JournalHealth(); !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "degraded", "journal": detail,
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/cache/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -155,7 +166,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		st, err := m.Submit(spec)
 		switch {
-		case errors.Is(err, ErrQueueFull):
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)

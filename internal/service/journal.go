@@ -7,6 +7,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -19,25 +21,41 @@ import (
 // done-job → result-hash mapping — survives restarts. Result bytes
 // themselves live in the on-disk result cache; the journal only restores
 // the records that point at them.
+//
+// Sharded executors additionally journal unit-level progress: a "plan"
+// record fixes the job's unit tiling (the part count the planner was
+// given — the tiling is a pure function of (normalized spec, parts)),
+// and one "unit_done" record per finished unit carries the unit index
+// plus the content-addressed key its bytes were stored under. A
+// restarted daemon re-adopts non-terminal jobs, re-plans the identical
+// tiling, and re-dispatches only the units without a unit_done record.
 type journalRecord struct {
-	TS   time.Time `json:"ts"`
-	Type string    `json:"type"` // submit | start | done | fail | cancel
-	ID   string    `json:"id"`
-	Spec *JobSpec  `json:"spec,omitempty"` // on submit
-	Hash string    `json:"hash,omitempty"` // on done
-	Err  string    `json:"error,omitempty"`
+	TS    time.Time `json:"ts"`
+	Type  string    `json:"type"` // submit | start | plan | unit_done | done | fail | cancel
+	ID    string    `json:"id"`
+	Spec  *JobSpec  `json:"spec,omitempty"` // on submit
+	Hash  string    `json:"hash,omitempty"` // on done
+	Err   string    `json:"error,omitempty"`
+	Parts int       `json:"parts,omitempty"` // on plan: planner part count
+	Unit  *int      `json:"unit,omitempty"`  // on unit_done: unit index
+	Key   string    `json:"key,omitempty"`   // on unit_done: sub-result store key
 }
 
 // replayedJob is the state of one job reconstructed from the journal.
+// A zero state means the job never reached a terminal record — the
+// daemon died while it was queued or running — and planParts/unitsDone
+// carry whatever unit-level progress its executor journaled.
 type replayedJob struct {
-	id       string
-	spec     JobSpec
-	state    State
-	hash     string
-	errMsg   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	id        string
+	spec      JobSpec
+	state     State
+	hash      string
+	errMsg    string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	planParts int
+	unitsDone map[int]string // unit index → sub-result store key
 }
 
 // journalMsg is one unit of writer-goroutine work: a record to append,
@@ -72,15 +90,44 @@ type journal struct {
 	// Manager.maybeCompactJournal and reset by the writer goroutine.
 	appends    atomic.Int64
 	compacting atomic.Bool
+
+	// failure records the first persistent write problem (append encode
+	// error, failed compaction, failed reopen). It is sticky: once the
+	// journal has lost a record, restart replay can no longer be trusted
+	// to be complete, and the daemon's /healthz reports degraded until
+	// an operator intervenes. Appends keep being attempted — the disk
+	// may recover and later records still narrow the replay gap.
+	failMu  sync.Mutex
+	failure string
+}
+
+// fail records a persistent journal failure (first error wins).
+func (jl *journal) fail(err error) {
+	jl.failMu.Lock()
+	defer jl.failMu.Unlock()
+	if jl.failure == "" {
+		jl.failure = err.Error()
+	}
+}
+
+// health reports whether the journal has ever hit a persistent write
+// failure, and the first error if so.
+func (jl *journal) health() (ok bool, detail string) {
+	if jl == nil {
+		return true, ""
+	}
+	jl.failMu.Lock()
+	defer jl.failMu.Unlock()
+	return jl.failure == "", jl.failure
 }
 
 // openJournal replays an existing journal at path (tolerating a trailing
-// partial line from a crashed writer), compacts it — rewriting only the
-// surviving terminal jobs, keeping at most the newest maxJobs — and
-// returns the replayed jobs in submission order together with an open
-// append handle. Jobs that never reached a terminal state (the daemon
-// died while they were queued or running) are dropped: a resubmission
-// simply re-executes them.
+// partial line from a crashed writer), compacts it — rewriting the
+// surviving jobs, keeping at most the newest maxJobs — and returns the
+// replayed jobs in submission order together with an open append handle.
+// Non-terminal jobs (the daemon died while they were queued or running)
+// are returned too, along with their journaled unit-level progress, so
+// the caller can re-adopt and finish them.
 func openJournal(path string, maxJobs int) (*journal, []replayedJob, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -124,12 +171,14 @@ func (jl *journal) run() {
 			jl.f.Close()
 			if err := compactJournal(jl.path, msg.compact); err != nil {
 				log.Printf("service: journal compaction: %v", err)
+				jl.fail(err)
 			}
 			f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				// Disk trouble: disable further appends rather than crash
 				// running jobs; the next boot re-replays what exists.
 				log.Printf("service: reopening journal: %v (journal disabled)", err)
+				jl.fail(err)
 				jl.f, jl.enc = nil, nil
 			} else {
 				jl.f, jl.enc = f, json.NewEncoder(f)
@@ -143,6 +192,7 @@ func (jl *journal) run() {
 		}
 		if err := jl.enc.Encode(msg.rec); err != nil {
 			log.Printf("service: journal append: %v", err)
+			jl.fail(err)
 		}
 	}
 }
@@ -198,17 +248,38 @@ func replayJournal(path string) ([]replayedJob, error) {
 			if j, ok := byID[rec.ID]; ok {
 				j.started = rec.TS
 			}
+		case "plan":
+			if j, ok := byID[rec.ID]; ok && rec.Parts > 0 {
+				if j.planParts != rec.Parts {
+					// A different tiling (the fleet changed between
+					// incarnations): unit indexes from the old plan no
+					// longer name the same cells, so earlier unit_done
+					// records are void.
+					j.unitsDone = nil
+				}
+				j.planParts = rec.Parts
+			}
+		case "unit_done":
+			if j, ok := byID[rec.ID]; ok && rec.Unit != nil && *rec.Unit >= 0 && rec.Key != "" {
+				if j.unitsDone == nil {
+					j.unitsDone = make(map[int]string)
+				}
+				j.unitsDone[*rec.Unit] = rec.Key
+			}
 		case "done":
 			if j, ok := byID[rec.ID]; ok {
 				j.state, j.hash, j.finished = StateDone, rec.Hash, rec.TS
+				j.planParts, j.unitsDone = 0, nil
 			}
 		case "fail":
 			if j, ok := byID[rec.ID]; ok {
 				j.state, j.errMsg, j.finished = StateFailed, rec.Err, rec.TS
+				j.planParts, j.unitsDone = 0, nil
 			}
 		case "cancel":
 			if j, ok := byID[rec.ID]; ok {
 				j.state, j.finished = StateCanceled, rec.TS
+				j.planParts, j.unitsDone = 0, nil
 			}
 		}
 	}
@@ -216,20 +287,22 @@ func replayJournal(path string) ([]replayedJob, error) {
 		return nil, fmt.Errorf("service: scanning journal: %w", err)
 	}
 
+	// Terminal AND non-terminal jobs are returned: a job the daemon died
+	// on keeps its submit record (and any unit-level progress) so the
+	// next incarnation can re-adopt it instead of forfeiting the work.
 	out := make([]replayedJob, 0, len(order))
 	for _, id := range order {
-		j := byID[id]
-		if j.state.terminal() {
-			out = append(out, *j)
-		}
+		out = append(out, *byID[id])
 	}
 	return out, nil
 }
 
-// compactJournal rewrites the journal to exactly the surviving terminal
-// jobs (submit + terminal record each), so the file stays bounded by the
-// live job history instead of growing across restarts. The rewrite is
-// atomic: a crash mid-compaction leaves the old journal in place.
+// compactJournal rewrites the journal to exactly the surviving jobs:
+// submit + terminal record for finished jobs, submit (+ start, plan and
+// unit_done progress) for jobs still in flight — so the file stays
+// bounded by the live job history instead of growing across restarts.
+// The rewrite is atomic: a crash mid-compaction leaves the old journal
+// in place.
 func compactJournal(path string, jobs []replayedJob) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -258,6 +331,24 @@ func compactJournal(path string, jobs []replayedJob) error {
 			case StateCanceled:
 				rec = journalRecord{TS: j.finished, Type: "cancel", ID: j.id}
 			default:
+				// Still in flight: preserve unit-level progress instead of a
+				// terminal record, in deterministic (unit-index) order.
+				if j.planParts > 0 {
+					if err := enc.Encode(journalRecord{TS: j.created, Type: "plan", ID: j.id, Parts: j.planParts}); err != nil {
+						return err
+					}
+				}
+				units := make([]int, 0, len(j.unitsDone))
+				for u := range j.unitsDone {
+					units = append(units, u)
+				}
+				sort.Ints(units)
+				for _, u := range units {
+					u := u
+					if err := enc.Encode(journalRecord{TS: j.created, Type: "unit_done", ID: j.id, Unit: &u, Key: j.unitsDone[u]}); err != nil {
+						return err
+					}
+				}
 				continue
 			}
 			if err := enc.Encode(rec); err != nil {

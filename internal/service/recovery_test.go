@@ -1,0 +1,293 @@
+package service
+
+// Crash-recovery and graceful-shutdown tests for the manager: unit-level
+// journal replay under torn tails, re-adoption of non-terminal jobs,
+// drain semantics, and the degraded-health path when the journal loses
+// its disk.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJournalUnitDoneReplayEveryTruncation truncates a journal carrying
+// plan + unit_done records at EVERY byte offset and replays each prefix:
+// replay must never error, must reconstruct exactly the unit_done
+// records whose lines are complete (a partial line contributes nothing),
+// and must keep the plan/terminal semantics intact at every cut.
+func TestJournalUnitDoneReplayEveryTruncation(t *testing.T) {
+	spec := tinySpec()
+	u0, u1, u2 := 0, 1, 2
+	key := func(b byte) string { return strings.Repeat(string(b), 32) }
+	recs := []journalRecord{
+		{Type: "submit", ID: "job-a", Spec: &spec},
+		{Type: "start", ID: "job-a"},
+		{Type: "plan", ID: "job-a", Parts: 4},
+		{Type: "unit_done", ID: "job-a", Unit: &u0, Key: key('a')},
+		{Type: "unit_done", ID: "job-a", Unit: &u1, Key: key('b')},
+		{Type: "submit", ID: "job-b", Spec: &spec},
+		{Type: "start", ID: "job-b"},
+		{Type: "done", ID: "job-b", Hash: key('c')},
+		{Type: "unit_done", ID: "job-a", Unit: &u2, Key: key('d')},
+	}
+	var buf []byte
+	ends := make([]int, len(recs)) // byte offset just past each record's newline
+	for i, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		ends[i] = len(buf)
+	}
+	full := map[int]string{u0: key('a'), u1: key('b'), u2: key('d')}
+
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	for cut := 0; cut <= len(buf); cut++ {
+		// A record is replayable once all its bytes short of the trailing
+		// newline are on disk — a final line cut exactly before its
+		// newline still parses.
+		complete := 0
+		for _, e := range ends {
+			if e-1 <= cut {
+				complete++
+			}
+		}
+		if err := os.WriteFile(path, buf[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := replayJournal(path)
+		if err != nil {
+			t.Fatalf("cut %d: replay error: %v", cut, err)
+		}
+		var a, b *replayedJob
+		for i := range jobs {
+			switch jobs[i].id {
+			case "job-a":
+				a = &jobs[i]
+			case "job-b":
+				b = &jobs[i]
+			}
+		}
+		// job-a: plan visible iff its line is complete; unit_done entries
+		// are exactly the complete ones, each pointing at the right key.
+		wantUnits := 0
+		for i, r := range recs {
+			if r.Type == "unit_done" && ends[i]-1 <= cut {
+				wantUnits++
+			}
+		}
+		switch {
+		case complete == 0:
+			if a != nil {
+				t.Fatalf("cut %d: job-a replayed before its submit line is complete", cut)
+			}
+		default:
+			if a == nil {
+				t.Fatalf("cut %d: job-a missing", cut)
+			}
+			if complete >= 3 && a.planParts != 4 || complete < 3 && a.planParts != 0 {
+				t.Fatalf("cut %d: job-a planParts = %d (complete lines %d)", cut, a.planParts, complete)
+			}
+			if len(a.unitsDone) != wantUnits {
+				t.Fatalf("cut %d: job-a has %d unit_done, want %d", cut, len(a.unitsDone), wantUnits)
+			}
+			for u, k := range a.unitsDone {
+				if full[u] != k {
+					t.Fatalf("cut %d: job-a unit %d has key %q, want %q", cut, u, k, full[u])
+				}
+			}
+			if a.state.terminal() {
+				t.Fatalf("cut %d: job-a replayed terminal", cut)
+			}
+		}
+		// job-b: terminal iff its done line is complete, and terminal
+		// replay carries no unit-level leftovers.
+		if complete >= 8 {
+			if b == nil || b.state != StateDone || b.hash != key('c') {
+				t.Fatalf("cut %d: job-b not replayed done: %+v", cut, b)
+			}
+			if b.planParts != 0 || len(b.unitsDone) != 0 {
+				t.Fatalf("cut %d: terminal job-b kept unit progress: %+v", cut, b)
+			}
+		}
+	}
+}
+
+// TestShutdownReadoptsRunningJob: a manager closed with a job still
+// running journals NO terminal record for it — the crash/shutdown model
+// — so the next manager over the same journal re-adopts and finishes it,
+// and only then does the journal go terminal.
+func TestShutdownReadoptsRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:     filepath.Join(dir, "data"),
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(400 * time.Millisecond),
+	}
+	m1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cur, _ := m1.Get(st.ID); cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m1.Close()
+
+	m2 := newTestManager(t, cfg)
+	got, ok := m2.Get(st.ID)
+	if !ok {
+		t.Fatal("interrupted job not re-adopted after restart")
+	}
+	if got.State.terminal() {
+		t.Fatalf("re-adopted job born terminal: %s", got.State)
+	}
+	fin := waitTerminal(t, m2, st.ID, 10*time.Second)
+	if fin.State != StateDone {
+		t.Fatalf("re-adopted job finished %s: %s", fin.State, fin.Error)
+	}
+	if data, ok := m2.Result(st.ID); !ok || len(data) == 0 {
+		t.Fatal("re-adopted job has no result")
+	}
+
+	// Third incarnation sees it done — the terminal record landed.
+	m3 := newTestManager(t, cfg)
+	if got, ok := m3.Get(st.ID); !ok || got.State != StateDone {
+		t.Fatalf("second restart: state %v ok %v, want done", got.State, ok)
+	}
+}
+
+// TestUserCancelIsNotReadopted: an explicit cancel IS journaled terminal
+// — only shutdown interruptions re-adopt.
+func TestUserCancelIsNotReadopted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(time.Hour),
+	}
+	m1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Cancel(st.ID) {
+		t.Fatal("cancel refused")
+	}
+	if fin := waitTerminal(t, m1, st.ID, 5*time.Second); fin.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", fin.State)
+	}
+	m1.Close()
+
+	m2 := newTestManager(t, cfg)
+	if got, ok := m2.Get(st.ID); !ok || got.State != StateCanceled {
+		t.Fatalf("canceled job replayed as %v (ok %v), want canceled", got.State, ok)
+	}
+}
+
+// TestDrainWaitsAndRefusesNewWork: Drain lets in-flight jobs finish
+// (returning true) while refusing new submissions with ErrDraining, and
+// a drain that cannot finish in time reports false.
+func TestDrainWaitsAndRefusesNewWork(t *testing.T) {
+	m := newTestManager(t, Config{Execute: fakeExec(300 * time.Millisecond)})
+	st, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Drain(10 * time.Second) {
+		t.Fatal("drain timed out with 10s budget for a 300ms job")
+	}
+	if got, _ := m.Get(st.ID); got.State != StateDone {
+		t.Fatalf("drained job state %s, want done", got.State)
+	}
+	spec := tinySpec()
+	spec.Cluster.Seed = 12345
+	if _, err := m.Submit(spec); err != ErrDraining {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+
+	m2 := newTestManager(t, Config{Execute: fakeExec(time.Hour)})
+	if _, err := m2.Submit(tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Drain(50 * time.Millisecond) {
+		t.Fatal("drain reported success with an hour-long job in flight")
+	}
+}
+
+// TestJournalFailureDegradesHealthz: once an append hits a dead file the
+// journal reports unhealthy — sticky — and /healthz turns 503 degraded,
+// which is exactly what a coordinator's prober needs to breaker a
+// disk-failing worker out of rotation.
+func TestJournalFailureDegradesHealthz(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{
+		JournalPath: filepath.Join(dir, "journal.ndjson"),
+		Execute:     fakeExec(0),
+	})
+	if ok, detail := m.JournalHealth(); !ok {
+		t.Fatalf("fresh journal unhealthy: %s", detail)
+	}
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before failure: %v %v", resp.StatusCode, err)
+	}
+
+	// Pull the disk out from under the writer goroutine: the next append
+	// hits a closed file and the failure sticks.
+	m.jmu.Lock()
+	m.journal.f.Close()
+	m.jmu.Unlock()
+	if _, err := m.Submit(tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok, _ := m.JournalHealth(); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal failure never surfaced in JournalHealth")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz status = %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Status  string `json:"status"`
+		Journal string `json:"journal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" || body.Journal == "" {
+		t.Fatalf("degraded healthz body: %+v", body)
+	}
+}

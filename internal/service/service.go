@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/benchio"
@@ -84,6 +86,23 @@ type job struct {
 	events     []Event
 	more       chan struct{} // closed and replaced on every append
 	done       bool          // terminal event emitted
+
+	// Unit-level crash-recovery state, maintained through the job's
+	// UnitProgress (see unitprogress.go) and seeded from the journal when
+	// the job was re-adopted after a restart.
+	planParts int
+	unitsDone map[int]string // unit index → sub-result store key
+
+	// userCancel marks an explicit Manager.Cancel, distinguishing it from
+	// a shutdown cancelation (the root context closing). Only the former
+	// journals a terminal cancel record; a shutdown-canceled job must stay
+	// non-terminal in the journal so the next incarnation re-adopts it.
+	userCancel bool
+	// shutdownCanceled marks a job whose run was cut short by shutdown:
+	// terminal in memory (subscribers see a canceled event) but treated as
+	// live by journal compaction and eviction, so its submit record and
+	// unit progress survive to the next incarnation.
+	shutdownCanceled bool
 }
 
 func (j *job) status() JobStatus {
@@ -192,6 +211,10 @@ type Config struct {
 // ErrQueueFull is returned by Submit when the job queue is at capacity.
 var ErrQueueFull = errors.New("service: job queue full")
 
+// ErrDraining is returned by Submit once Drain has begun: the daemon is
+// shutting down and admits no new work.
+var ErrDraining = errors.New("service: draining for shutdown")
+
 // Manager owns the job queue, the executor pool and the result cache.
 type Manager struct {
 	cfg   Config
@@ -200,6 +223,8 @@ type Manager struct {
 	root context.Context
 	stop context.CancelFunc
 	wg   sync.WaitGroup
+
+	draining atomic.Bool
 
 	jmu     sync.Mutex // serializes journal appends
 	journal *journal
@@ -212,7 +237,10 @@ type Manager struct {
 
 // New starts a manager with cfg.Workers executor goroutines, replaying
 // the job journal (if configured) so terminal job records survive
-// restarts.
+// restarts. Non-terminal journaled jobs — ones a previous incarnation
+// died holding — are re-adopted: re-queued with whatever unit-level
+// progress was journaled, so sharded executors re-dispatch only the
+// incomplete remainder.
 func New(cfg Config) (*Manager, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
@@ -247,6 +275,25 @@ func New(cfg Config) (*Manager, error) {
 		}
 		m.journal = jl
 		for _, r := range replayed {
+			if !r.state.terminal() {
+				// The previous incarnation died while this job was queued
+				// or running: re-adopt it. The job re-enters the queue as
+				// freshly submitted, carrying the unit-level progress the
+				// old incarnation journaled so a sharded executor can skip
+				// the units already done.
+				if len(m.queue) >= cap(m.queue) {
+					log.Printf("service: journal re-adoption: queue full, dropping job %s (resubmit to re-run)", r.id)
+					continue
+				}
+				j := newJob(m.root, r.id, r.spec)
+				j.created = r.created
+				j.planParts, j.unitsDone = r.planParts, r.unitsDone
+				j.emit(Event{Type: "state", State: StateQueued})
+				m.jobs[r.id] = j
+				m.order = append(m.order, r.id)
+				m.queue <- j
+				continue
+			}
 			if r.state == StateDone && cfg.DataDir == "" {
 				// Without a disk result tier the done job's bytes died
 				// with the previous process: materializing the record
@@ -283,7 +330,9 @@ func New(cfg Config) (*Manager, error) {
 }
 
 // Close cancels all running jobs, stops the executor pool and closes the
-// journal.
+// journal. Jobs cut short here stay non-terminal in the journal (their
+// cancel is a shutdown artifact, not a verdict) and are re-adopted by the
+// next incarnation.
 func (m *Manager) Close() {
 	m.stop()
 	m.wg.Wait()
@@ -291,6 +340,51 @@ func (m *Manager) Close() {
 	m.journal.Close()
 	m.journal = nil
 	m.jmu.Unlock()
+}
+
+// Drain begins a graceful shutdown: new submissions are refused with
+// ErrDraining while queued and running jobs continue to completion. It
+// returns true once no live jobs remain, or false when the timeout
+// elapses first (timeout <= 0 checks exactly once). Call Close afterwards
+// either way — jobs still live after a failed drain are cut short there
+// and re-adopted on restart.
+func (m *Manager) Drain(timeout time.Duration) bool {
+	m.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for {
+		if !m.anyLive() {
+			return true
+		}
+		if timeout <= 0 || !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (m *Manager) anyLive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		live := !j.state.terminal()
+		j.mu.Unlock()
+		if live {
+			return true
+		}
+	}
+	return false
+}
+
+// JournalHealth reports whether the persistent journal (when configured)
+// has hit a permanent write failure, and the first error if so. A
+// degraded journal means restart replay can no longer be trusted to be
+// complete; the daemon surfaces it as a degraded /healthz.
+func (m *Manager) JournalHealth() (ok bool, detail string) {
+	m.jmu.Lock()
+	jl := m.journal
+	m.jmu.Unlock()
+	return jl.health()
 }
 
 // journalAppend enqueues one journal record (a no-op without a journal):
@@ -336,6 +430,9 @@ func newJob(ctx context.Context, id string, spec JobSpec) *job {
 // m.mu, so concurrent submissions of distinct jobs never serialize behind
 // disk I/O; the record map is re-checked under the lock afterwards.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	if m.draining.Load() {
+		return JobStatus{}, ErrDraining
+	}
 	norm, err := spec.Normalized()
 	if err != nil {
 		return JobStatus{}, err
@@ -464,7 +561,9 @@ func (m *Manager) evictLocked() {
 		for _, id := range m.order {
 			j := m.jobs[id]
 			j.mu.Lock()
-			terminal := j.state.terminal()
+			// shutdownCanceled jobs are terminal in memory but must keep
+			// their record until the journal is done with them.
+			terminal := j.state.terminal() && !j.shutdownCanceled
 			j.mu.Unlock()
 			if terminal {
 				j.cancel() // idempotent; ensures no child-context leak
@@ -534,6 +633,7 @@ func (m *Manager) Cancel(id string) bool {
 		return false
 	}
 	j.mu.Lock()
+	j.userCancel = true
 	settled := false
 	if j.state == StateQueued {
 		// Not started yet: settle it immediately; the worker skips it.
@@ -606,6 +706,7 @@ func (m *Manager) runJob(j *job) {
 	hash, err := m.execute(j)
 	now := time.Now()
 	var rec journalRecord
+	skipJournal := false
 	j.mu.Lock()
 	j.finished = now
 	switch {
@@ -617,7 +718,15 @@ func (m *Manager) runJob(j *job) {
 	case errors.Is(err, context.Canceled):
 		j.state = StateCanceled
 		j.emitLocked(Event{Type: "state", State: StateCanceled})
-		rec = journalRecord{TS: now, Type: "cancel", ID: j.id}
+		if m.root.Err() != nil && !j.userCancel {
+			// Shutdown cut the run short — nobody canceled the *job*. No
+			// terminal record: the journal keeps the submit (and any unit
+			// progress), so the next incarnation re-adopts and finishes it.
+			j.shutdownCanceled = true
+			skipJournal = true
+		} else {
+			rec = journalRecord{TS: now, Type: "cancel", ID: j.id}
+		}
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
@@ -629,6 +738,9 @@ func (m *Manager) runJob(j *job) {
 	// anymore, and an un-canceled child would stay registered in the root
 	// context's tree for the daemon's lifetime.
 	j.cancel()
+	if skipJournal {
+		return
+	}
 	m.journalAppendSync(rec)
 	// The finished job may push the record map past its bound.
 	m.evict()
@@ -665,10 +777,25 @@ func (m *Manager) maybeCompactJournal() {
 	for _, id := range m.order {
 		j := m.jobs[id]
 		j.mu.Lock()
+		state := j.state
+		if j.shutdownCanceled {
+			// Canceled by shutdown, not by anyone's verdict: compaction
+			// must keep the job non-terminal so the next incarnation
+			// re-adopts it.
+			state = ""
+		}
+		var unitsDone map[int]string
+		if len(j.unitsDone) > 0 {
+			unitsDone = make(map[int]string, len(j.unitsDone))
+			for u, k := range j.unitsDone {
+				unitsDone[u] = k
+			}
+		}
 		snapshot = append(snapshot, replayedJob{
-			id: j.id, spec: j.spec, state: j.state,
+			id: j.id, spec: j.spec, state: state,
 			hash: j.resultHash, errMsg: j.errMsg,
 			created: j.created, started: j.started, finished: j.finished,
+			planParts: j.planParts, unitsDone: unitsDone,
 		})
 		j.mu.Unlock()
 	}
@@ -725,7 +852,10 @@ func (m *Manager) execute(j *job) (string, error) {
 	if exec == nil {
 		exec = m.executeLocal
 	}
-	data, err := exec(j.ctx, j.spec, progress)
+	// Sharded executors pick the unit-level crash-recovery capability off
+	// the context (see unitprogress.go); the local pipeline ignores it.
+	ctx := context.WithValue(j.ctx, unitProgressKey{}, &jobUnitProgress{m: m, j: j})
+	data, err := exec(ctx, j.spec, progress)
 	if err != nil {
 		return "", err
 	}

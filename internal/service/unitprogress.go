@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// UnitProgress is the unit-level crash-recovery capability the manager
+// offers a sharded executor through the job context. A coordinator-side
+// ExecuteFunc that splits a job into units retrieves it with
+// UnitProgressFrom and uses it to (a) learn what a previous incarnation
+// of the daemon already finished, and (b) journal its own progress so
+// the *next* incarnation can do the same:
+//
+//   - RecoveredPlan returns the part count the previous incarnation
+//     planned with, plus the set of units it journaled as done (unit
+//     index → content-addressed sub-result store key). The unit tiling
+//     is a pure function of (normalized spec, parts), so re-planning
+//     with the recovered part count reproduces the identical units and
+//     the journaled indexes stay meaningful.
+//   - RecordPlan journals the part count this run tiles with. A part
+//     count different from the recovered one voids the recovered units
+//     (their indexes name different cells under the new tiling).
+//   - UnitDone journals one finished unit. The caller is responsible for
+//     having stored the unit's bytes under key *before* calling — a
+//     unit_done record must never point at bytes that don't exist.
+//
+// Without a configured journal the records go nowhere and RecoveredPlan
+// returns empty, so executors can use the capability unconditionally.
+type UnitProgress interface {
+	RecoveredPlan() (parts int, done map[int]string)
+	RecordPlan(parts int)
+	UnitDone(unit int, key string)
+}
+
+type unitProgressKey struct{}
+
+// UnitProgressFrom extracts the manager's UnitProgress from a job
+// context passed to an ExecuteFunc. ok is false when the context did not
+// come from a Manager (e.g. direct executor tests).
+func UnitProgressFrom(ctx context.Context) (UnitProgress, bool) {
+	up, ok := ctx.Value(unitProgressKey{}).(UnitProgress)
+	return up, ok
+}
+
+// jobUnitProgress binds UnitProgress to one manager job. Journal appends
+// happen after the in-memory update and outside j.mu (the manager's lock
+// order is m.mu → j.mu, and journalAppendSync takes m.mu): a compaction
+// snapshot taken between the two sees the update, and the late append is
+// idempotent under replay.
+type jobUnitProgress struct {
+	m *Manager
+	j *job
+}
+
+func (p *jobUnitProgress) RecoveredPlan() (int, map[int]string) {
+	p.j.mu.Lock()
+	defer p.j.mu.Unlock()
+	done := make(map[int]string, len(p.j.unitsDone))
+	for u, k := range p.j.unitsDone {
+		done[u] = k
+	}
+	return p.j.planParts, done
+}
+
+func (p *jobUnitProgress) RecordPlan(parts int) {
+	if parts <= 0 {
+		return
+	}
+	p.j.mu.Lock()
+	if p.j.planParts != parts {
+		p.j.planParts = parts
+		p.j.unitsDone = nil
+	}
+	p.j.mu.Unlock()
+	p.m.journalAppendSync(journalRecord{TS: time.Now(), Type: "plan", ID: p.j.id, Parts: parts})
+}
+
+func (p *jobUnitProgress) UnitDone(unit int, key string) {
+	if unit < 0 || key == "" {
+		return
+	}
+	p.j.mu.Lock()
+	if p.j.unitsDone == nil {
+		p.j.unitsDone = make(map[int]string)
+	}
+	p.j.unitsDone[unit] = key
+	p.j.mu.Unlock()
+	u := unit
+	p.m.journalAppendSync(journalRecord{TS: time.Now(), Type: "unit_done", ID: p.j.id, Unit: &u, Key: key})
+}

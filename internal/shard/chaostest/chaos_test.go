@@ -89,7 +89,14 @@ type worker struct {
 
 func startWorker(t *testing.T) *worker {
 	t.Helper()
-	mgr, err := service.New(service.Config{Workers: 2, Parallelism: 2})
+	return startWorkerWith(t, service.Config{Workers: 2, Parallelism: 2})
+}
+
+// startWorkerWith starts an in-process worker with an explicit service
+// configuration (the recovery tests throttle cells to slow workers down).
+func startWorkerWith(t *testing.T, cfg service.Config) *worker {
+	t.Helper()
+	mgr, err := service.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +396,20 @@ func TestChaosPropertyMergedHashMatchesGolden(t *testing.T) {
 			for i := 0; i < workers; i++ {
 				proxies[i] = newProxy(t, startWorker(t).url, randomScript(rng, workers))
 			}
-			gotHash, gotBytes := runChaotic(t, spec, proxies, 2+rng.Intn(3))
+			upw := 2 + rng.Intn(3)
+			var gotHash string
+			var gotBytes []byte
+			if rng.Intn(3) == 0 {
+				// Coordinator-crash variant: kill and restart the
+				// coordinator mid-job over a journal + unit store, with a
+				// clean worker joining and a seeded one leaving during
+				// recovery (see recovery_test.go). The determinism property
+				// must hold across coordinator incarnations too.
+				extra := newProxy(t, startWorker(t).url, Script{})
+				gotHash, gotBytes = runWithCoordinatorCrash(t, spec, proxies, upw, extra)
+			} else {
+				gotHash, gotBytes = runChaotic(t, spec, proxies, upw)
+			}
 			assertIdentical(t, fmt.Sprintf("iter %d", iter), wantHash, wantBytes, gotHash, gotBytes)
 		})
 	}

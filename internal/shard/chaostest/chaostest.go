@@ -83,6 +83,7 @@ type Proxy struct {
 	streamIdx int
 	resultIdx int
 	closed    bool
+	submitted []string // worker job IDs of accepted POST /v1/jobs
 
 	// OnRestart, when set, is invoked before a scripted restart and
 	// returns the target for the revived proxy — e.g. the URL of a
@@ -159,6 +160,17 @@ func (p *Proxy) Restart() error {
 	}
 	p.serveOn(ln)
 	return nil
+}
+
+// SubmittedIDs returns the worker-side job IDs of every accepted POST
+// /v1/jobs that passed through the proxy, in arrival order (duplicates
+// included). Unit job IDs are content-addressed, so recovery tests use
+// this to assert a restarted coordinator never re-submits a unit it
+// already journaled as done.
+func (p *Proxy) SubmittedIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.submitted...)
 }
 
 // SetTarget repoints the proxy at a different worker (used with
@@ -252,6 +264,33 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(corruptBody(body, corrupt))
+		return
+	}
+
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/v1/jobs") &&
+		(resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted) {
+		// Record the accepted submission's job ID for recovery assertions,
+		// then pass the body through verbatim.
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(body, &st) == nil && st.ID != "" {
+			p.mu.Lock()
+			p.submitted = append(p.submitted, st.ID)
+			p.mu.Unlock()
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
 		return
 	}
 

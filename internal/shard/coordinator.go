@@ -18,7 +18,12 @@ import (
 
 // Config configures the coordinator-side executor.
 type Config struct {
-	// Workers is the set of bdservd base URLs the grid is sharded over.
+	// Workers seeds the fleet with bdservd base URLs at startup. Seeded
+	// members are permanent (no lease); further workers may join and
+	// leave at runtime through Register/Deregister (bdcoord's POST
+	// /v1/workers), held by heartbeat leases. The list may be empty — an
+	// all-elastic fleet — in which case jobs wait for the first
+	// registration (bounded by DownGrace).
 	Workers []string
 	// HTTPClient overrides the transport used for all workers. Nil uses
 	// a default with a response-header timeout, so a worker that accepts
@@ -70,8 +75,18 @@ type Config struct {
 	// DownGrace is how long a job tolerates *all* breakers being open
 	// with units still pending before failing (default 30s). It rides
 	// out a transient full-fleet outage (a probe re-admitting any worker
-	// resumes dispatch) without hanging forever on a dead fleet.
+	// resumes dispatch) — or an empty elastic fleet waiting for its
+	// first registration — without hanging forever on a dead fleet.
 	DownGrace time.Duration
+
+	// UnitCacheDir, when set, persists each finished unit's result bytes
+	// on the coordinator's disk under the unit's content-addressed key.
+	// Together with the manager's unit-level journal records this is
+	// what makes coordinator restarts lossless: the restarted process
+	// re-adopts the job, re-plans the identical tiling, loads journaled-
+	// done units from this store, and re-dispatches only the remainder.
+	// Empty disables unit persistence (a restart re-executes all units).
+	UnitCacheDir string
 }
 
 // dispatchPoll is the idle-loop tick of the dispatch workers: how often
@@ -79,26 +94,27 @@ type Config struct {
 // a liveness knob — units take orders of magnitude longer.
 const dispatchPoll = 10 * time.Millisecond
 
-// Executor fans a job's grid out across bdservd workers through a
-// work-stealing dispatch loop and merges the unit results
-// deterministically. Its Execute method satisfies service.ExecuteFunc, so
-// a stock service.Manager (queue, dedupe, result cache, journal, HTTP
-// API) becomes a coordinator by plugging it in. Close stops the
+// Executor fans a job's grid out across a dynamic fleet of bdservd
+// workers through a work-stealing dispatch loop and merges the unit
+// results deterministically. Its Execute method satisfies
+// service.ExecuteFunc, so a stock service.Manager (queue, dedupe, result
+// cache, journal, HTTP API) becomes a coordinator by plugging it in.
+// Fleet membership lives in the registry: flag-seeded members plus
+// runtime registrations under heartbeat leases; running jobs pick up
+// joins and leaves within one dispatch poll tick. Close stops the
 // background health prober.
 type Executor struct {
-	cfg     Config
-	workers []*workerState
+	cfg   Config
+	reg   *registry
+	store *unitStore // nil when UnitCacheDir is unset
 
 	stop context.CancelFunc
 	wg   sync.WaitGroup
 }
 
-// New builds an executor over the configured workers and starts the
-// background health prober (unless ProbeInterval is negative).
+// New builds an executor, seeds the fleet from cfg.Workers and starts
+// the background health prober (unless ProbeInterval is negative).
 func New(cfg Config) (*Executor, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, fmt.Errorf("shard: no workers configured")
-	}
 	if cfg.StallTimeout == 0 {
 		cfg.StallTimeout = 5 * time.Minute
 	}
@@ -121,7 +137,11 @@ func New(cfg Config) (*Executor, error) {
 		cfg.BreakerRetry = 15 * time.Second
 	}
 	if cfg.MaxUnitAttempts < 1 {
-		cfg.MaxUnitAttempts = 4 + 2*len(cfg.Workers)
+		n := len(cfg.Workers)
+		if n < 1 {
+			n = 1
+		}
+		cfg.MaxUnitAttempts = 4 + 2*n
 	}
 	if cfg.DownGrace <= 0 {
 		cfg.DownGrace = 30 * time.Second
@@ -134,10 +154,22 @@ func New(cfg Config) (*Executor, error) {
 		cfg.HTTPClient = &http.Client{Transport: tr}
 	}
 	e := &Executor{cfg: cfg}
-	for _, base := range cfg.Workers {
+	e.reg = newRegistry(cfg.BreakerThreshold, func(base string) *client.Client {
 		c := client.New(base)
 		c.HTTPClient = cfg.HTTPClient
-		e.workers = append(e.workers, newWorkerState(base, c, cfg.BreakerThreshold))
+		return c
+	})
+	for _, base := range cfg.Workers {
+		if err := e.reg.seed(base); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.UnitCacheDir != "" {
+		store, err := newUnitStore(cfg.UnitCacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.store = store
 	}
 	pctx, stop := context.WithCancel(context.Background())
 	e.stop = stop
@@ -189,35 +221,43 @@ func (a *progressAgg) report(u, done int) {
 }
 
 // unitQueue is the shared work-stealing state of one job: pending unit
-// indexes, per-unit attempt accounting, and the terminal condition. All
-// methods are safe for concurrent dispatchers.
+// indexes, per-unit attempt accounting, and the terminal condition. The
+// fleet is elastic, so attempt accounting is keyed by worker URL — a
+// worker that leaves and rejoins keeps its failure history for this
+// job's units, while a genuinely new worker starts fresh. All methods
+// are safe for concurrent dispatchers.
 type unitQueue struct {
 	mu          sync.Mutex
 	pending     []int
-	failedOn    []map[int]bool // unit → workers that failed it
+	failedOn    []map[string]bool // unit → worker URLs that failed it
 	attempts    []int
 	inflight    int
 	completed   int
 	total       int
-	workers     int
 	maxAttempts int
 	err         error
 	stuckSince  time.Time
 	onErr       context.CancelFunc // cancels sibling attempts on permanent failure
 }
 
-func newUnitQueue(total, workers, maxAttempts int, onErr context.CancelFunc) *unitQueue {
+// newUnitQueue builds the queue over total units; units flagged in
+// preDone (recovered from the journal + unit store after a restart) are
+// born completed and never dispatched.
+func newUnitQueue(total, maxAttempts int, preDone []bool, onErr context.CancelFunc) *unitQueue {
 	q := &unitQueue{
-		failedOn:    make([]map[int]bool, total),
+		failedOn:    make([]map[string]bool, total),
 		attempts:    make([]int, total),
 		total:       total,
-		workers:     workers,
 		maxAttempts: maxAttempts,
 		onErr:       onErr,
 	}
 	for u := 0; u < total; u++ {
+		q.failedOn[u] = make(map[string]bool)
+		if preDone != nil && preDone[u] {
+			q.completed++
+			continue
+		}
 		q.pending = append(q.pending, u)
-		q.failedOn[u] = make(map[int]bool)
 	}
 	return q
 }
@@ -229,15 +269,16 @@ func (q *unitQueue) settled() (bool, error) {
 	return q.completed == q.total || q.err != nil, q.err
 }
 
-// tryTake hands worker wi its next unit, preferring units the worker has
-// not previously failed. A unit this worker already failed is retried
-// only when no *other available* worker could still take it fresh — so a
-// flaky worker never steals a re-queued unit back from a healthy sibling,
-// while a lone (or last-standing) worker may retry transient faults, with
-// the per-unit attempt budget bounding the loop. avail reports whether a
-// worker's breaker currently admits dispatch. Returns ok=false when
-// nothing is dispatchable for wi right now.
-func (q *unitQueue) tryTake(wi int, avail func(int) bool) (int, bool) {
+// tryTake hands the worker at url its next unit, preferring units the
+// worker has not previously failed. A unit this worker already failed is
+// retried only when no *other available* current fleet member could
+// still take it fresh — so a flaky worker never steals a re-queued unit
+// back from a healthy sibling, while a lone (or last-standing) worker
+// may retry transient faults, with the per-unit attempt budget bounding
+// the loop. members is the current fleet snapshot (the caller takes it
+// outside q.mu). Returns ok=false when nothing is dispatchable right
+// now.
+func (q *unitQueue) tryTake(url string, members []*workerState) (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.err != nil || len(q.pending) == 0 {
@@ -245,7 +286,7 @@ func (q *unitQueue) tryTake(wi int, avail func(int) bool) (int, bool) {
 	}
 	pick := -1
 	for i, u := range q.pending {
-		if !q.failedOn[u][wi] {
+		if !q.failedOn[u][url] {
 			pick = i
 			break
 		}
@@ -253,8 +294,8 @@ func (q *unitQueue) tryTake(wi int, avail func(int) bool) (int, bool) {
 	if pick < 0 {
 		for i, u := range q.pending {
 			fresh := false
-			for wj := 0; wj < q.workers; wj++ {
-				if wj != wi && !q.failedOn[u][wj] && avail(wj) {
+			for _, w := range members {
+				if w.url != url && !q.failedOn[u][w.url] && !w.departed() && w.available() {
 					fresh = true
 					break
 				}
@@ -294,16 +335,16 @@ func (q *unitQueue) release(u int) {
 
 // fail charges a failed attempt to the unit and re-queues it; a unit
 // exhausting its attempt budget permanently fails the job.
-func (q *unitQueue) fail(u, wi int, err error) {
+func (q *unitQueue) fail(u int, url string, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.inflight--
 	q.attempts[u]++
-	q.failedOn[u][wi] = true
+	q.failedOn[u][url] = true
 	if q.attempts[u] >= q.maxAttempts {
 		if q.err == nil {
 			q.err = fmt.Errorf("shard: unit %d exhausted %d attempts across %d worker(s): %w",
-				u, q.attempts[u], q.workers, err)
+				u, q.attempts[u], len(q.failedOn[u]), err)
 			q.onErr()
 		}
 		return
@@ -327,26 +368,60 @@ func (q *unitQueue) stuckCheck(allUnavailable func() bool, grace time.Duration) 
 		return
 	}
 	if time.Since(q.stuckSince) >= grace {
-		q.err = fmt.Errorf("shard: %d unit(s) exhausted dispatch: all %d worker(s) unavailable (circuit breakers open) for %v",
-			len(q.pending), q.workers, grace)
+		q.err = fmt.Errorf("shard: %d unit(s) exhausted dispatch: no available worker in the fleet for %v",
+			len(q.pending), grace)
 		q.onErr()
 	}
 }
 
+// jobRun bundles the shared per-job dispatch state handed to every
+// dispatcher goroutine. oms/keys entries are written only by the
+// dispatcher holding that unit (a unit is held by at most one attempt at
+// a time) and read after all dispatchers join.
+type jobRun struct {
+	q     *unitQueue
+	units []Shard
+	full  service.JobSpec
+	agg   *progressAgg
+	oms   []*core.ObservationMatrix
+	keys  []string             // unit → content-addressed store key
+	up    service.UnitProgress // nil without a manager journal
+}
+
 // Execute implements service.ExecuteFunc: plan fine-grained units → run
-// the work-stealing dispatch loop → multiplex progress → merge → (for
-// analyze jobs) run the statistical pipeline once, coordinator-side. The
-// merged result is byte-identical to a single-daemon run of the same
-// spec: per-cell seeds are functions of absolute grid coordinates, cells
-// are re-assembled in canonical order regardless of which worker ran
-// which unit, and the node/run reduction and analysis go through the same
-// code path.
+// the work-stealing dispatch loop over the live fleet → multiplex
+// progress → merge → (for analyze jobs) run the statistical pipeline
+// once, coordinator-side. The merged result is byte-identical to a
+// single-daemon run of the same spec: per-cell seeds are functions of
+// absolute grid coordinates, cells are re-assembled in canonical order
+// regardless of which worker ran which unit, and the node/run reduction
+// and analysis go through the same code path.
+//
+// The unit tiling is planned once per job incarnation and journaled
+// (via the manager's UnitProgress): Plan is a pure function of
+// (normalized spec, parts), so a restarted coordinator re-planning with
+// the journaled part count reproduces the identical units no matter how
+// the fleet has changed since — which is what lets it trust journaled
+// unit_done indexes, load those units' bytes from the unit store, and
+// dispatch only the remainder.
 func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress core.Progress) ([]byte, error) {
 	spec, err := spec.Normalized()
 	if err != nil {
 		return nil, err
 	}
-	units, err := Plan(spec, len(e.workers)*e.cfg.UnitsPerWorker)
+	up, _ := service.UnitProgressFrom(ctx)
+	parts := len(e.reg.snapshot()) * e.cfg.UnitsPerWorker
+	if parts < e.cfg.UnitsPerWorker {
+		parts = e.cfg.UnitsPerWorker
+	}
+	var recovered map[int]string
+	if up != nil {
+		if rp, rd := up.RecoveredPlan(); rp > 0 {
+			parts, recovered = rp, rd
+		}
+		up.RecordPlan(parts)
+	}
+	units, err := Plan(spec, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -369,23 +444,80 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 		progress(core.StageCharacterize, 0, 0)
 	}
 
-	// The dispatch loop: one goroutine per worker, each pulling its next
-	// unit from the shared queue the moment the previous one completes —
-	// fast workers steal the tail a slow one would otherwise stall on.
+	// Re-adopt units a previous incarnation journaled as done: decode and
+	// re-validate their stored bytes (a missing or corrupt entry just
+	// re-dispatches the unit), mark them complete before dispatch starts.
+	oms := make([]*core.ObservationMatrix, len(units))
+	keys := make([]string, len(units))
+	preDone := make([]bool, len(units))
+	if e.store != nil {
+		for u, key := range recovered {
+			if u < 0 || u >= len(units) {
+				continue
+			}
+			data, ok := e.store.get(key)
+			if !ok {
+				continue
+			}
+			om, err := decodeUnitResult(data, units[u], units[u].Spec(spec))
+			if err != nil {
+				e.store.remove(key)
+				continue
+			}
+			oms[u], keys[u], preDone[u] = om, key, true
+			agg.report(u, len(units[u].Workloads)*runs*units[u].Nodes)
+		}
+	}
+
+	// The dispatch loop: one goroutine per fleet member, each pulling its
+	// next unit from the shared queue the moment the previous one
+	// completes — fast workers steal the tail a slow one would otherwise
+	// stall on. The supervisor polls the registry so membership changes
+	// land mid-job: a joining worker gets a dispatcher (and starts
+	// stealing pending units) within one poll tick; a leaving worker's
+	// dispatcher context is canceled through its gone channel, releasing
+	// its in-flight unit back to the queue without charging an attempt.
 	// Units from failed or stalled workers are re-queued; a permanent
 	// failure (attempt budget, dead fleet) cancels the siblings.
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	oms := make([]*core.ObservationMatrix, len(units))
-	q := newUnitQueue(len(units), len(e.workers), e.cfg.MaxUnitAttempts, cancel)
+	q := newUnitQueue(len(units), e.cfg.MaxUnitAttempts, preDone, cancel)
+	run := &jobRun{q: q, units: units, full: spec, agg: agg, oms: oms, keys: keys, up: up}
 	var wg sync.WaitGroup
-	for wi := range e.workers {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			e.dispatch(dctx, wi, q, units, spec, agg, oms)
-		}(wi)
+	active := make(map[*workerState]bool)
+	for {
+		if done, _ := q.settled(); done || dctx.Err() != nil {
+			break
+		}
+		members := e.reg.snapshot()
+		for _, w := range members {
+			if active[w] || w.departed() {
+				continue
+			}
+			active[w] = true
+			wctx, wcancel := context.WithCancel(dctx)
+			wg.Add(1)
+			go func(w *workerState) {
+				defer wg.Done()
+				defer wcancel()
+				go func() {
+					select {
+					case <-w.gone:
+						wcancel()
+					case <-wctx.Done():
+					}
+				}()
+				e.dispatch(wctx, w, run)
+			}(w)
+		}
+		if len(members) == 0 {
+			// Nobody to dispatch: only the supervisor can run the dead-
+			// fleet clock.
+			q.stuckCheck(e.allUnavailable, e.cfg.DownGrace)
+		}
+		sleepCtx(dctx, dispatchPoll)
 	}
+	cancel()
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -398,26 +530,44 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 	if err != nil {
 		return nil, err
 	}
+	var out []byte
 	if spec.Mode == service.ModeObservations {
-		return benchio.MarshalCanonical(benchio.EncodeObservations(om))
+		out, err = benchio.MarshalCanonical(benchio.EncodeObservations(om))
+	} else {
+		acfg := spec.Analysis
+		acfg.Parallelism = e.cfg.Parallelism
+		var an *core.Analysis
+		an, err = core.AnalyzeObservationsCtx(ctx, om, acfg, progress)
+		if err == nil {
+			out, err = benchio.MarshalCanonical(benchio.EncodeAnalysis(an))
+		}
 	}
-	acfg := spec.Analysis
-	acfg.Parallelism = e.cfg.Parallelism
-	an, err := core.AnalyzeObservationsCtx(ctx, om, acfg, progress)
 	if err != nil {
 		return nil, err
 	}
-	return benchio.MarshalCanonical(benchio.EncodeAnalysis(an))
+	// The merged result supersedes the per-unit bytes: drop them so the
+	// unit store stays bounded by the in-flight working set. (A unit key
+	// shared with a concurrently running job only loses that job's
+	// recovery shortcut, never its correctness.)
+	if e.store != nil {
+		for _, key := range keys {
+			if key != "" {
+				e.store.remove(key)
+			}
+		}
+	}
+	return out, nil
 }
 
 // dispatch is one worker's dispatch loop: while its breaker admits it,
 // pull the next unit, run it, and report the outcome to the queue and the
 // worker's breaker. It returns when the job settles (all units done or
-// permanent failure) or the job context is canceled.
-func (e *Executor) dispatch(ctx context.Context, wi int, q *unitQueue, units []Shard, full service.JobSpec, agg *progressAgg, oms []*core.ObservationMatrix) {
-	w := e.workers[wi]
+// permanent failure), the job context is canceled, or the worker leaves
+// the fleet (its gone channel cancels ctx).
+func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
+	q := run.q
 	for {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || w.departed() {
 			return
 		}
 		if done, _ := q.settled(); done {
@@ -429,7 +579,7 @@ func (e *Executor) dispatch(ctx context.Context, wi int, q *unitQueue, units []S
 			sleepCtx(ctx, dispatchPoll)
 			continue
 		}
-		u, ok := q.tryTake(wi, func(wj int) bool { return e.workers[wj].available() })
+		u, ok := q.tryTake(w.url, e.reg.snapshot())
 		if !ok {
 			// Nothing dispatchable for this worker right now: siblings
 			// hold the remaining units (in flight, or re-queued units
@@ -443,22 +593,32 @@ func (e *Executor) dispatch(ctx context.Context, wi int, q *unitQueue, units []S
 			sleepCtx(ctx, dispatchPoll)
 			continue
 		}
-		om, err := e.runUnitOn(ctx, w, units[u], full, u, agg)
+		om, data, key, err := e.runUnitOn(ctx, w, run.units[u], run.full, u, run.agg)
 		if err == nil {
-			oms[u] = om
+			run.oms[u], run.keys[u] = om, key
 			w.recordSuccess()
-			agg.report(u, len(units[u].Workloads)*full.Cluster.Runs*units[u].Nodes)
+			run.agg.report(u, len(run.units[u].Workloads)*run.full.Cluster.Runs*run.units[u].Nodes)
+			// Persist the unit's bytes *before* journaling it done: a
+			// unit_done record must never point at bytes a restarted
+			// coordinator can't load. A store failure only costs this
+			// unit its recovery shortcut.
+			if e.store != nil && run.up != nil {
+				if perr := e.store.put(key, data); perr == nil {
+					run.up.UnitDone(u, key)
+				}
+			}
 			q.complete(u)
 			continue
 		}
-		if ctx.Err() != nil {
-			// Canceled mid-attempt: the error is a cancellation symptom,
-			// not a verdict on the worker or the unit.
+		if ctx.Err() != nil || w.departed() {
+			// Canceled mid-attempt — job shutdown or the worker leaving
+			// the fleet. Either way the error is a symptom, not a verdict
+			// on the unit: release it without charging an attempt.
 			q.release(u)
 			return
 		}
 		w.recordFailure(err)
-		q.fail(u, wi, fmt.Errorf("worker %s: %w", w.url, err))
+		q.fail(u, w.url, fmt.Errorf("worker %s: %w", w.url, err))
 		// Brief backoff after a failure: gives a healthy sibling first
 		// claim on the re-queued unit and keeps a fast-failing worker
 		// (connection refused) from spinning.
@@ -506,12 +666,15 @@ func (w *unitWatch) touch() { w.last.Store(time.Now().UnixNano()) }
 
 // runUnitOn runs one unit attempt against one worker: submit, stream
 // progress events into the aggregate, fetch and decode the observation
-// matrix, and sanity-check its shape against the plan. The whole attempt
-// runs under a stall watchdog: when the worker goes silent past
-// StallTimeout, its job status is probed, and only an unanswered probe
-// abandons the attempt — so a healthy worker whose queue is merely busy
-// is never failed over, while a dead-but-connected one is.
-func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, full service.JobSpec, u int, agg *progressAgg) (*core.ObservationMatrix, error) {
+// matrix, and sanity-check its shape against the plan. It returns the
+// decoded matrix together with the raw result bytes and the unit's
+// content-addressed key (the worker-side job ID), which the caller may
+// persist for crash recovery. The whole attempt runs under a stall
+// watchdog: when the worker goes silent past StallTimeout, its job
+// status is probed, and only an unanswered probe abandons the attempt —
+// so a healthy worker whose queue is merely busy is never failed over,
+// while a dead-but-connected one is.
+func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, full service.JobSpec, u int, agg *progressAgg) (*core.ObservationMatrix, []byte, string, error) {
 	stall := e.cfg.StallTimeout
 	if stall <= 0 {
 		return e.attemptUnit(ctx, w.client, unit, full, u, agg, &unitWatch{})
@@ -556,7 +719,7 @@ func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, fu
 		}
 	}()
 
-	om, err := e.attemptUnit(actx, w.client, unit, full, u, agg, uw)
+	om, data, key, err := e.attemptUnit(actx, w.client, unit, full, u, agg, uw)
 	if err != nil && actx.Err() != nil && ctx.Err() == nil {
 		// The watchdog (not the job) aborted the attempt. Report it as a
 		// worker *failure* — deliberately not wrapping the underlying
@@ -564,15 +727,15 @@ func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, fu
 		// settle as canceled instead of failed.
 		err = fmt.Errorf("worker unresponsive (no activity for %v and status probe failed): %v", stall, err)
 	}
-	return om, err
+	return om, data, key, err
 }
 
 // attemptUnit is the watchdog-free body of one unit attempt.
-func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard, full service.JobSpec, u int, agg *progressAgg, w *unitWatch) (*core.ObservationMatrix, error) {
+func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard, full service.JobSpec, u int, agg *progressAgg, w *unitWatch) (*core.ObservationMatrix, []byte, string, error) {
 	sub := unit.Spec(full)
 	st, err := c.SubmitSpec(ctx, sub)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	w.touch()
 	// With the job ID known, silence can be disambiguated: the watchdog
@@ -586,7 +749,7 @@ func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard
 	case service.StateDone:
 		// Cache hit on the worker: the matrix is immediately fetchable.
 	case service.StateFailed, service.StateCanceled:
-		return nil, fmt.Errorf("unit job %s born %s: %s", st.ID, st.State, st.Error)
+		return nil, nil, "", fmt.Errorf("unit job %s born %s: %s", st.ID, st.State, st.Error)
 	default:
 		// Follow the worker's NDJSON stream, multiplexing its per-cell
 		// progress into the coordinator's merged stream. The worker job
@@ -611,15 +774,28 @@ func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, "", err
 		}
 	}
 
 	data, err := c.Result(ctx, st.ID)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	w.touch()
+	om, err := decodeUnitResult(data, unit, sub)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return om, data, st.ID, nil
+}
+
+// decodeUnitResult unmarshals one unit's raw result bytes and validates
+// the matrix shape against the unit's plan. It serves both live attempts
+// and restart recovery (re-validating bytes loaded from the unit store),
+// so a corrupted store entry is caught the same way a corrupted worker
+// response is.
+func decodeUnitResult(data []byte, unit Shard, sub service.JobSpec) (*core.ObservationMatrix, error) {
 	var oj benchio.ObservationsJSON
 	if err := json.Unmarshal(data, &oj); err != nil {
 		return nil, fmt.Errorf("decoding unit result: %w", err)

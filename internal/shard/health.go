@@ -25,7 +25,10 @@ const (
 )
 
 // WorkerStatus is the externally visible health snapshot of one worker,
-// served on the coordinator's /v1/workers endpoint.
+// served on the coordinator's /v1/workers endpoint. The lease fields
+// expose membership churn: how the worker joined (flag vs runtime
+// registration), when it last heartbeat, and how much of its lease
+// remains before it is swept from the fleet.
 type WorkerStatus struct {
 	URL                 string       `json:"url"`
 	Breaker             BreakerState `json:"breaker"`
@@ -37,15 +40,37 @@ type WorkerStatus struct {
 	UnitsFailed         int          `json:"units_failed"`
 	Probes              int          `json:"probes"`
 	ProbeFailures       int          `json:"probe_failures"`
+
+	// Source is "flag" (seeded at startup, permanent) or "registered"
+	// (joined at runtime under a heartbeat lease).
+	Source       string    `json:"source"`
+	RegisteredAt time.Time `json:"registered_at"`
+	// LastHeartbeat is the most recent lease renewal (nil for flag
+	// workers that have never been POSTed a heartbeat).
+	LastHeartbeat *time.Time `json:"last_heartbeat,omitempty"`
+	// TTLSeconds is the lease length; 0 means the membership never
+	// expires (flag workers).
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// TTLRemainingSeconds counts down to lease expiry (nil for
+	// non-expiring members). Negative values never appear: an expired
+	// member is swept before it can be listed.
+	TTLRemainingSeconds *float64 `json:"ttl_remaining_seconds,omitempty"`
 }
 
 // workerState is the coordinator's per-worker record: the client handle
-// plus breaker and counter state shared between the dispatch loops and
-// the background health prober.
+// plus breaker, counter and lease state shared between the dispatch
+// loops, the background health prober and the membership registry.
 type workerState struct {
 	url       string
 	client    *client.Client
 	threshold int
+
+	// gone closes exactly once, when the worker leaves the fleet
+	// (deregistration or lease expiry). Dispatch loops watch it to
+	// release in-flight units immediately instead of waiting out a
+	// stall timeout.
+	gone     chan struct{}
+	goneOnce sync.Once
 
 	mu             sync.Mutex
 	state          BreakerState
@@ -57,10 +82,33 @@ type workerState struct {
 	unitsFailed    int
 	probes         int
 	probeFails     int
+
+	source        string
+	registeredAt  time.Time
+	lastHeartbeat time.Time
+	ttl           time.Duration // 0 = never expires
 }
 
 func newWorkerState(url string, c *client.Client, threshold int) *workerState {
-	return &workerState{url: url, client: c, threshold: threshold, state: BreakerClosed}
+	return &workerState{
+		url: url, client: c, threshold: threshold,
+		state: BreakerClosed, gone: make(chan struct{}),
+	}
+}
+
+// depart marks the worker as having left the fleet; idempotent.
+func (w *workerState) depart() {
+	w.goneOnce.Do(func() { close(w.gone) })
+}
+
+// departed reports whether the worker has left the fleet.
+func (w *workerState) departed() bool {
+	select {
+	case <-w.gone:
+		return true
+	default:
+		return false
+	}
 }
 
 // available reports whether the dispatch loop may hand this worker a
@@ -173,6 +221,9 @@ func (w *workerState) snapshot() WorkerStatus {
 		UnitsFailed:         w.unitsFailed,
 		Probes:              w.probes,
 		ProbeFailures:       w.probeFails,
+		Source:              w.source,
+		RegisteredAt:        w.registeredAt,
+		TTLSeconds:          w.ttl.Seconds(),
 	}
 	if !w.lastProbe.IsZero() {
 		t := w.lastProbe
@@ -182,14 +233,27 @@ func (w *workerState) snapshot() WorkerStatus {
 		t := w.lastTransition
 		st.LastTransition = &t
 	}
+	if !w.lastHeartbeat.IsZero() {
+		t := w.lastHeartbeat
+		st.LastHeartbeat = &t
+	}
+	if w.ttl > 0 {
+		rem := (w.ttl - time.Since(w.lastHeartbeat)).Seconds()
+		if rem < 0 {
+			rem = 0
+		}
+		st.TTLRemainingSeconds = &rem
+	}
 	return st
 }
 
-// WorkerStatuses returns the current health snapshot of every worker, in
-// configuration order — the body of bdcoord's /v1/workers endpoint.
+// WorkerStatuses returns the current health + lease snapshot of every
+// fleet member, in join order — the body of bdcoord's GET /v1/workers
+// endpoint.
 func (e *Executor) WorkerStatuses() []WorkerStatus {
-	out := make([]WorkerStatus, len(e.workers))
-	for i, w := range e.workers {
+	members := e.reg.snapshot()
+	out := make([]WorkerStatus, len(members))
+	for i, w := range members {
 		out[i] = w.snapshot()
 	}
 	return out
@@ -215,11 +279,14 @@ func (e *Executor) probeLoop(ctx context.Context) {
 	}
 }
 
-// probeAll probes every worker once, concurrently, bounding each probe at
-// ProbeTimeout.
+// probeAll probes every current fleet member once, concurrently,
+// bounding each probe at ProbeTimeout. The membership snapshot sweeps
+// expired leases, so departed workers are never probed — and a member
+// departing mid-probe just has a harmless verdict recorded on a state
+// nothing dispatches to anymore.
 func (e *Executor) probeAll(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, w := range e.workers {
+	for _, w := range e.reg.snapshot() {
 		wg.Add(1)
 		go func(w *workerState) {
 			defer wg.Done()
@@ -236,11 +303,11 @@ func (e *Executor) probeAll(ctx context.Context) {
 	wg.Wait()
 }
 
-// allUnavailable reports whether every worker's breaker currently refuses
-// dispatch — the condition under which a job with pending units can make
-// no progress.
+// allUnavailable reports whether every current fleet member's breaker
+// refuses dispatch — an empty fleet counts as unavailable — the
+// condition under which a job with pending units can make no progress.
 func (e *Executor) allUnavailable() bool {
-	for _, w := range e.workers {
+	for _, w := range e.reg.snapshot() {
 		if w.available() {
 			return false
 		}
