@@ -28,6 +28,12 @@
 //	        [-stall-timeout 5m] [-probe-interval 15s]
 //	        [-breaker-threshold 3] [-units-per-worker 4]
 //	        [-drain-timeout 30s]
+//	        [-log-level info] [-log-format text] [-stats-interval 1m]
+//
+// GET /metrics serves the Prometheus text exposition covering both the
+// job-manager layer (queue, cache, journal, per-stage timing) and the
+// shard layer (per-worker units, breakers, probes, leases) from one
+// shared registry; see DESIGN.md §9.
 //
 // The coordinator keeps its own content-addressed result cache, a
 // persistent job journal with per-unit progress records, and a unit
@@ -43,7 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/client"
 	"repro/internal/shard"
@@ -79,8 +86,18 @@ func run() error {
 		brk     = flag.Int("breaker-threshold", 3, "consecutive failures (units + probes) that open a worker's circuit breaker")
 		upw     = flag.Int("units-per-worker", 4, "target work units planned per worker (work-stealing granularity)")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long to let in-flight jobs finish before cutting them short (they re-adopt on restart)")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text, json")
+		statsIvl  = flag.Duration("stats-interval", time.Minute,
+			"period of the one-line INFO fleet summary (0 disables)")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	if *queue < 1 || *entries < 1 || *maxJobs < 1 || *conc < 1 || *par < 0 {
 		return fmt.Errorf("-queue, -cache-entries, -max-jobs and -concurrent-jobs must be ≥1 and -parallelism ≥0")
 	}
@@ -94,7 +111,7 @@ func run() error {
 		}
 	}
 	if len(urls) == 0 {
-		log.Printf("bdcoord: no -workers seed; waiting for runtime registrations (bdservd -register)")
+		logger.Info("no -workers seed; waiting for runtime registrations (bdservd -register)")
 	}
 
 	// Surface obviously dead workers at startup — advisory only: workers
@@ -102,7 +119,7 @@ func run() error {
 	for _, u := range urls {
 		ctx, stop := context.WithTimeout(context.Background(), 2*time.Second)
 		if err := client.New(u).Health(ctx); err != nil {
-			log.Printf("bdcoord: warning: %v", err)
+			logger.Warn("seeded worker not healthy at startup", "worker", u, "error", err)
 		}
 		stop()
 	}
@@ -112,6 +129,11 @@ func run() error {
 		journal = filepath.Join(*dataDir, "journal.ndjson")
 		unitDir = filepath.Join(*dataDir, "units")
 	}
+	// One registry spans both layers: the manager's queue/cache/journal
+	// metrics and the executor's fleet metrics render on the same
+	// /metrics endpoint.
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
 	exec, err := shard.New(shard.Config{
 		Workers:          urls,
 		Parallelism:      *par,
@@ -120,6 +142,8 @@ func run() error {
 		BreakerThreshold: *brk,
 		UnitsPerWorker:   *upw,
 		UnitCacheDir:     unitDir,
+		Registry:         reg,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err
@@ -133,6 +157,8 @@ func run() error {
 		MaxJobs:      *maxJobs,
 		JournalPath:  journal,
 		Execute:      exec.Execute,
+		Registry:     reg,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
@@ -182,7 +208,7 @@ func run() error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           obs.LogRequests(mux, logger, reg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -191,8 +217,28 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("bdcoord: listening on %s, sharding across %d worker(s): %s",
-		*addr, len(urls), strings.Join(urls, ", "))
+	logger.Info("bdcoord listening", "addr", *addr, "seeded_workers", len(urls), "workers", strings.Join(urls, ", "))
+
+	stopStats := obs.StartStatsTicker(logger, *statsIvl, func() []slog.Attr {
+		st := mgr.Stats()
+		ws := exec.WorkerStatuses()
+		unitsDone, open := 0, 0
+		for _, w := range ws {
+			unitsDone += w.UnitsDone
+			if w.Breaker != shard.BreakerClosed {
+				open++
+			}
+		}
+		return []slog.Attr{
+			slog.Int("queued", st.Queued), slog.Int("running", st.Running),
+			slog.Int("done", st.Done), slog.Int("failed", st.Failed),
+			slog.Int("queue_depth", st.QueueDepth),
+			slog.Uint64("cache_hits", st.Cache.Hits), slog.Uint64("cache_misses", st.Cache.Misses),
+			slog.Int("fleet_workers", len(ws)), slog.Int("breakers_not_closed", open),
+			slog.Int("fleet_units_done", unitsDone),
+		}
+	})
+	defer stopStats()
 
 	select {
 	case err := <-errCh:
@@ -204,14 +250,14 @@ func run() error {
 	// short WITHOUT journaling a terminal record, so the next incarnation
 	// re-adopts them and (thanks to the unit store) re-dispatches only the
 	// units not yet journaled done.
-	log.Printf("bdcoord: shutting down (draining up to %v)", *drain)
+	logger.Info("bdcoord shutting down", "drain_timeout", *drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	if !mgr.Drain(*drain) {
-		log.Printf("bdcoord: drain timeout: cutting in-flight jobs short (they will be re-adopted on restart)")
+		logger.Warn("drain timeout: cutting in-flight jobs short (they will be re-adopted on restart)")
 	}
 	return nil
 }

@@ -21,6 +21,7 @@
 //	        [-queue 64] [-cache-entries 256] [-max-jobs 1024]
 //	        [-journal auto] [-characterize-only] [-parallelism 0]
 //	        [-throttle-cell 0] [-drain-timeout 30s]
+//	        [-log-level info] [-log-format text] [-stats-interval 1m]
 //	        [-register http://coord:8360 -advertise http://thishost:8356
 //	         -lease-ttl 30s]
 //
@@ -33,6 +34,7 @@
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/cache/stats      cache counters
+//	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness
 package main
 
@@ -41,7 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
@@ -83,8 +86,17 @@ func run() error {
 			"heartbeat lease length requested from the coordinator (with -register)")
 		drain = flag.Duration("drain-timeout", 30*time.Second,
 			"on SIGTERM/SIGINT: how long to let in-flight jobs finish before cutting them short")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text, json")
+		statsIvl  = flag.Duration("stats-interval", time.Minute,
+			"period of the one-line INFO stats summary (0 disables)")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	if *workers < 1 || *queue < 1 || *entries < 1 || *maxJobs < 1 || *par < 0 {
 		return fmt.Errorf("-workers, -queue, -cache-entries and -max-jobs must be ≥1 and -parallelism ≥0")
 	}
@@ -102,6 +114,8 @@ func run() error {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
 	mgr, err := service.New(service.Config{
 		DataDir:          *dataDir,
 		Workers:          *workers,
@@ -112,6 +126,8 @@ func run() error {
 		CharacterizeOnly: *charOnly,
 		Parallelism:      *par,
 		CellDelay:        *throttle,
+		Registry:         reg,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err
@@ -120,7 +136,7 @@ func run() error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(mgr),
+		Handler:           obs.LogRequests(service.NewHandler(mgr), logger, reg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -129,11 +145,23 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("bdservd: listening on %s (data dir %q, %d worker(s))", *addr, *dataDir, *workers)
+	logger.Info("bdservd listening", "addr", *addr, "data_dir", *dataDir, "workers", *workers)
+
+	stopStats := obs.StartStatsTicker(logger, *statsIvl, func() []slog.Attr {
+		st := mgr.Stats()
+		return []slog.Attr{
+			slog.Int("queued", st.Queued), slog.Int("running", st.Running),
+			slog.Int("done", st.Done), slog.Int("failed", st.Failed),
+			slog.Int("canceled", st.Canceled), slog.Int("queue_depth", st.QueueDepth),
+			slog.Uint64("cache_hits", st.Cache.Hits), slog.Uint64("cache_misses", st.Cache.Misses),
+			slog.Int("cache_entries", st.Cache.Entries),
+		}
+	})
+	defer stopStats()
 
 	var hb *heartbeat
 	if *register != "" {
-		hb = startHeartbeat(ctx, *register, *advertise, *leaseTTL)
+		hb = startHeartbeat(ctx, *register, *advertise, *leaseTTL, logger)
 	}
 
 	select {
@@ -144,7 +172,7 @@ func run() error {
 	// Graceful shutdown: release the lease first (the coordinator stops
 	// dispatching new units here and releases any it had in flight), stop
 	// accepting connections, then let running jobs drain.
-	log.Printf("bdservd: shutting down (draining up to %v)", *drain)
+	logger.Info("bdservd shutting down", "drain_timeout", *drain)
 	if hb != nil {
 		hb.close()
 	}
@@ -154,7 +182,7 @@ func run() error {
 		return err
 	}
 	if !mgr.Drain(*drain) {
-		log.Printf("bdservd: drain timeout: cutting in-flight jobs short")
+		logger.Warn("drain timeout: cutting in-flight jobs short")
 	}
 	return nil
 }
@@ -165,12 +193,13 @@ func run() error {
 type heartbeat struct {
 	c    *client.Client
 	self string
+	log  *slog.Logger
 	done chan struct{}
 	wg   sync.WaitGroup
 }
 
-func startHeartbeat(ctx context.Context, coordURL, selfURL string, ttl time.Duration) *heartbeat {
-	hb := &heartbeat{c: client.New(coordURL), self: selfURL, done: make(chan struct{})}
+func startHeartbeat(ctx context.Context, coordURL, selfURL string, ttl time.Duration, logger *slog.Logger) *heartbeat {
+	hb := &heartbeat{c: client.New(coordURL), self: selfURL, log: logger, done: make(chan struct{})}
 	hb.wg.Add(1)
 	go func() {
 		defer hb.wg.Done()
@@ -185,13 +214,13 @@ func startHeartbeat(ctx context.Context, coordURL, selfURL string, ttl time.Dura
 			case err == nil && !registered:
 				registered = true
 				backoff = time.Second
-				log.Printf("bdservd: registered with coordinator %s (lease %v)", coordURL, ttl)
+				hb.log.Info("registered with coordinator", "coordinator", coordURL, "lease", ttl)
 			case err != nil:
 				// Keep trying: the coordinator may be restarting. Back off
 				// so a long outage doesn't spin, but cap well under any
 				// plausible lease so recovery is prompt.
 				if registered {
-					log.Printf("bdservd: heartbeat to %s failed: %v", coordURL, err)
+					hb.log.Warn("heartbeat failed", "coordinator", coordURL, "error", err)
 					registered = false
 				}
 				wait = backoff
@@ -219,6 +248,6 @@ func (hb *heartbeat) close() {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	if err := hb.c.DeregisterWorker(ctx, hb.self); err != nil {
-		log.Printf("bdservd: lease release failed (will expire by TTL): %v", err)
+		hb.log.Warn("lease release failed (will expire by TTL)", "error", err)
 	}
 }

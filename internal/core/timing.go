@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// StageTimer wraps a Progress callback with per-stage wall-clock
+// timing: the pipeline reports stage transitions through Progress (see
+// Progress), and the timer closes the previous stage on each
+// transition, reporting its duration to observe. Grid workers invoke
+// Progress concurrently, so the timer serializes internally; observe is
+// called at most once per stage visit, outside the hot per-cell path
+// (only transitions pay for it).
+//
+// Call Finish once the pipeline returns (success or failure) to close
+// the stage left open; a timer that never saw a stage reports nothing.
+type StageTimer struct {
+	mu      sync.Mutex
+	next    Progress
+	observe func(stage Stage, seconds float64)
+	current Stage
+	started time.Time
+}
+
+// NewStageTimer builds a timer forwarding to next (which may be nil)
+// and reporting closed-stage durations to observe.
+func NewStageTimer(next Progress, observe func(stage Stage, seconds float64)) *StageTimer {
+	return &StageTimer{next: next, observe: observe}
+}
+
+// Progress is the wrapped callback; pass the method value wherever a
+// core.Progress is expected.
+func (t *StageTimer) Progress(stage Stage, done, total int) {
+	t.mu.Lock()
+	if stage != t.current {
+		if t.current != "" && t.observe != nil {
+			t.observe(t.current, time.Since(t.started).Seconds())
+		}
+		t.current, t.started = stage, time.Now()
+	}
+	t.mu.Unlock()
+	if t.next != nil {
+		t.next(stage, done, total)
+	}
+}
+
+// Finish closes the currently open stage (if any). Idempotent.
+func (t *StageTimer) Finish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.current != "" && t.observe != nil {
+		t.observe(t.current, time.Since(t.started).Seconds())
+	}
+	t.current = ""
+}

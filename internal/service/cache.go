@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // CacheStats is a point-in-time snapshot of result-cache effectiveness.
@@ -32,17 +34,19 @@ type cacheEntry struct {
 
 // resultCache is the content-addressed result store: an in-memory LRU
 // tier over an optional on-disk JSON tier (one file per job ID under
-// dir). Disk entries survive restarts and LRU eviction.
+// dir). Disk entries survive restarts and LRU eviction. Counters live
+// in cacheMetrics — obs counter storage — so the JSON stats endpoint
+// and /metrics read the same atomics.
 type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	dir   string     // "" = memory-only
-	ll    *list.List // front = most recently used
-	byID  map[string]*list.Element
-	stats CacheStats
+	mu   sync.Mutex
+	max  int
+	dir  string     // "" = memory-only
+	ll   *list.List // front = most recently used
+	byID map[string]*list.Element
+	mx   *cacheMetrics
 }
 
-func newResultCache(maxEntries int, dir string) (*resultCache, error) {
+func newResultCache(maxEntries int, dir string, mx *cacheMetrics) (*resultCache, error) {
 	if maxEntries < 1 {
 		maxEntries = 1
 	}
@@ -51,12 +55,15 @@ func newResultCache(maxEntries int, dir string) (*resultCache, error) {
 			return nil, fmt.Errorf("service: creating cache dir: %w", err)
 		}
 	}
+	if mx == nil {
+		mx = newCacheMetrics(obs.NewRegistry())
+	}
 	return &resultCache{
-		max:   maxEntries,
-		dir:   dir,
-		ll:    list.New(),
-		byID:  make(map[string]*list.Element),
-		stats: CacheStats{MaxEntries: maxEntries},
+		max:  maxEntries,
+		dir:  dir,
+		ll:   list.New(),
+		byID: make(map[string]*list.Element),
+		mx:   mx,
 	}, nil
 }
 
@@ -99,20 +106,18 @@ func (c *resultCache) Get(id string) (data []byte, hash string, ok bool) {
 	if el, ok := c.byID[id]; ok {
 		c.ll.MoveToFront(el)
 		ent := el.Value.(*cacheEntry)
-		c.stats.Hits++
-		c.stats.MemoryHits++
+		c.mx.memHits.Inc()
 		return ent.data, ent.hash, true
 	}
 	if c.dir != "" {
 		if data, err := os.ReadFile(c.path(id)); err == nil {
-			c.stats.Hits++
-			c.stats.DiskHits++
+			c.mx.diskHits.Inc()
 			hash := hashBytes(data)
 			c.insert(&cacheEntry{id: id, data: data, hash: hash})
 			return data, hash, true
 		}
 	}
-	c.stats.Misses++
+	c.mx.misses.Inc()
 	return nil, "", false
 }
 
@@ -138,7 +143,7 @@ func (c *resultCache) Put(id string, data []byte) (string, error) {
 			return hash, fmt.Errorf("service: committing result: %w", err)
 		}
 	}
-	c.stats.Stores++
+	c.mx.stores.Inc()
 	if el, ok := c.byID[id]; ok {
 		c.ll.MoveToFront(el)
 		el.Value = &cacheEntry{id: id, data: data, hash: hash}
@@ -156,16 +161,29 @@ func (c *resultCache) insert(ent *cacheEntry) {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
 		delete(c.byID, tail.Value.(*cacheEntry).id)
-		c.stats.Evictions++
+		c.mx.evictions.Inc()
 	}
-	c.stats.Entries = c.ll.Len()
 }
 
-// Stats returns a snapshot of the cache counters.
-func (c *resultCache) Stats() CacheStats {
+// Entries returns the current LRU entry count (render-time gauge).
+func (c *resultCache) Entries() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.stats
-	st.Entries = c.ll.Len()
-	return st
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters, read from the same
+// obs storage /metrics renders.
+func (c *resultCache) Stats() CacheStats {
+	mem, disk := c.mx.memHits.Value(), c.mx.diskHits.Value()
+	return CacheStats{
+		Entries:    c.Entries(),
+		MaxEntries: c.max,
+		Hits:       mem + disk,
+		Misses:     c.mx.misses.Value(),
+		MemoryHits: mem,
+		DiskHits:   disk,
+		Stores:     c.mx.stores.Value(),
+		Evictions:  c.mx.evictions.Value(),
+	}
 }

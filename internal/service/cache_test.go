@@ -73,7 +73,7 @@ func TestResultRejectsPathTraversal(t *testing.T) {
 // tier holding the result: a job whose result could not be persisted must
 // not be replayable as a cached success.
 func TestPutDiskFailureRollsBack(t *testing.T) {
-	c, err := newResultCache(4, t.TempDir())
+	c, err := newResultCache(4, t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -131,9 +131,11 @@ func (r *JobRequest) ToSpec() (JobSpec, error) {
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + live)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/cache/stats     result-cache counters
+//	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", m.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// A journal that has lost a record degrades the daemon: running
 		// jobs still complete (the result cache stays authoritative), but

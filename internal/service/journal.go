@@ -4,13 +4,15 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // journalRecord is one NDJSON line of the persistent job journal. The
@@ -84,6 +86,8 @@ type journal struct {
 	enc  *json.Encoder
 	ch   chan journalMsg
 	done chan struct{}
+	log  *slog.Logger
+	mx   *journalMetrics
 
 	// appends counts records since the last compaction; compacting
 	// debounces concurrent compaction triggers. Both are touched by
@@ -128,7 +132,13 @@ func (jl *journal) health() (ok bool, detail string) {
 // Non-terminal jobs (the daemon died while they were queued or running)
 // are returned too, along with their journaled unit-level progress, so
 // the caller can re-adopt and finish them.
-func openJournal(path string, maxJobs int) (*journal, []replayedJob, error) {
+func openJournal(path string, maxJobs int, logger *slog.Logger, mx *journalMetrics) (*journal, []replayedJob, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	if mx == nil {
+		mx = newSvcMetrics(obs.NewRegistry()).journal
+	}
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("service: creating journal dir: %w", err)
@@ -154,6 +164,8 @@ func openJournal(path string, maxJobs int) (*journal, []replayedJob, error) {
 		enc:  json.NewEncoder(f),
 		ch:   make(chan journalMsg, 256),
 		done: make(chan struct{}),
+		log:  logger,
+		mx:   mx,
 	}
 	go jl.run()
 	return jl, jobs, nil
@@ -170,14 +182,18 @@ func (jl *journal) run() {
 		if msg.compact != nil {
 			jl.f.Close()
 			if err := compactJournal(jl.path, msg.compact); err != nil {
-				log.Printf("service: journal compaction: %v", err)
+				jl.log.Error("journal compaction failed", "path", jl.path, "error", err)
+				jl.mx.failures.Inc()
 				jl.fail(err)
+			} else {
+				jl.mx.compactions.Inc()
 			}
 			f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				// Disk trouble: disable further appends rather than crash
 				// running jobs; the next boot re-replays what exists.
-				log.Printf("service: reopening journal: %v (journal disabled)", err)
+				jl.log.Error("journal reopen failed; journal disabled", "path", jl.path, "error", err)
+				jl.mx.failures.Inc()
 				jl.fail(err)
 				jl.f, jl.enc = nil, nil
 			} else {
@@ -191,8 +207,11 @@ func (jl *journal) run() {
 			continue
 		}
 		if err := jl.enc.Encode(msg.rec); err != nil {
-			log.Printf("service: journal append: %v", err)
+			jl.log.Error("journal append failed", "type", msg.rec.Type, "job", msg.rec.ID, "error", err)
+			jl.mx.failures.Inc()
 			jl.fail(err)
+		} else {
+			jl.mx.appends.Inc()
 		}
 	}
 }

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"repro/internal/obs"
+)
+
+// svcMetrics bundles the manager's obs instruments. Every Manager has
+// one — when Config.Registry is nil the instruments land on a private
+// registry nothing renders — so hot paths never branch on "metrics
+// enabled". Counter storage is shared with the JSON surfaces
+// (CacheStats, JobStatus): /metrics and /v1/cache/stats read the same
+// atomics and can never disagree.
+type svcMetrics struct {
+	jobsSubmitted *obs.CounterVec // outcome: queued | cache_hit | deduped
+	jobsRejected  *obs.CounterVec // reason: queue_full | draining | invalid
+	jobsCompleted *obs.CounterVec // state: done | failed | canceled
+	jobDuration   *obs.HistogramVec
+	stageDuration *obs.HistogramVec
+	cache         *cacheMetrics
+	journal       *journalMetrics
+}
+
+// cacheMetrics is the counter storage behind both CacheStats and the
+// bd_cache_* families.
+type cacheMetrics struct {
+	memHits   *obs.Counter
+	diskHits  *obs.Counter
+	misses    *obs.Counter
+	stores    *obs.Counter
+	evictions *obs.Counter
+}
+
+type journalMetrics struct {
+	appends     *obs.Counter
+	failures    *obs.Counter
+	compactions *obs.Counter
+}
+
+func newCacheMetrics(reg *obs.Registry) *cacheMetrics {
+	hits := reg.CounterVec("bd_cache_hits_total",
+		"Result-cache hits, by serving tier.", "tier")
+	return &cacheMetrics{
+		memHits:  hits.With("memory"),
+		diskHits: hits.With("disk"),
+		misses: reg.Counter("bd_cache_misses_total",
+			"Result-cache lookups that found nothing in any tier."),
+		stores: reg.Counter("bd_cache_stores_total",
+			"Results written to the cache."),
+		evictions: reg.Counter("bd_cache_evictions_total",
+			"Entries displaced from the in-memory LRU tier (disk copies remain)."),
+	}
+}
+
+func newSvcMetrics(reg *obs.Registry) *svcMetrics {
+	return &svcMetrics{
+		jobsSubmitted: reg.CounterVec("bd_jobs_submitted_total",
+			"Accepted job submissions, by outcome (queued, cache_hit, deduped).",
+			"outcome"),
+		jobsRejected: reg.CounterVec("bd_jobs_rejected_total",
+			"Refused job submissions, by reason (queue_full, draining, invalid).",
+			"reason"),
+		jobsCompleted: reg.CounterVec("bd_jobs_completed_total",
+			"Jobs reaching a terminal state, by state (done, failed, canceled).",
+			"state"),
+		jobDuration: reg.HistogramVec("bd_job_duration_seconds",
+			"Job wall-clock time from start to terminal state, by final state.",
+			obs.WideBuckets, "state"),
+		stageDuration: reg.HistogramVec("bd_stage_duration_seconds",
+			"Pipeline stage wall-clock time, by stage.",
+			obs.WideBuckets, "stage"),
+		cache: newCacheMetrics(reg),
+		journal: &journalMetrics{
+			appends: reg.Counter("bd_journal_appends_total",
+				"Records appended to the job journal."),
+			failures: reg.Counter("bd_journal_failures_total",
+				"Journal append or compaction failures (any failure degrades /healthz)."),
+			compactions: reg.Counter("bd_journal_compactions_total",
+				"Journal compaction rewrites completed."),
+		},
+	}
+}
+
+// registerGauges binds the render-time gauges to a live manager. Called
+// once from New, after the manager's queue and cache exist.
+func (mx *svcMetrics) registerGauges(reg *obs.Registry, m *Manager) {
+	reg.GaugeFunc("bd_queue_depth",
+		"Jobs waiting in the queue for an executor.",
+		func() float64 { return float64(len(m.queue)) })
+	reg.Gauge("bd_queue_capacity",
+		"Capacity of the job queue.").Set(float64(cap(m.queue)))
+	reg.Gauge("bd_executor_workers",
+		"Size of the executor pool.").Set(float64(m.cfg.Workers))
+	reg.GaugeFunc("bd_executor_busy",
+		"Jobs currently executing (executor utilization = busy / workers).",
+		func() float64 { return float64(m.stateCount(StateRunning)) })
+	reg.GaugeFunc("bd_cache_entries",
+		"Entries currently held by the in-memory LRU tier.",
+		func() float64 { return float64(m.cache.Entries()) })
+	jobs := reg.GaugeFuncVec("bd_jobs",
+		"Job records currently retained, by state.", "state")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		st := st
+		jobs.Register(func() float64 { return float64(m.stateCount(st)) }, string(st))
+	}
+}
+
+// stateCount scans the record map for jobs in state s — render-time
+// only, the map is bounded by MaxJobs.
+func (m *Manager) stateCount(s State) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == s {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// StatsSnapshot is the manager's one-line fleet summary, logged
+// periodically by the daemons' stats ticker.
+type StatsSnapshot struct {
+	Queued, Running, Done, Failed, Canceled int
+	QueueDepth                              int
+	Cache                                   CacheStats
+}
+
+// Stats snapshots job counts by state, the queue depth and the cache
+// counters.
+func (m *Manager) Stats() StatsSnapshot {
+	st := StatsSnapshot{QueueDepth: len(m.queue), Cache: m.cache.Stats()}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	return st
+}

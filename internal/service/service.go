@@ -4,13 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/benchio"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // State is a job lifecycle state.
@@ -35,6 +36,7 @@ func (s State) terminal() bool {
 // subscribers and ends with a terminal event (done/error/state=canceled).
 type Event struct {
 	Seq        int    `json:"seq"`
+	JobID      string `json:"job_id,omitempty"`
 	Type       string `json:"type"` // "state" | "stage" | "progress" | "done" | "error"
 	State      State  `json:"state,omitempty"`
 	Stage      string `json:"stage,omitempty"`
@@ -128,6 +130,7 @@ func (j *job) status() JobStatus {
 // emit appends an event and wakes subscribers. Callers hold j.mu.
 func (j *job) emitLocked(ev Event) {
 	ev.Seq = len(j.events) + 1
+	ev.JobID = j.id
 	j.events = append(j.events, ev)
 	close(j.more)
 	j.more = make(chan struct{})
@@ -206,6 +209,14 @@ type Config struct {
 	// reusing its queue, cache, journal and event plumbing. Nil runs
 	// jobs in-process.
 	Execute ExecuteFunc
+	// Registry receives the manager's metrics (queue depth, jobs by
+	// state, cache/journal counters, job and stage duration histograms)
+	// and backs the handler's GET /metrics. Nil uses a private registry:
+	// instruments still work, nothing renders them.
+	Registry *obs.Registry
+	// Logger receives structured job-lifecycle and journal log lines,
+	// each tagged with the job ID. Nil discards them.
+	Logger *slog.Logger
 }
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity.
@@ -219,6 +230,9 @@ var ErrDraining = errors.New("service: draining for shutdown")
 type Manager struct {
 	cfg   Config
 	cache *resultCache
+	reg   *obs.Registry
+	mx    *svcMetrics
+	log   *slog.Logger
 
 	root context.Context
 	stop context.CancelFunc
@@ -254,7 +268,16 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxJobs < 1 {
 		cfg.MaxJobs = 4096
 	}
-	cache, err := newResultCache(cfg.CacheEntries, cfg.DataDir)
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	mx := newSvcMetrics(reg)
+	cache, err := newResultCache(cfg.CacheEntries, cfg.DataDir, mx.cache)
 	if err != nil {
 		return nil, err
 	}
@@ -262,13 +285,17 @@ func New(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:   cfg,
 		cache: cache,
+		reg:   reg,
+		mx:    mx,
+		log:   logger,
 		root:  root,
 		stop:  stop,
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, cfg.QueueDepth),
 	}
+	mx.registerGauges(reg, m)
 	if cfg.JournalPath != "" {
-		jl, replayed, err := openJournal(cfg.JournalPath, cfg.MaxJobs)
+		jl, replayed, err := openJournal(cfg.JournalPath, cfg.MaxJobs, logger, mx.journal)
 		if err != nil {
 			stop()
 			return nil, err
@@ -282,7 +309,7 @@ func New(cfg Config) (*Manager, error) {
 				// old incarnation journaled so a sharded executor can skip
 				// the units already done.
 				if len(m.queue) >= cap(m.queue) {
-					log.Printf("service: journal re-adoption: queue full, dropping job %s (resubmit to re-run)", r.id)
+					m.log.Warn("journal re-adoption: queue full, dropping job (resubmit to re-run)", "job", r.id)
 					continue
 				}
 				j := newJob(m.root, r.id, r.spec)
@@ -292,6 +319,7 @@ func New(cfg Config) (*Manager, error) {
 				m.jobs[r.id] = j
 				m.order = append(m.order, r.id)
 				m.queue <- j
+				m.log.Info("job re-adopted from journal", "job", r.id, "units_done", len(r.unitsDone), "plan_parts", r.planParts)
 				continue
 			}
 			if r.state == StateDone && cfg.DataDir == "" {
@@ -431,17 +459,21 @@ func newJob(ctx context.Context, id string, spec JobSpec) *job {
 // disk I/O; the record map is re-checked under the lock afterwards.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	if m.draining.Load() {
+		m.mx.jobsRejected.With("draining").Inc()
 		return JobStatus{}, ErrDraining
 	}
 	norm, err := spec.Normalized()
 	if err != nil {
+		m.mx.jobsRejected.With("invalid").Inc()
 		return JobStatus{}, err
 	}
 	if m.cfg.CharacterizeOnly && norm.Mode != ModeObservations {
+		m.mx.jobsRejected.With("invalid").Inc()
 		return JobStatus{}, fmt.Errorf("service: this daemon is characterize-only (shard worker); it accepts only mode %q jobs", ModeObservations)
 	}
 	id, err := norm.id()
 	if err != nil {
+		m.mx.jobsRejected.With("invalid").Inc()
 		return JobStatus{}, err
 	}
 
@@ -452,6 +484,8 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		if j, ok := m.jobs[id]; ok {
 			if st := j.status(); st.State == StateQueued || st.State == StateRunning {
 				m.mu.Unlock()
+				m.mx.jobsSubmitted.With("deduped").Inc()
+				m.log.Debug("job submission joined live job", "job", id, "state", st.State)
 				return st, nil
 			}
 		}
@@ -468,6 +502,8 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			case StateQueued, StateRunning:
 				// Raced with a concurrent identical submission.
 				m.mu.Unlock()
+				m.mx.jobsSubmitted.With("deduped").Inc()
+				m.log.Debug("job submission joined live job", "job", id, "state", st.State)
 				return st, nil
 			case StateDone:
 				if hit {
@@ -476,6 +512,8 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 					st.ResultHash = hash
 					st.CacheHit = true
 					m.mu.Unlock()
+					m.mx.jobsSubmitted.With("cache_hit").Inc()
+					m.log.Debug("job submission replayed from cache", "job", id, "hash", hash)
 					return st, nil
 				}
 				if attempt == 0 && st.FinishedAt != nil && st.FinishedAt.After(probeStart) {
@@ -516,6 +554,8 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			m.journalAppend(journalRecord{TS: now, Type: "done", ID: id, Hash: hash})
 			st := j.status()
 			m.mu.Unlock()
+			m.mx.jobsSubmitted.With("cache_hit").Inc()
+			m.log.Info("job submitted", "job", id, "state", StateDone, "cache_hit", true, "hash", hash)
 			// Born-done jobs never pass through runJob, so this is their
 			// only chance to trigger in-flight journal compaction — the
 			// steady state of a cache-dominated daemon.
@@ -529,6 +569,8 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		// no job record, no journal entry and no dangling child context.
 		if len(m.queue) >= cap(m.queue) {
 			m.mu.Unlock()
+			m.mx.jobsRejected.With("queue_full").Inc()
+			m.log.Warn("job submission rejected: queue full", "job", id, "queue_capacity", cap(m.queue))
 			return JobStatus{}, ErrQueueFull
 		}
 		j := newJob(m.root, id, norm)
@@ -545,6 +587,8 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		m.queue <- j
 		st := j.status()
 		m.mu.Unlock()
+		m.mx.jobsSubmitted.With("queued").Inc()
+		m.log.Info("job submitted", "job", id, "state", StateQueued, "mode", norm.Mode, "workloads", len(norm.Workloads))
 		return st, nil
 	}
 }
@@ -644,8 +688,12 @@ func (m *Manager) Cancel(id string) bool {
 	}
 	j.mu.Unlock()
 	if settled {
+		m.mx.jobsCompleted.With(string(StateCanceled)).Inc()
+		m.log.Info("job canceled while queued", "job", id)
 		m.journalAppendSync(journalRecord{TS: time.Now(), Type: "cancel", ID: j.id})
 		m.maybeCompactJournal()
+	} else {
+		m.log.Info("job cancel requested", "job", id)
 	}
 	j.cancel()
 	return true
@@ -701,10 +749,12 @@ func (m *Manager) runJob(j *job) {
 	j.emitLocked(Event{Type: "state", State: StateRunning})
 	started := j.started
 	j.mu.Unlock()
+	m.log.Info("job started", "job", j.id)
 	m.journalAppendSync(journalRecord{TS: started, Type: "start", ID: j.id})
 
 	hash, err := m.execute(j)
 	now := time.Now()
+	elapsed := now.Sub(started)
 	var rec journalRecord
 	skipJournal := false
 	j.mu.Lock()
@@ -733,7 +783,18 @@ func (m *Manager) runJob(j *job) {
 		j.emitLocked(Event{Type: "error", Error: err.Error()})
 		rec = journalRecord{TS: now, Type: "fail", ID: j.id, Err: err.Error()}
 	}
+	state := j.state
 	j.mu.Unlock()
+	m.mx.jobsCompleted.With(string(state)).Inc()
+	m.mx.jobDuration.With(string(state)).Observe(elapsed.Seconds())
+	switch state {
+	case StateDone:
+		m.log.Info("job done", "job", j.id, "duration", elapsed, "hash", hash)
+	case StateCanceled:
+		m.log.Info("job canceled", "job", j.id, "duration", elapsed, "shutdown", skipJournal)
+	default:
+		m.log.Warn("job failed", "job", j.id, "duration", elapsed, "error", err)
+	}
 	// Terminal: release the job's child context — nothing runs under it
 	// anymore, and an un-canceled child would stay registered in the root
 	// context's tree for the daemon's lifetime.
@@ -852,10 +913,17 @@ func (m *Manager) execute(j *job) (string, error) {
 	if exec == nil {
 		exec = m.executeLocal
 	}
+	// The timer wraps the progress chain: stage transitions flow through
+	// it for both the local pipeline and sharded executors, feeding the
+	// per-stage duration histogram.
+	timer := core.NewStageTimer(progress, func(stage core.Stage, seconds float64) {
+		m.mx.stageDuration.With(string(stage)).Observe(seconds)
+	})
 	// Sharded executors pick the unit-level crash-recovery capability off
 	// the context (see unitprogress.go); the local pipeline ignores it.
 	ctx := context.WithValue(j.ctx, unitProgressKey{}, &jobUnitProgress{m: m, j: j})
-	data, err := exec(ctx, j.spec, progress)
+	data, err := exec(ctx, j.spec, timer.Progress)
+	timer.Finish()
 	if err != nil {
 		return "", err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -87,6 +89,15 @@ type Config struct {
 	// done units from this store, and re-dispatches only the remainder.
 	// Empty disables unit persistence (a restart re-executes all units).
 	UnitCacheDir string
+
+	// Registry receives the executor's fleet metrics (per-worker unit
+	// counters, breaker transitions, probe outcomes, lease events, merge
+	// latency). Pass the same registry to the manager's service.Config so
+	// one /metrics covers both layers. Nil uses a private registry.
+	Registry *obs.Registry
+	// Logger receives structured dispatch, breaker and membership log
+	// lines. Nil discards them.
+	Logger *slog.Logger
 }
 
 // dispatchPoll is the idle-loop tick of the dispatch workers: how often
@@ -107,6 +118,8 @@ type Executor struct {
 	cfg   Config
 	reg   *registry
 	store *unitStore // nil when UnitCacheDir is unset
+	mx    *shardMetrics
+	log   *slog.Logger
 
 	stop context.CancelFunc
 	wg   sync.WaitGroup
@@ -153,12 +166,23 @@ func New(cfg Config) (*Executor, error) {
 		tr.ResponseHeaderTimeout = 30 * time.Second
 		cfg.HTTPClient = &http.Client{Transport: tr}
 	}
-	e := &Executor{cfg: cfg}
+	mreg := cfg.Registry
+	if mreg == nil {
+		mreg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	e := &Executor{cfg: cfg, mx: newShardMetrics(mreg), log: logger}
 	e.reg = newRegistry(cfg.BreakerThreshold, func(base string) *client.Client {
 		c := client.New(base)
 		c.HTTPClient = cfg.HTTPClient
 		return c
-	})
+	}, e.mx, logger)
+	mreg.GaugeFunc("bd_fleet_workers",
+		"Current fleet size (seeded plus leased members, expired leases swept).",
+		func() float64 { return float64(len(e.reg.snapshot())) })
 	for _, base := range cfg.Workers {
 		if err := e.reg.seed(base); err != nil {
 			return nil, err
@@ -276,13 +300,14 @@ func (q *unitQueue) settled() (bool, error) {
 // back from a healthy sibling, while a lone (or last-standing) worker
 // may retry transient faults, with the per-unit attempt budget bounding
 // the loop. members is the current fleet snapshot (the caller takes it
-// outside q.mu). Returns ok=false when nothing is dispatchable right
-// now.
-func (q *unitQueue) tryTake(url string, members []*workerState) (int, bool) {
+// outside q.mu). stolen marks a re-queued unit another worker failed,
+// now rescued by this one. Returns ok=false when nothing is
+// dispatchable right now.
+func (q *unitQueue) tryTake(url string, members []*workerState) (u int, stolen, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.err != nil || len(q.pending) == 0 {
-		return 0, false
+		return 0, false, false
 	}
 	pick := -1
 	for i, u := range q.pending {
@@ -307,13 +332,14 @@ func (q *unitQueue) tryTake(url string, members []*workerState) (int, bool) {
 		}
 	}
 	if pick < 0 {
-		return 0, false
+		return 0, false, false
 	}
-	u := q.pending[pick]
+	u = q.pending[pick]
 	q.pending = append(q.pending[:pick], q.pending[pick+1:]...)
 	q.inflight++
 	q.stuckSince = time.Time{}
-	return u, true
+	stolen = len(q.failedOn[u]) > 0 && !q.failedOn[u][url]
+	return u, stolen, true
 }
 
 // complete marks a unit merged.
@@ -379,6 +405,7 @@ func (q *unitQueue) stuckCheck(allUnavailable func() bool, grace time.Duration) 
 // dispatcher holding that unit (a unit is held by at most one attempt at
 // a time) and read after all dispatchers join.
 type jobRun struct {
+	id    string // job ID, tagging dispatch log lines
 	q     *unitQueue
 	units []Shard
 	full  service.JobSpec
@@ -409,6 +436,7 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 	if err != nil {
 		return nil, err
 	}
+	jobID, _ := spec.ID()
 	up, _ := service.UnitProgressFrom(ctx)
 	parts := len(e.reg.snapshot()) * e.cfg.UnitsPerWorker
 	if parts < e.cfg.UnitsPerWorker {
@@ -479,10 +507,19 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 	// its in-flight unit back to the queue without charging an attempt.
 	// Units from failed or stalled workers are re-queued; a permanent
 	// failure (attempt budget, dead fleet) cancels the siblings.
+	recoveredUnits := 0
+	for _, d := range preDone {
+		if d {
+			recoveredUnits++
+		}
+	}
+	e.log.Info("sharded job dispatch starting", "job", jobID,
+		"units", len(units), "recovered_units", recoveredUnits,
+		"workers", len(e.reg.snapshot()))
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	q := newUnitQueue(len(units), e.cfg.MaxUnitAttempts, preDone, cancel)
-	run := &jobRun{q: q, units: units, full: spec, agg: agg, oms: oms, keys: keys, up: up}
+	run := &jobRun{id: jobID, q: q, units: units, full: spec, agg: agg, oms: oms, keys: keys, up: up}
 	var wg sync.WaitGroup
 	active := make(map[*workerState]bool)
 	for {
@@ -523,13 +560,18 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 		return nil, err
 	}
 	if _, qerr := q.settled(); qerr != nil {
+		e.log.Warn("sharded job failed", "job", jobID, "error", qerr)
 		return nil, qerr
 	}
 
+	mergeStart := time.Now()
 	om, err := merge(spec, names, runs, nodes, units, oms)
+	e.mx.mergeDuration.Observe(time.Since(mergeStart).Seconds())
 	if err != nil {
 		return nil, err
 	}
+	e.log.Info("sharded job units merged", "job", jobID,
+		"units", len(units), "merge_duration", time.Since(mergeStart))
 	var out []byte
 	if spec.Mode == service.ModeObservations {
 		out, err = benchio.MarshalCanonical(benchio.EncodeObservations(om))
@@ -579,7 +621,7 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 			sleepCtx(ctx, dispatchPoll)
 			continue
 		}
-		u, ok := q.tryTake(w.url, e.reg.snapshot())
+		u, stolen, ok := q.tryTake(w.url, e.reg.snapshot())
 		if !ok {
 			// Nothing dispatchable for this worker right now: siblings
 			// hold the remaining units (in flight, or re-queued units
@@ -592,6 +634,11 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 			}
 			sleepCtx(ctx, dispatchPoll)
 			continue
+		}
+		e.mx.unitsDispatched.With(w.url).Inc()
+		if stolen {
+			e.mx.unitsStolen.With(w.url).Inc()
+			e.log.Debug("unit rescued from failed sibling", "job", run.id, "unit", u, "worker", w.url)
 		}
 		om, data, key, err := e.runUnitOn(ctx, w, run.units[u], run.full, u, run.agg)
 		if err == nil {
@@ -619,6 +666,7 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 		}
 		w.recordFailure(err)
 		q.fail(u, w.url, fmt.Errorf("worker %s: %w", w.url, err))
+		e.log.Warn("unit attempt failed", "job", run.id, "unit", u, "worker", w.url, "error", err)
 		// Brief backoff after a failure: gives a healthy sibling first
 		// claim on the re-queued unit and keeps a fast-failing worker
 		// (connection refused) from spinning.

@@ -2,11 +2,16 @@ package shard
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/service/client"
 )
+
+// throughputWindow is the sliding window over which per-worker unit
+// throughput (units/sec on /v1/workers) is computed.
+const throughputWindow = 60 * time.Second
 
 // BreakerState is the circuit-breaker state of one worker.
 type BreakerState string
@@ -40,6 +45,10 @@ type WorkerStatus struct {
 	UnitsFailed         int          `json:"units_failed"`
 	Probes              int          `json:"probes"`
 	ProbeFailures       int          `json:"probe_failures"`
+	// UnitsPerSecond is the worker's unit-completion throughput over the
+	// trailing 60-second window — the live "who is pulling their weight"
+	// signal next to the lifetime UnitsDone counter.
+	UnitsPerSecond float64 `json:"units_per_second"`
 
 	// Source is "flag" (seeded at startup, permanent) or "registered"
 	// (joined at runtime under a heartbeat lease).
@@ -72,6 +81,11 @@ type workerState struct {
 	gone     chan struct{}
 	goneOnce sync.Once
 
+	// mx/log are the coordinator's shared observability hooks; nil (in
+	// unit tests constructing bare workerStates) disables them.
+	mx  *shardMetrics
+	log *slog.Logger
+
 	mu             sync.Mutex
 	state          BreakerState
 	consecFails    int
@@ -82,6 +96,7 @@ type workerState struct {
 	unitsFailed    int
 	probes         int
 	probeFails     int
+	doneTimes      []time.Time // unit completions inside throughputWindow
 
 	source        string
 	registeredAt  time.Time
@@ -123,8 +138,27 @@ func (w *workerState) available() bool {
 
 func (w *workerState) transitionLocked(s BreakerState) {
 	if w.state != s {
+		from := w.state
 		w.state = s
 		w.lastTransition = time.Now()
+		if w.mx != nil {
+			w.mx.breakerTransitions.With(w.url, string(s)).Inc()
+		}
+		if w.log != nil {
+			w.log.Info("breaker transition", "worker", w.url, "from", from, "to", s, "consecutive_failures", w.consecFails, "last_error", w.lastErr)
+		}
+	}
+}
+
+// trimDoneTimesLocked drops completion timestamps older than the
+// throughput window. Callers hold w.mu.
+func (w *workerState) trimDoneTimesLocked(now time.Time) {
+	cut := 0
+	for cut < len(w.doneTimes) && now.Sub(w.doneTimes[cut]) > throughputWindow {
+		cut++
+	}
+	if cut > 0 {
+		w.doneTimes = append(w.doneTimes[:0], w.doneTimes[cut:]...)
 	}
 }
 
@@ -137,6 +171,12 @@ func (w *workerState) recordSuccess() {
 	defer w.mu.Unlock()
 	w.consecFails = 0
 	w.unitsDone++
+	now := time.Now()
+	w.doneTimes = append(w.doneTimes, now)
+	w.trimDoneTimesLocked(now)
+	if w.mx != nil {
+		w.mx.unitsDone.With(w.url).Inc()
+	}
 	w.transitionLocked(BreakerClosed)
 }
 
@@ -148,6 +188,9 @@ func (w *workerState) recordFailure(err error) {
 	w.unitsFailed++
 	w.consecFails++
 	w.lastErr = err.Error()
+	if w.mx != nil {
+		w.mx.unitsFailed.With(w.url).Inc()
+	}
 	if w.state == BreakerHalfOpen || w.consecFails >= w.threshold {
 		w.transitionLocked(BreakerOpen)
 	}
@@ -196,6 +239,13 @@ func (w *workerState) finishProbe(err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.lastProbe = time.Now()
+	if w.mx != nil {
+		outcome := "ok"
+		if err != nil {
+			outcome = "fail"
+		}
+		w.mx.probes.With(w.url, outcome).Inc()
+	}
 	if err == nil {
 		w.consecFails = 0
 		w.transitionLocked(BreakerClosed)
@@ -212,6 +262,7 @@ func (w *workerState) finishProbe(err error) {
 func (w *workerState) snapshot() WorkerStatus {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.trimDoneTimesLocked(time.Now())
 	st := WorkerStatus{
 		URL:                 w.url,
 		Breaker:             w.state,
@@ -221,6 +272,7 @@ func (w *workerState) snapshot() WorkerStatus {
 		UnitsFailed:         w.unitsFailed,
 		Probes:              w.probes,
 		ProbeFailures:       w.probeFails,
+		UnitsPerSecond:      float64(len(w.doneTimes)) / throughputWindow.Seconds(),
 		Source:              w.source,
 		RegisteredAt:        w.registeredAt,
 		TTLSeconds:          w.ttl.Seconds(),

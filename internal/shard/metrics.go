@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"repro/internal/obs"
+)
+
+// shardMetrics bundles the coordinator executor's obs instruments.
+// Per-worker families are labeled by worker base URL — cardinality is
+// bounded by fleet size (series of departed workers persist as frozen
+// counters, which is what an operator wants when diagnosing churn).
+type shardMetrics struct {
+	unitsDispatched    *obs.CounterVec // worker
+	unitsDone          *obs.CounterVec // worker
+	unitsFailed        *obs.CounterVec // worker
+	unitsStolen        *obs.CounterVec // worker
+	breakerTransitions *obs.CounterVec // worker, to
+	probes             *obs.CounterVec // worker, outcome
+	leaseEvents        *obs.CounterVec // event
+	mergeDuration      *obs.Histogram
+}
+
+func newShardMetrics(reg *obs.Registry) *shardMetrics {
+	return &shardMetrics{
+		unitsDispatched: reg.CounterVec("bd_worker_units_dispatched_total",
+			"Work units handed to a worker (attempts, not distinct units).", "worker"),
+		unitsDone: reg.CounterVec("bd_worker_units_done_total",
+			"Work units a worker completed successfully.", "worker"),
+		unitsFailed: reg.CounterVec("bd_worker_units_failed_total",
+			"Work unit attempts a worker failed.", "worker"),
+		unitsStolen: reg.CounterVec("bd_worker_units_stolen_total",
+			"Re-queued units a worker picked up after another worker failed them.", "worker"),
+		breakerTransitions: reg.CounterVec("bd_breaker_transitions_total",
+			"Circuit-breaker state transitions, by worker and target state.",
+			"worker", "to"),
+		probes: reg.CounterVec("bd_probes_total",
+			"Health-probe outcomes, by worker and outcome (ok, fail).",
+			"worker", "outcome"),
+		leaseEvents: reg.CounterVec("bd_lease_events_total",
+			"Membership lease events (register, renew, expire, deregister).",
+			"event"),
+		mergeDuration: reg.Histogram("bd_merge_duration_seconds",
+			"Time to re-assemble unit matrices into the full grid, per job.",
+			obs.DefBuckets),
+	}
+}

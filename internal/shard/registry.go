@@ -1,7 +1,9 @@
 package shard
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net/url"
 	"strings"
 	"sync"
@@ -38,17 +40,32 @@ const (
 type registry struct {
 	threshold int
 	mkClient  func(string) *client.Client
+	mx        *shardMetrics // nil in bare unit tests
+	log       *slog.Logger  // nil in bare unit tests
 
 	mu      sync.Mutex
 	members map[string]*workerState
 	order   []string // join order, for stable status listings
 }
 
-func newRegistry(threshold int, mkClient func(string) *client.Client) *registry {
+func newRegistry(threshold int, mkClient func(string) *client.Client, mx *shardMetrics, log *slog.Logger) *registry {
 	return &registry{
 		threshold: threshold,
 		mkClient:  mkClient,
+		mx:        mx,
+		log:       log,
 		members:   make(map[string]*workerState),
+	}
+}
+
+// leaseEvent records one membership lease event on the metrics and log
+// hooks (no-ops when the hooks are nil).
+func (r *registry) leaseEvent(event, u string, level slog.Level, msg string, attrs ...any) {
+	if r.mx != nil {
+		r.mx.leaseEvents.With(event).Inc()
+	}
+	if r.log != nil {
+		r.log.Log(context.Background(), level, msg, append([]any{"worker", u}, attrs...)...)
 	}
 }
 
@@ -79,6 +96,7 @@ func (r *registry) seed(rawURL string) error {
 		return nil
 	}
 	w := newWorkerState(u, r.mkClient(u), r.threshold)
+	w.mx, w.log = r.mx, r.log
 	w.source = SourceFlag
 	w.registeredAt = time.Now()
 	r.members[u] = w
@@ -114,15 +132,18 @@ func (r *registry) register(rawURL string, ttl time.Duration) (*workerState, boo
 			w.ttl = ttl
 		}
 		w.mu.Unlock()
+		r.leaseEvent("renew", u, slog.LevelDebug, "worker lease renewed", "ttl", ttl)
 		return w, false, nil
 	}
 	w := newWorkerState(u, r.mkClient(u), r.threshold)
+	w.mx, w.log = r.mx, r.log
 	w.source = SourceRegistered
 	w.registeredAt = now
 	w.lastHeartbeat = now
 	w.ttl = ttl
 	r.members[u] = w
 	r.order = append(r.order, u)
+	r.leaseEvent("register", u, slog.LevelInfo, "worker joined fleet", "ttl", ttl, "fleet_size", len(r.members))
 	return w, true, nil
 }
 
@@ -143,6 +164,7 @@ func (r *registry) deregister(rawURL string) bool {
 		return false
 	}
 	r.removeLocked(u, w)
+	r.leaseEvent("deregister", u, slog.LevelInfo, "worker left fleet", "fleet_size", len(r.members))
 	return true
 }
 
@@ -169,6 +191,7 @@ func (r *registry) expireLocked(now time.Time) {
 		w.mu.Unlock()
 		if expired {
 			r.removeLocked(u, w)
+			r.leaseEvent("expire", u, slog.LevelWarn, "worker lease expired", "fleet_size", len(r.members))
 		}
 	}
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func testRegistry() *registry {
-	return newRegistry(3, func(u string) *client.Client { return client.New(u) })
+	return newRegistry(3, func(u string) *client.Client { return client.New(u) }, nil, nil)
 }
 
 func TestNormalizeWorkerURL(t *testing.T) {

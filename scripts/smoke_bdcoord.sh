@@ -163,6 +163,30 @@ CU_AGAIN_HIT=$(json_field "$WORKDIR/cu_again.json" cache_hit)
 [ "$CU_AGAIN_HIT" = "True" ] || { echo "custom resubmission was not a cache hit" >&2; cat "$WORKDIR/cu_again.json" >&2; exit 1; }
 echo "    resubmission: cache hit, unchanged job ID"
 
+echo "==> scraping coordinator /metrics"
+# By now the coordinator has dispatched units to both workers and served
+# a cache-hit resubmission, so the Prometheus exposition must show both.
+curl -fsS "$CO/metrics" -o "$WORKDIR/co_metrics.txt"
+python3 - "$WORKDIR/co_metrics.txt" <<'PY'
+import re, sys
+text = open(sys.argv[1]).read()
+def total(name):
+    return sum(float(m.group(1)) for m in
+               re.finditer(r'^%s(?:\{[^}]*\})? ([0-9.eE+-]+)$' % name, text, re.M))
+units = total('bd_worker_units_done_total')
+hits = total('bd_cache_hits_total')
+assert units > 0, "no bd_worker_units_done_total on /metrics"
+assert hits > 0, "no bd_cache_hits_total on /metrics"
+for fam in ('bd_http_requests_total', 'bd_stage_duration_seconds',
+            'bd_queue_depth', 'bd_fleet_workers'):
+    assert fam in text, f"family {fam} missing from /metrics"
+print(f"    /metrics: {units:.0f} units done, {hits:.0f} cache hits")
+PY
+# The workers expose the same endpoint: each executed shard jobs.
+curl -fsS "http://$W1_ADDR/metrics" | grep -q '^bd_jobs_completed_total{state="done"} [1-9]' \
+  || { echo "worker 1 /metrics shows no completed jobs" >&2; exit 1; }
+echo "    worker /metrics shows completed shard jobs"
+
 echo "==> heterogeneous-speed scenario: one worker throttled 3s/cell"
 # Fresh workers and coordinator (fresh data dirs: no cache replay). The
 # job grid has 8 workload×node cells; under the old *static* planner the

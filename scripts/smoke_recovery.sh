@@ -154,6 +154,26 @@ curl -fsS "$SD/v1/jobs/$SD_ID/result" -o "$WORKDIR/sd_result.json"
 cmp "$WORKDIR/rc_result.json" "$WORKDIR/sd_result.json"
 echo "    recovered result byte-identical to the single-daemon run"
 
+echo "==> scraping /metrics on the recovered coordinator"
+# The restart re-dispatched the job's remaining units, and a resubmission
+# of the finished spec counts as a cache hit — both must show on the
+# Prometheus exposition.
+curl -fsS -X POST -d "$JOB" "$CO/v1/jobs" >/dev/null
+curl -fsS "$CO/metrics" -o "$WORKDIR/co_metrics.txt"
+python3 - "$WORKDIR/co_metrics.txt" <<'PY'
+import re, sys
+text = open(sys.argv[1]).read()
+def total(name):
+    return sum(float(m.group(1)) for m in
+               re.finditer(r'^%s(?:\{[^}]*\})? ([0-9.eE+-]+)$' % name, text, re.M))
+units = total('bd_worker_units_done_total')
+hits = total('bd_cache_hits_total')
+assert units > 0, "no bd_worker_units_done_total on recovered /metrics"
+assert hits > 0, "no bd_cache_hits_total on recovered /metrics"
+assert total('bd_lease_events_total') > 0, "no lease events on /metrics"
+print(f"    /metrics: {units:.0f} units done after recovery, {hits:.0f} cache hits")
+PY
+
 echo "==> graceful worker shutdown releases its lease immediately"
 BEFORE=$(registered_count)
 kill -TERM "$W2_PID"
