@@ -1,13 +1,16 @@
 package repro
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/benchio"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The end-to-end pipeline benchmarks (EXPERIMENTS.md §3) time core.Run —
@@ -81,6 +84,61 @@ func BenchmarkPipeline_Sequential(b *testing.B) {
 // GOMAXPROCS workers.
 func BenchmarkPipeline_Parallel(b *testing.B) {
 	runPipelineBench(b, "parallel", runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkPipeline_TracedSequential re-runs the sequential pipeline
+// under a live flight recorder — stage spans recorded per iteration,
+// exactly the daemons' tracing path — so the traced/untraced delta lands
+// in BENCH_pipeline.json as tracing_overhead_pct (acceptance: <2%). It
+// is defined after the untraced variants so a full `-bench
+// BenchmarkPipeline` run writes the pair rows first, then merges this
+// one in.
+func BenchmarkPipeline_TracedSequential(b *testing.B) {
+	ccfg := benchClusterConfig()
+	ccfg.Parallelism = 1
+	acfg := core.DefaultAnalysis()
+	acfg.Parallelism = 1
+
+	var an *core.Analysis
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewFlightRecorder("bench", 1, 4096)
+		root := rec.StartSpan("bench", "bench", "", "job")
+		tc := &obs.TraceContext{Rec: rec, JobID: "bench", TraceID: "bench", Root: root.ID()}
+		timer := core.NewStageTimer(nil, nil)
+		timer.OnSpan(func(stage core.Stage, start, end time.Time) {
+			tc.RecordInterval("", string(stage), start, end,
+				map[string]string{"kind": "stage", "status": "ok"})
+		})
+		var err error
+		an, err = core.RunCtx(context.Background(), workloads.DefaultConfig(), ccfg, acfg, timer.Progress)
+		timer.Finish()
+		root.End()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if export, ok := rec.Export("bench"); !ok || len(export.Spans) == 0 {
+			b.Fatal("traced pipeline produced no spans")
+		}
+	}
+	b.StopTimer()
+
+	pipelineMu.Lock()
+	defer pipelineMu.Unlock()
+	pipelineResults["traced"] = benchio.Variant{
+		SecondsPerOp: b.Elapsed().Seconds() / float64(b.N),
+		Iterations:   b.N,
+		Parallelism:  1,
+		BestK:        an.KBest.K,
+		Subset:       an.SubsetNames(),
+	}
+	seq, okSeq := pipelineResults["sequential"]
+	traced := pipelineResults["traced"]
+	if okSeq {
+		if err := benchio.WriteTracingOverhead(seq, traced); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCharacterizeGrid isolates the measurement-grid stage (no

@@ -12,6 +12,7 @@
 //	        [-workload-file defs.json] [-list-workloads] [-nodes 4]
 //	        [-instructions 60000] [-scale 4096] [-seed 20140901]
 //	        [-runs 1] [-no-multiplex] [-jitter 0.06] [-parallelism 0]
+//	        [-trace-out trace.json]
 //
 // With no -workloads selection the run covers the built-ins plus every
 // -workload-file definition; presets join a run when named in
@@ -24,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/bigdata/custom"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -65,6 +68,7 @@ type options struct {
 	par           int
 	bench         bool
 	benchReps     int
+	traceOut      string
 }
 
 // validate rejects bad flag combinations up front, before any simulation
@@ -96,6 +100,9 @@ func (o options) validate() error {
 	}
 	if o.bench && o.out != "" {
 		return fmt.Errorf("-bench writes BENCH_pipeline.json; -out is only for CSV mode")
+	}
+	if o.bench && o.traceOut != "" {
+		return fmt.Errorf("-trace-out traces a CSV-mode run; -bench times untraced code")
 	}
 	return nil
 }
@@ -235,6 +242,7 @@ func run() error {
 	flag.IntVar(&o.par, "parallelism", 0, "bound on concurrent node simulations (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.bench, "bench", false, "time the end-to-end pipeline (sequential vs parallel) and write BENCH_pipeline.json")
 	flag.IntVar(&o.benchReps, "bench-reps", 1, "pipeline repetitions per -bench variant")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event JSON of this run's pipeline stages (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -264,9 +272,45 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "characterizing %d workloads on %d nodes (%d instr/core, %d run(s))...\n",
 		len(suite), o.nodes, o.instr, o.runs)
-	ds, err := core.CharacterizeSuite(suite, ccfg)
+	var (
+		rec      *obs.FlightRecorder
+		root     *obs.SpanHandle
+		timer    *core.StageTimer
+		progress core.Progress
+	)
+	// -trace-out runs the same pipeline under a local flight recorder: a
+	// root job span with per-stage child spans from the stage timer —
+	// the single-process sibling of a daemon's /v1/jobs/{id}/trace.
+	const traceKey = "bdbench"
+	if o.traceOut != "" {
+		rec = obs.NewFlightRecorder(traceKey, 1, 4096)
+		root = rec.StartSpan(traceKey, traceKey, "", "job")
+		tc := &obs.TraceContext{Rec: rec, JobID: traceKey, TraceID: traceKey, Root: root.ID()}
+		timer = core.NewStageTimer(nil, nil)
+		timer.OnSpan(func(stage core.Stage, start, end time.Time) {
+			tc.RecordInterval("", string(stage), start, end,
+				map[string]string{"kind": "stage", "status": "ok"})
+		})
+		progress = timer.Progress
+	}
+	ds, err := core.CharacterizeSuiteCtx(context.Background(), suite, ccfg, progress)
+	if timer != nil {
+		timer.Finish()
+		root.EndErr(err)
+	}
 	if err != nil {
 		return err
+	}
+	if o.traceOut != "" {
+		export, _ := rec.Export(traceKey)
+		data, err := obs.ChromeTrace(export)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans → %s\n", len(export.Spans), o.traceOut)
 	}
 
 	w := os.Stdout

@@ -29,6 +29,7 @@
 //	        [-breaker-threshold 3] [-units-per-worker 4]
 //	        [-drain-timeout 30s]
 //	        [-log-level info] [-log-format text] [-stats-interval 1m]
+//	        [-trace-buffer 2048] [-pprof-addr localhost:6061]
 //
 // GET /metrics serves the Prometheus text exposition covering both the
 // job-manager layer (queue, cache, journal, per-stage timing) and the
@@ -91,6 +92,10 @@ func run() error {
 		logFormat = flag.String("log-format", "text", "log format: text, json")
 		statsIvl  = flag.Duration("stats-interval", time.Minute,
 			"period of the one-line INFO fleet summary (0 disables)")
+		traceBuf = flag.Int("trace-buffer", 2048,
+			"per-job flight-recorder span capacity (0 disables tracing)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"listen address for net/http/pprof (e.g. localhost:6061; empty = disabled; bind to localhost unless you mean to expose profiles)")
 	)
 	flag.Parse()
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -149,6 +154,11 @@ func run() error {
 		return err
 	}
 	defer exec.Close()
+	// Flag semantics (0 = off) map to the config's (negative = off).
+	traceSpans := *traceBuf
+	if traceSpans == 0 {
+		traceSpans = -1
+	}
 	mgr, err := service.New(service.Config{
 		DataDir:      *dataDir,
 		Workers:      *conc,
@@ -157,6 +167,8 @@ func run() error {
 		MaxJobs:      *maxJobs,
 		JournalPath:  journal,
 		Execute:      exec.Execute,
+		TraceBuffer:  traceSpans,
+		TraceService: "bdcoord",
 		Registry:     reg,
 		Logger:       logger,
 	})
@@ -164,6 +176,14 @@ func run() error {
 		return err
 	}
 	defer mgr.Close()
+
+	if *pprofAddr != "" {
+		stopPprof, err := obs.StartPprof(*pprofAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
 
 	// The coordinator's API is the stock jobs API plus /v1/workers: GET
 	// lists the fleet's live breaker/health/lease state, POST registers

@@ -22,6 +22,7 @@
 //	        [-journal auto] [-characterize-only] [-parallelism 0]
 //	        [-throttle-cell 0] [-drain-timeout 30s]
 //	        [-log-level info] [-log-format text] [-stats-interval 1m]
+//	        [-trace-buffer 2048] [-pprof-addr localhost:6060]
 //	        [-register http://coord:8360 -advertise http://thishost:8356
 //	         -lease-ttl 30s]
 //
@@ -32,6 +33,7 @@
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result canonical analysis result JSON
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	GET    /v1/jobs/{id}/trace  trace export (?format=chrome)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/cache/stats      cache counters
 //	GET    /metrics             Prometheus text exposition
@@ -90,6 +92,10 @@ func run() error {
 		logFormat = flag.String("log-format", "text", "log format: text, json")
 		statsIvl  = flag.Duration("stats-interval", time.Minute,
 			"period of the one-line INFO stats summary (0 disables)")
+		traceBuf = flag.Int("trace-buffer", 2048,
+			"per-job flight-recorder span capacity (0 disables tracing)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"listen address for net/http/pprof (e.g. localhost:6060; empty = disabled; bind to localhost unless you mean to expose profiles)")
 	)
 	flag.Parse()
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -114,6 +120,12 @@ func run() error {
 		}
 	}
 
+	// Flag semantics (0 = off) map to the config's (negative = off).
+	traceSpans := *traceBuf
+	if traceSpans == 0 {
+		traceSpans = -1
+	}
+
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	mgr, err := service.New(service.Config{
@@ -126,6 +138,8 @@ func run() error {
 		CharacterizeOnly: *charOnly,
 		Parallelism:      *par,
 		CellDelay:        *throttle,
+		TraceBuffer:      traceSpans,
+		TraceService:     "bdservd",
 		Registry:         reg,
 		Logger:           logger,
 	})
@@ -133,6 +147,14 @@ func run() error {
 		return err
 	}
 	defer mgr.Close()
+
+	if *pprofAddr != "" {
+		stopPprof, err := obs.StartPprof(*pprofAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

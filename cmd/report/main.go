@@ -10,6 +10,7 @@
 //	report -save metrics.csv# cache the characterization for later runs
 //	report -server URL      # offload characterization to a bdservd/bdcoord
 //	report -workload-file f # extend the suite with custom definitions
+//	report -trace           # per-stage / per-worker trace summary
 //
 // With -server the spec is submitted over the jobs API, progress is
 // followed on the daemon's event stream, and the tables render from the
@@ -29,12 +30,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/benchio"
 	"repro/internal/bigdata/cluster"
 	"repro/internal/bigdata/custom"
 	"repro/internal/bigdata/workloads"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -56,6 +59,7 @@ func run() error {
 		only     = flag.String("only", "", "one of: table1..table5, figure1..figure6, observations")
 		seed     = flag.Uint64("seed", 20140901, "seed for all stochastic components")
 		defsFile = flag.String("workload-file", "", "JSON file of custom workload definitions to add to the suite (DESIGN.md §8)")
+		trace    = flag.Bool("trace", false, "print a per-stage (and, with -server, per-worker) trace summary of the characterization")
 	)
 	flag.Parse()
 	if *in != "" && *server != "" {
@@ -90,6 +94,29 @@ func run() error {
 		suite = append(suite, cw...)
 	}
 
+	// Without -server, -trace runs the local pipeline under a stage timer
+	// feeding a local flight recorder — the per-stage half of the summary
+	// (there are no workers to attribute). With -server, the trace is
+	// instead fetched from the daemon's recorder in fetchDataset.
+	var (
+		rec       *obs.FlightRecorder
+		traceRoot *obs.SpanHandle
+		timer     *core.StageTimer
+		progress  core.Progress
+	)
+	const traceKey = "report"
+	if *trace && *server == "" {
+		rec = obs.NewFlightRecorder(traceKey, 1, 4096)
+		traceRoot = rec.StartSpan(traceKey, traceKey, "", "job")
+		tc := &obs.TraceContext{Rec: rec, JobID: traceKey, TraceID: traceKey, Root: traceRoot.ID()}
+		timer = core.NewStageTimer(nil, nil)
+		timer.OnSpan(func(stage core.Stage, start, end time.Time) {
+			tc.RecordInterval("", string(stage), start, end,
+				map[string]string{"kind": "stage", "status": "ok"})
+		})
+		progress = timer.Progress
+	}
+
 	var ds *core.Dataset
 	switch {
 	case *in != "":
@@ -103,7 +130,7 @@ func run() error {
 			return err
 		}
 	case *server != "":
-		ds, err = fetchDataset(*server, *seed, defs)
+		ds, err = fetchDataset(*server, *seed, defs, *trace)
 		if err != nil {
 			return err
 		}
@@ -111,7 +138,7 @@ func run() error {
 		ccfg := cluster.DefaultConfig()
 		ccfg.Seed = *seed
 		fmt.Fprintf(os.Stderr, "characterizing %d workloads on the simulated cluster (~1 min)...\n", len(suite))
-		ds, err = core.CharacterizeSuite(suite, ccfg)
+		ds, err = core.CharacterizeSuiteCtx(context.Background(), suite, ccfg, progress)
 		if err != nil {
 			return err
 		}
@@ -130,15 +157,21 @@ func run() error {
 		}
 	}
 
-	an, err := core.Analyze(ds, core.DefaultAnalysis())
+	an, err := core.AnalyzeCtx(context.Background(), ds, core.DefaultAnalysis(), progress)
+	if timer != nil {
+		timer.Finish()
+		traceRoot.End()
+		export, _ := rec.Export(traceKey)
+		fmt.Println(obs.Summarize(export).Table())
+	}
 	if err != nil {
 		return err
 	}
-	obs, err := an.Observe()
+	observed, err := an.Observe()
 	if err != nil {
 		return err
 	}
-	fig5, err := report.Figure5(an, obs)
+	fig5, err := report.Figure5(an, observed)
 	if err != nil {
 		return err
 	}
@@ -158,7 +191,7 @@ func run() error {
 		{"table4", report.Table4(an)},
 		{"table5", report.Table5(an)},
 		{"figure6", report.Figure6(an)},
-		{"observations", report.ObservationsReport(obs)},
+		{"observations", report.ObservationsReport(observed)},
 	}
 
 	want := strings.ToLower(*only)
@@ -187,7 +220,7 @@ func run() error {
 // also works against every daemon role, including `bdservd
 // -characterize-only` shard workers. Custom workload definitions travel
 // inside the spec, so the daemon measures them without prior knowledge.
-func fetchDataset(base string, seed uint64, defs []custom.Definition) (*core.Dataset, error) {
+func fetchDataset(base string, seed uint64, defs []custom.Definition, trace bool) (*core.Dataset, error) {
 	spec := service.DefaultSpec()
 	spec.Mode = service.ModeObservations
 	spec.Suite.Seed = seed
@@ -226,6 +259,16 @@ func fetchDataset(base string, seed uint64, defs []custom.Definition) (*core.Dat
 	data, err := c.Result(ctx, st.ID)
 	if err != nil {
 		return nil, err
+	}
+	if trace {
+		// The daemon's flight recorder has the full story — including,
+		// on a coordinator, per-worker unit attribution. Best effort: an
+		// older daemon or one started with tracing disabled 404s here.
+		if export, terr := c.Trace(ctx, st.ID); terr == nil {
+			fmt.Println(obs.Summarize(export).Table())
+		} else {
+			fmt.Fprintf(os.Stderr, "trace unavailable: %v\n", terr)
+		}
 	}
 	var oj benchio.ObservationsJSON
 	if err := json.Unmarshal(data, &oj); err != nil {

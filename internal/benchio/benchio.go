@@ -51,6 +51,10 @@ type Report struct {
 	// untouched when it runs.
 	DistributedScale string                 `json:"distributed_scale,omitempty"`
 	Distributed      map[string]DistVariant `json:"distributed,omitempty"`
+	// TracingOverheadPct is the relative cost of running the sequential
+	// pipeline under a live flight recorder versus untraced, in percent
+	// (written by WriteTracingOverhead; acceptance is <2%).
+	TracingOverheadPct float64 `json:"tracing_overhead_pct,omitempty"`
 }
 
 // Identical reports whether the two variants produced the same analysis
@@ -82,7 +86,11 @@ func Write(benchmark, scale string, seq, par Variant) error {
 	rep.GOOS = runtime.GOOS
 	rep.NumCPU = runtime.NumCPU()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	rep.Results = map[string]Variant{"sequential": seq, "parallel": par}
+	if rep.Results == nil {
+		rep.Results = map[string]Variant{}
+	}
+	rep.Results["sequential"] = seq
+	rep.Results["parallel"] = par
 	rep.Speedup = seq.SecondsPerOp / par.SecondsPerOp
 	rep.Identical = true
 	return writeReport(rep)
@@ -108,6 +116,25 @@ func WriteDistributed(scale string, rows map[string]DistVariant) error {
 	rep := readReport()
 	rep.DistributedScale = scale
 	rep.Distributed = rows
+	return writeReport(rep)
+}
+
+// WriteTracingOverhead merges the traced-sequential row into
+// BENCH_pipeline.json alongside the untraced rows and records the
+// relative cost of span collection. Tracing is strictly observational,
+// so a diverged analysis is an error exactly as in Write.
+func WriteTracingOverhead(seq, traced Variant) error {
+	if !Identical(seq, traced) {
+		return fmt.Errorf("benchio: tracing changed the analysis: K %d vs %d, subsets %v vs %v",
+			seq.BestK, traced.BestK, seq.Subset, traced.Subset)
+	}
+	rep := readReport()
+	if rep.Results == nil {
+		rep.Results = map[string]Variant{}
+	}
+	rep.Results["sequential"] = seq
+	rep.Results["traced"] = traced
+	rep.TracingOverheadPct = (traced.SecondsPerOp - seq.SecondsPerOp) / seq.SecondsPerOp * 100
 	return writeReport(rep)
 }
 

@@ -19,6 +19,7 @@ type StageTimer struct {
 	mu      sync.Mutex
 	next    Progress
 	observe func(stage Stage, seconds float64)
+	span    func(stage Stage, start, end time.Time)
 	current Stage
 	started time.Time
 }
@@ -29,15 +30,31 @@ func NewStageTimer(next Progress, observe func(stage Stage, seconds float64)) *S
 	return &StageTimer{next: next, observe: observe}
 }
 
+// OnSpan registers an additional per-stage observer receiving each
+// closed stage's wall-clock interval rather than just its duration —
+// the hook the tracing layer uses to turn stage transitions into spans.
+// Call before the timer's Progress is first invoked.
+func (t *StageTimer) OnSpan(fn func(stage Stage, start, end time.Time)) {
+	t.mu.Lock()
+	t.span = fn
+	t.mu.Unlock()
+}
+
 // Progress is the wrapped callback; pass the method value wherever a
 // core.Progress is expected.
 func (t *StageTimer) Progress(stage Stage, done, total int) {
 	t.mu.Lock()
 	if stage != t.current {
-		if t.current != "" && t.observe != nil {
-			t.observe(t.current, time.Since(t.started).Seconds())
+		now := time.Now()
+		if t.current != "" {
+			if t.observe != nil {
+				t.observe(t.current, now.Sub(t.started).Seconds())
+			}
+			if t.span != nil {
+				t.span(t.current, t.started, now)
+			}
 		}
-		t.current, t.started = stage, time.Now()
+		t.current, t.started = stage, now
 	}
 	t.mu.Unlock()
 	if t.next != nil {
@@ -49,8 +66,14 @@ func (t *StageTimer) Progress(stage Stage, done, total int) {
 func (t *StageTimer) Finish() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.current != "" && t.observe != nil {
-		t.observe(t.current, time.Since(t.started).Seconds())
+	if t.current != "" {
+		now := time.Now()
+		if t.observe != nil {
+			t.observe(t.current, now.Sub(t.started).Seconds())
+		}
+		if t.span != nil {
+			t.span(t.current, t.started, now)
+		}
 	}
 	t.current = ""
 }

@@ -70,6 +70,7 @@ var knownRoutes = map[string]bool{
 	"/v1/jobs/{id}":        true,
 	"/v1/jobs/{id}/result": true,
 	"/v1/jobs/{id}/events": true,
+	"/v1/jobs/{id}/trace":  true,
 	"/v1/cache/stats":      true,
 	"/v1/workers":          true,
 }

@@ -340,10 +340,16 @@ func writeHistogram(b *strings.Builder, f *family, s *series) {
 	fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, s.values), total)
 }
 
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format the registry renders. Declared once here and set
+// only by Handler, so every daemon's /metrics advertises the identical
+// header.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // Handler serves the rendered registry — the body of GET /metrics.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Type", ExpositionContentType)
 		r.WriteText(w)
 	})
 }

@@ -161,6 +161,9 @@ func TestHandlerContentType(t *testing.T) {
 	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
 		t.Errorf("Content-Type = %q", ct)
 	}
+	if ExpositionContentType != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("ExpositionContentType = %q", ExpositionContentType)
+	}
 	if !strings.Contains(rec.Body.String(), "bd_x_total 1") {
 		t.Errorf("body missing counter:\n%s", rec.Body.String())
 	}

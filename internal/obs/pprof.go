@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// PprofHandler returns the net/http/pprof handler set on a private mux
+// — the daemons never mount it on the public API mux, only on the
+// separate -pprof-addr listener.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartPprof serves /debug/pprof on its own listener at addr — the
+// opt-in -pprof-addr hook on both daemons, off by default. Profiles
+// expose heap contents and execution timing, so bind a loopback or
+// otherwise trusted address; StartPprof is never reachable through the
+// daemons' public port. Returns an idempotent stop function, or an
+// error if addr cannot be bound (a typo should fail startup, not hide).
+func StartPprof(addr string, logger *slog.Logger) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: PprofHandler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	if logger != nil {
+		logger.Info("pprof listening", "addr", ln.Addr().String())
+	}
+	return func() { srv.Close() }, nil
+}

@@ -15,6 +15,7 @@ import (
 	"net/url"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -81,6 +82,14 @@ func (c *Client) Health(ctx context.Context) error {
 
 // Submit posts a JobRequest and returns the accepted job status.
 func (c *Client) Submit(ctx context.Context, jr service.JobRequest) (service.JobStatus, error) {
+	return c.SubmitTraced(ctx, jr, "")
+}
+
+// SubmitTraced is Submit carrying trace context: traceParent (a
+// formatted obs.FormatTraceParent value, "" for none) is sent as the
+// X-BD-Trace header, so the daemon's spans for this job join the
+// caller's trace — the coordinator→worker propagation hop.
+func (c *Client) SubmitTraced(ctx context.Context, jr service.JobRequest, traceParent string) (service.JobStatus, error) {
 	body, err := json.Marshal(jr)
 	if err != nil {
 		return service.JobStatus{}, err
@@ -90,6 +99,9 @@ func (c *Client) Submit(ctx context.Context, jr service.JobRequest) (service.Job
 		return service.JobStatus{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceParent != "" {
+		req.Header.Set(obs.TraceHeader, traceParent)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return service.JobStatus{}, err
@@ -108,6 +120,22 @@ func (c *Client) Submit(ctx context.Context, jr service.JobRequest) (service.Job
 // SubmitSpec posts a full JobSpec (the {"spec": …} request form).
 func (c *Client) SubmitSpec(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
 	return c.Submit(ctx, service.JobRequest{Spec: &spec})
+}
+
+// SubmitSpecTraced is SubmitSpec with propagated trace context.
+func (c *Client) SubmitSpecTraced(ctx context.Context, spec service.JobSpec, traceParent string) (service.JobStatus, error) {
+	return c.SubmitTraced(ctx, service.JobRequest{Spec: &spec}, traceParent)
+}
+
+// Trace fetches a job's trace export (the canonical JSON form of
+// GET /v1/jobs/{id}/trace) — how a coordinator imports a worker's spans
+// into its own trace after a unit completes.
+func (c *Client) Trace(ctx context.Context, id string) (obs.TraceExport, error) {
+	var export obs.TraceExport
+	if err := c.getJSON(ctx, "/v1/jobs/"+id+"/trace", &export); err != nil {
+		return obs.TraceExport{}, fmt.Errorf("client: trace %s: %w", id, err)
+	}
+	return export, nil
 }
 
 // Job fetches one job's status.

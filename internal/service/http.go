@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bigdata/custom"
 	"repro/internal/cluster/hier"
+	"repro/internal/obs"
 )
 
 // JobRequest is the HTTP submission body: a friendly, partial view of a
@@ -129,6 +130,7 @@ func (r *JobRequest) ToSpec() (JobSpec, error) {
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result canonical result JSON
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + live)
+//	GET    /v1/jobs/{id}/trace  trace export (?format=chrome for trace_event)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/cache/stats     result-cache counters
 //	GET    /metrics            Prometheus text exposition
@@ -166,7 +168,9 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		st, err := m.Submit(spec)
+		// X-BD-Trace (when a coordinator set one) joins this job's spans
+		// to the caller's trace; SubmitTraced validates before trusting.
+		st, err := m.SubmitTraced(spec, r.Header.Get(obs.TraceHeader))
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -205,6 +209,24 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		st, _ := m.Get(r.PathValue("id"))
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		export, ok := m.Trace(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q (unknown, evicted, or tracing disabled)", r.PathValue("id")))
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			data, err := obs.ChromeTrace(export)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+			return
+		}
+		writeJSON(w, http.StatusOK, export)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.job(r.PathValue("id"))

@@ -31,16 +31,22 @@ import (
 // plus the content-addressed key its bytes were stored under. A
 // restarted daemon re-adopts non-terminal jobs, re-plans the identical
 // tiling, and re-dispatches only the units without a unit_done record.
+// Tracing adds a "span" record per completed span (see internal/obs):
+// replay restores the spans of non-terminal jobs into the flight
+// recorder, so a re-adopted job's trace carries its pre-crash history;
+// terminal jobs drop their spans, keeping the journal bounded.
 type journalRecord struct {
 	TS    time.Time `json:"ts"`
-	Type  string    `json:"type"` // submit | start | plan | unit_done | done | fail | cancel
+	Type  string    `json:"type"` // submit | start | plan | unit_done | span | done | fail | cancel
 	ID    string    `json:"id"`
-	Spec  *JobSpec  `json:"spec,omitempty"` // on submit
-	Hash  string    `json:"hash,omitempty"` // on done
+	Spec  *JobSpec  `json:"spec,omitempty"`  // on submit
+	Trace string    `json:"trace,omitempty"` // on submit: propagated X-BD-Trace value
+	Hash  string    `json:"hash,omitempty"`  // on done
 	Err   string    `json:"error,omitempty"`
 	Parts int       `json:"parts,omitempty"` // on plan: planner part count
 	Unit  *int      `json:"unit,omitempty"`  // on unit_done: unit index
 	Key   string    `json:"key,omitempty"`   // on unit_done: sub-result store key
+	Span  *obs.Span `json:"span,omitempty"`  // on span: one completed trace span
 }
 
 // replayedJob is the state of one job reconstructed from the journal.
@@ -58,6 +64,8 @@ type replayedJob struct {
 	finished  time.Time
 	planParts int
 	unitsDone map[int]string // unit index → sub-result store key
+	trace     string         // propagated X-BD-Trace value from submit
+	spans     []obs.Span     // journaled trace spans (non-terminal jobs only)
 }
 
 // journalMsg is one unit of writer-goroutine work: a record to append,
@@ -258,9 +266,9 @@ func replayJournal(path string) ([]replayedJob, error) {
 						break
 					}
 				}
-				*old = replayedJob{id: rec.ID, spec: *rec.Spec, created: rec.TS}
+				*old = replayedJob{id: rec.ID, spec: *rec.Spec, created: rec.TS, trace: rec.Trace}
 			} else {
-				byID[rec.ID] = &replayedJob{id: rec.ID, spec: *rec.Spec, created: rec.TS}
+				byID[rec.ID] = &replayedJob{id: rec.ID, spec: *rec.Spec, created: rec.TS, trace: rec.Trace}
 			}
 			order = append(order, rec.ID)
 		case "start":
@@ -285,20 +293,24 @@ func replayJournal(path string) ([]replayedJob, error) {
 				}
 				j.unitsDone[*rec.Unit] = rec.Key
 			}
+		case "span":
+			if j, ok := byID[rec.ID]; ok && rec.Span != nil {
+				j.spans = append(j.spans, *rec.Span)
+			}
 		case "done":
 			if j, ok := byID[rec.ID]; ok {
 				j.state, j.hash, j.finished = StateDone, rec.Hash, rec.TS
-				j.planParts, j.unitsDone = 0, nil
+				j.planParts, j.unitsDone, j.spans = 0, nil, nil
 			}
 		case "fail":
 			if j, ok := byID[rec.ID]; ok {
 				j.state, j.errMsg, j.finished = StateFailed, rec.Err, rec.TS
-				j.planParts, j.unitsDone = 0, nil
+				j.planParts, j.unitsDone, j.spans = 0, nil, nil
 			}
 		case "cancel":
 			if j, ok := byID[rec.ID]; ok {
 				j.state, j.finished = StateCanceled, rec.TS
-				j.planParts, j.unitsDone = 0, nil
+				j.planParts, j.unitsDone, j.spans = 0, nil, nil
 			}
 		}
 	}
@@ -333,7 +345,7 @@ func compactJournal(path string, jobs []replayedJob) error {
 		for i := range jobs {
 			j := &jobs[i]
 			spec := j.spec
-			if err := enc.Encode(journalRecord{TS: j.created, Type: "submit", ID: j.id, Spec: &spec}); err != nil {
+			if err := enc.Encode(journalRecord{TS: j.created, Type: "submit", ID: j.id, Spec: &spec, Trace: j.trace}); err != nil {
 				return err
 			}
 			if !j.started.IsZero() {
@@ -365,6 +377,12 @@ func compactJournal(path string, jobs []replayedJob) error {
 				for _, u := range units {
 					u := u
 					if err := enc.Encode(journalRecord{TS: j.created, Type: "unit_done", ID: j.id, Unit: &u, Key: j.unitsDone[u]}); err != nil {
+						return err
+					}
+				}
+				for s := range j.spans {
+					sp := j.spans[s]
+					if err := enc.Encode(journalRecord{TS: sp.End, Type: "span", ID: j.id, Span: &sp}); err != nil {
 						return err
 					}
 				}

@@ -95,6 +95,17 @@ type job struct {
 	planParts int
 	unitsDone map[int]string // unit index → sub-result store key
 
+	// Tracing identity, immutable once the job is visible: the trace ID
+	// (the job ID, or one propagated from an upstream coordinator via
+	// X-BD-Trace), the upstream parent span, and the pre-allocated ID of
+	// this job's root span — children reference it before the root span
+	// itself is sealed. rootSpan (under mu) is the live handle while the
+	// job runs, so journal appends can annotate it.
+	traceID    string
+	parentSpan string
+	rootSpanID string
+	rootSpan   *obs.SpanHandle
+
 	// userCancel marks an explicit Manager.Cancel, distinguishing it from
 	// a shutdown cancelation (the root context closing). Only the former
 	// journals a terminal cancel record; a shutdown-canceled job must stay
@@ -204,6 +215,14 @@ type Config struct {
 	// (Mode == ModeObservations) — the worker role in a sharded
 	// deployment, where analysis runs coordinator-side.
 	CharacterizeOnly bool
+	// TraceBuffer bounds each job's span ring in the tracing flight
+	// recorder (-trace-buffer): 0 uses the default (2048 spans per job),
+	// negative disables tracing entirely. Tracing is observational only —
+	// result bytes are identical either way.
+	TraceBuffer int
+	// TraceService tags emitted spans with the owning process name
+	// ("bdservd", "bdcoord"); default "service".
+	TraceService string
 	// Execute overrides the local pipeline executor — the hook through
 	// which bdcoord turns a Manager into a shard coordinator while
 	// reusing its queue, cache, journal and event plumbing. Nil runs
@@ -228,11 +247,12 @@ var ErrDraining = errors.New("service: draining for shutdown")
 
 // Manager owns the job queue, the executor pool and the result cache.
 type Manager struct {
-	cfg   Config
-	cache *resultCache
-	reg   *obs.Registry
-	mx    *svcMetrics
-	log   *slog.Logger
+	cfg    Config
+	cache  *resultCache
+	reg    *obs.Registry
+	mx     *svcMetrics
+	log    *slog.Logger
+	tracer *obs.FlightRecorder // nil when tracing is disabled
 
 	root context.Context
 	stop context.CancelFunc
@@ -294,6 +314,22 @@ func New(cfg Config) (*Manager, error) {
 		queue: make(chan *job, cfg.QueueDepth),
 	}
 	mx.registerGauges(reg, m)
+	if cfg.TraceBuffer >= 0 {
+		buf := cfg.TraceBuffer
+		if buf == 0 {
+			buf = 2048
+		}
+		svc := cfg.TraceService
+		if svc == "" {
+			svc = "service"
+		}
+		m.tracer = obs.NewFlightRecorder(svc, cfg.MaxJobs, buf)
+		// Every completed span is journaled, so the traces of re-adopted
+		// jobs survive a coordinator crash along with their unit progress.
+		m.tracer.Sink = func(jobID string, sp obs.Span) {
+			m.journalAppendSync(journalRecord{TS: sp.End, Type: "span", ID: jobID, Span: &sp})
+		}
+	}
 	if cfg.JournalPath != "" {
 		jl, replayed, err := openJournal(cfg.JournalPath, cfg.MaxJobs, logger, mx.journal)
 		if err != nil {
@@ -315,6 +351,8 @@ func New(cfg Config) (*Manager, error) {
 				j := newJob(m.root, r.id, r.spec)
 				j.created = r.created
 				j.planParts, j.unitsDone = r.planParts, r.unitsDone
+				m.initTrace(j, r.trace)
+				m.tracer.Replay(r.id, r.spans)
 				j.emit(Event{Type: "state", State: StateQueued})
 				m.jobs[r.id] = j
 				m.order = append(m.order, r.id)
@@ -427,6 +465,17 @@ func (m *Manager) JournalHealth() (ok bool, detail string) {
 // request reflects state the snapshot already saw, and any enqueued
 // after survives the rewrite.
 func (m *Manager) journalAppend(rec journalRecord) {
+	// Annotate the job's open root span with the append — the tracing view
+	// of journal activity. Span records themselves are excluded (every
+	// span would otherwise annotate the root with its own persistence).
+	if rec.Type != "span" && m.cfg.JournalPath != "" {
+		if j := m.jobs[rec.ID]; j != nil {
+			j.mu.Lock()
+			h := j.rootSpan
+			j.mu.Unlock()
+			h.Annotate("journal-append", map[string]string{"type": rec.Type})
+		}
+	}
 	m.jmu.Lock()
 	defer m.jmu.Unlock()
 	m.journal.append(rec)
@@ -449,6 +498,29 @@ func newJob(ctx context.Context, id string, spec JobSpec) *job {
 	}
 }
 
+// initTrace assigns a job's tracing identity: the trace ID and upstream
+// parent span from the propagated X-BD-Trace value when one is present
+// and valid, otherwise the job's own deterministic trace ID — plus a
+// pre-allocated root span ID that children (and the propagation header)
+// can reference before the root span itself is sealed. No-op when
+// tracing is disabled.
+func (m *Manager) initTrace(j *job, traceParent string) {
+	if !m.tracer.Enabled() {
+		return
+	}
+	j.traceID = obs.TraceID(j.id)
+	if tid, parent, ok := obs.ParseTraceParent(traceParent); ok {
+		j.traceID, j.parentSpan = tid, parent
+	}
+	j.rootSpanID = m.tracer.NewSpanID()
+}
+
+// Trace exports a job's trace from the flight recorder. ok is false for
+// unknown jobs, evicted traces, or when tracing is disabled.
+func (m *Manager) Trace(id string) (obs.TraceExport, bool) {
+	return m.tracer.Export(id)
+}
+
 // Submit enqueues a job (or replays it from the cache). Identical specs
 // normalize to the same ID: a submission matching a queued or running job
 // joins it, and one matching a completed job or cached result returns
@@ -458,6 +530,14 @@ func newJob(ctx context.Context, id string, spec JobSpec) *job {
 // m.mu, so concurrent submissions of distinct jobs never serialize behind
 // disk I/O; the record map is re-checked under the lock afterwards.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	return m.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit with an upstream trace context — the raw
+// X-BD-Trace header value ("" for none). When valid, the job's spans
+// join the caller's trace (parented under the caller's span) instead of
+// rooting a fresh one; anything malformed is ignored, never trusted.
+func (m *Manager) SubmitTraced(spec JobSpec, traceParent string) (JobStatus, error) {
 	if m.draining.Load() {
 		m.mx.jobsRejected.With("draining").Inc()
 		return JobStatus{}, ErrDraining
@@ -477,6 +557,20 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 
+	// The cache-probe span is built when the probe runs but recorded only
+	// at an exit where the job's submit journal record already exists (or
+	// is already queued ahead of it): recording during the probe would
+	// journal the span line before the submit line, and replay drops
+	// spans that precede their job. Recording also sinks to the journal
+	// under m.mu, so it must happen after the unlock at each exit.
+	var probeSpan *obs.Span
+	recordProbe := func() {
+		if probeSpan != nil {
+			m.tracer.Record(id, *probeSpan)
+			probeSpan = nil
+		}
+	}
+
 	for attempt := 0; ; attempt++ {
 		// Fast path, no disk I/O: a live record already covers this
 		// submission.
@@ -494,6 +588,18 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		// Probe the cache (LRU, then disk tier) unlocked.
 		probeStart := time.Now()
 		_, hash, hit := m.cache.Get(id)
+		if attempt == 0 && m.tracer.Enabled() {
+			tid := obs.TraceID(id)
+			parent := ""
+			if t, p, ok := obs.ParseTraceParent(traceParent); ok {
+				tid, parent = t, p
+			}
+			probeSpan = &obs.Span{
+				TraceID: tid, Parent: parent, Name: "cache-probe",
+				Start: probeStart, End: time.Now(),
+				Attrs: map[string]string{"status": "ok", "hit": fmt.Sprintf("%t", hit)},
+			}
+		}
 
 		m.mu.Lock()
 		if j, ok := m.jobs[id]; ok {
@@ -502,6 +608,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			case StateQueued, StateRunning:
 				// Raced with a concurrent identical submission.
 				m.mu.Unlock()
+				recordProbe()
 				m.mx.jobsSubmitted.With("deduped").Inc()
 				m.log.Debug("job submission joined live job", "job", id, "state", st.State)
 				return st, nil
@@ -512,6 +619,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 					st.ResultHash = hash
 					st.CacheHit = true
 					m.mu.Unlock()
+					recordProbe()
 					m.mx.jobsSubmitted.With("cache_hit").Inc()
 					m.log.Debug("job submission replayed from cache", "job", id, "hash", hash)
 					return st, nil
@@ -530,11 +638,13 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 				j.cancel()
 				delete(m.jobs, id)
 				m.dropFromOrder(id)
+				m.tracer.Remove(id)
 			default:
 				// failed / canceled: forget the old record and resubmit.
 				j.cancel()
 				delete(m.jobs, id)
 				m.dropFromOrder(id)
+				m.tracer.Remove(id)
 			}
 		}
 
@@ -554,6 +664,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			m.journalAppend(journalRecord{TS: now, Type: "done", ID: id, Hash: hash})
 			st := j.status()
 			m.mu.Unlock()
+			recordProbe()
 			m.mx.jobsSubmitted.With("cache_hit").Inc()
 			m.log.Info("job submitted", "job", id, "state", StateDone, "cache_hit", true, "hash", hash)
 			// Born-done jobs never pass through runJob, so this is their
@@ -574,6 +685,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			return JobStatus{}, ErrQueueFull
 		}
 		j := newJob(m.root, id, norm)
+		m.initTrace(j, traceParent)
 		// Record and emit "queued" before the channel send: a free worker
 		// can pick the job up (and emit "running") the instant it lands
 		// in the queue, and the stream must start with the queued event.
@@ -583,10 +695,17 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		m.order = append(m.order, id)
 		m.evictLocked()
 		j.emit(Event{Type: "state", State: StateQueued})
-		m.journalAppend(journalRecord{TS: j.created, Type: "submit", ID: id, Spec: &norm})
+		trace := ""
+		if j.parentSpan != "" {
+			// Persist the propagated trace identity so a re-adopted job's
+			// new spans still join the upstream trace after a crash.
+			trace = obs.FormatTraceParent(j.traceID, j.parentSpan)
+		}
+		m.journalAppend(journalRecord{TS: j.created, Type: "submit", ID: id, Spec: &norm, Trace: trace})
 		m.queue <- j
 		st := j.status()
 		m.mu.Unlock()
+		recordProbe()
 		m.mx.jobsSubmitted.With("queued").Inc()
 		m.log.Info("job submitted", "job", id, "state", StateQueued, "mode", norm.Mode, "workloads", len(norm.Workloads))
 		return st, nil
@@ -613,6 +732,8 @@ func (m *Manager) evictLocked() {
 				j.cancel() // idempotent; ensures no child-context leak
 				delete(m.jobs, id)
 				m.dropFromOrder(id)
+				// The flight recorder's trace rides along with the record.
+				m.tracer.Remove(id)
 				evicted = true
 				break
 			}
@@ -747,7 +868,21 @@ func (m *Manager) runJob(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.emitLocked(Event{Type: "state", State: StateRunning})
-	started := j.started
+	created, started := j.created, j.started
+	j.mu.Unlock()
+	// Open the job's root span under its pre-allocated ID and backfill the
+	// time spent queued as a queue-wait child. Both no-op when disabled.
+	rootSpan := m.tracer.StartSpanID(j.id, j.traceID, j.parentSpan, "job", j.rootSpanID)
+	rootSpan.SetAttr("job", j.id)
+	if rootSpan != nil {
+		m.tracer.Record(j.id, obs.Span{
+			TraceID: j.traceID, Parent: j.rootSpanID, Name: "queue-wait",
+			Start: created, End: started,
+			Attrs: map[string]string{"status": "ok"},
+		})
+	}
+	j.mu.Lock()
+	j.rootSpan = rootSpan
 	j.mu.Unlock()
 	m.log.Info("job started", "job", j.id)
 	m.journalAppendSync(journalRecord{TS: started, Type: "start", ID: j.id})
@@ -784,9 +919,16 @@ func (m *Manager) runJob(j *job) {
 		rec = journalRecord{TS: now, Type: "fail", ID: j.id, Err: err.Error()}
 	}
 	state := j.state
+	j.rootSpan = nil // no further annotations after the terminal record
 	j.mu.Unlock()
 	m.mx.jobsCompleted.With(string(state)).Inc()
 	m.mx.jobDuration.With(string(state)).Observe(elapsed.Seconds())
+	rootSpan.SetAttr("state", string(state))
+	if state == StateFailed {
+		rootSpan.EndErr(err)
+	} else {
+		rootSpan.End()
+	}
 	switch state {
 	case StateDone:
 		m.log.Info("job done", "job", j.id, "duration", elapsed, "hash", hash)
@@ -852,11 +994,26 @@ func (m *Manager) maybeCompactJournal() {
 				unitsDone[u] = k
 			}
 		}
+		trace := ""
+		if j.parentSpan != "" {
+			trace = obs.FormatTraceParent(j.traceID, j.parentSpan)
+		}
+		var spans []obs.Span
+		if !state.terminal() && m.tracer.Enabled() {
+			// In-flight jobs keep their spans across the rewrite — the
+			// trace must survive compaction the same way unit progress
+			// does. Terminal jobs' spans are dropped with the rest of
+			// their non-essential history.
+			if exp, ok := m.tracer.Export(j.id); ok {
+				spans = exp.Spans
+			}
+		}
 		snapshot = append(snapshot, replayedJob{
 			id: j.id, spec: j.spec, state: state,
 			hash: j.resultHash, errMsg: j.errMsg,
 			created: j.created, started: j.started, finished: j.finished,
 			planParts: j.planParts, unitsDone: unitsDone,
+			trace: trace, spans: spans,
 		})
 		j.mu.Unlock()
 	}
@@ -922,6 +1079,17 @@ func (m *Manager) execute(j *job) (string, error) {
 	// Sharded executors pick the unit-level crash-recovery capability off
 	// the context (see unitprogress.go); the local pipeline ignores it.
 	ctx := context.WithValue(j.ctx, unitProgressKey{}, &jobUnitProgress{m: m, j: j})
+	// Tracing capability: stage transitions become spans under the job's
+	// root span, and sharded executors pick the context off ctx to emit
+	// plan/unit/merge spans into the same trace.
+	if m.tracer.Enabled() {
+		tc := &obs.TraceContext{Rec: m.tracer, JobID: j.id, TraceID: j.traceID, Root: j.rootSpanID}
+		timer.OnSpan(func(stage core.Stage, start, end time.Time) {
+			tc.RecordInterval("", string(stage), start, end,
+				map[string]string{"kind": "stage", "status": "ok"})
+		})
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
 	data, err := exec(ctx, j.spec, timer.Progress)
 	timer.Finish()
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -342,6 +343,23 @@ func (q *unitQueue) tryTake(url string, members []*workerState) (u int, stolen, 
 	return u, stolen, true
 }
 
+// attemptNumber is the 1-based ordinal the next attempt of unit u runs
+// as: previously charged (failed) attempts plus one. Read at take time
+// so the attempt attribute on a unit's spans matches the queue's
+// bookkeeping — the invariant the chaostest trace property pins.
+func (q *unitQueue) attemptNumber(u int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.attempts[u] + 1
+}
+
+// attemptCounts snapshots the charged (failed) attempt count per unit.
+func (q *unitQueue) attemptCounts() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]int(nil), q.attempts...)
+}
+
 // complete marks a unit merged.
 func (q *unitQueue) complete(u int) {
 	q.mu.Lock()
@@ -413,6 +431,7 @@ type jobRun struct {
 	oms   []*core.ObservationMatrix
 	keys  []string             // unit → content-addressed store key
 	up    service.UnitProgress // nil without a manager journal
+	tc    *obs.TraceContext    // nil when tracing is disabled
 }
 
 // Execute implements service.ExecuteFunc: plan fine-grained units → run
@@ -438,6 +457,7 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 	}
 	jobID, _ := spec.ID()
 	up, _ := service.UnitProgressFrom(ctx)
+	tc := obs.TraceFromContext(ctx)
 	parts := len(e.reg.snapshot()) * e.cfg.UnitsPerWorker
 	if parts < e.cfg.UnitsPerWorker {
 		parts = e.cfg.UnitsPerWorker
@@ -449,12 +469,18 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 		}
 		up.RecordPlan(parts)
 	}
+	// The plan span covers the pure tiling plus restart recovery: units
+	// re-adopted from the journal and unit store never reach dispatch, so
+	// they belong to planning time, not execution time.
+	planSpan := tc.StartSpan("plan")
 	units, err := Plan(spec, parts)
 	if err != nil {
+		planSpan.EndErr(err)
 		return nil, err
 	}
 	suite, err := spec.ResolveSuite()
 	if err != nil {
+		planSpan.EndErr(err)
 		return nil, err
 	}
 	names := make([]string, len(suite))
@@ -513,20 +539,43 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 			recoveredUnits++
 		}
 	}
+	planSpan.SetAttr("units", strconv.Itoa(len(units)))
+	planSpan.SetAttr("recovered", strconv.Itoa(recoveredUnits))
+	planSpan.End()
 	e.log.Info("sharded job dispatch starting", "job", jobID,
 		"units", len(units), "recovered_units", recoveredUnits,
 		"workers", len(e.reg.snapshot()))
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	q := newUnitQueue(len(units), e.cfg.MaxUnitAttempts, preDone, cancel)
-	run := &jobRun{id: jobID, q: q, units: units, full: spec, agg: agg, oms: oms, keys: keys, up: up}
+	run := &jobRun{id: jobID, q: q, units: units, full: spec, agg: agg, oms: oms, keys: keys, up: up, tc: tc}
 	var wg sync.WaitGroup
 	active := make(map[*workerState]bool)
+	// fleet tracks membership for the trace: a join/leave instant per
+	// change, so a trace read post-mortem shows which workers the job
+	// could even have dispatched to at any point in its life.
+	fleet := make(map[string]bool)
 	for {
 		if done, _ := q.settled(); done || dctx.Err() != nil {
 			break
 		}
 		members := e.reg.snapshot()
+		if tc != nil {
+			seen := make(map[string]bool, len(members))
+			for _, w := range members {
+				seen[w.url] = true
+				if !fleet[w.url] {
+					fleet[w.url] = true
+					tc.Instant("worker-join", map[string]string{"worker": w.url})
+				}
+			}
+			for url := range fleet {
+				if !seen[url] {
+					delete(fleet, url)
+					tc.Instant("worker-leave", map[string]string{"worker": url})
+				}
+			}
+		}
 		for _, w := range members {
 			if active[w] || w.departed() {
 				continue
@@ -563,13 +612,33 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 		e.log.Warn("sharded job failed", "job", jobID, "error", qerr)
 		return nil, qerr
 	}
+	if tc != nil {
+		// One instant per settled unit carrying the queue's final attempt
+		// bookkeeping: "attempts" is the charged (failed) count, so the
+		// winning exec span's attempt attribute is always attempts+1 — the
+		// cross-check the chaostest trace property asserts.
+		for u, n := range q.attemptCounts() {
+			attrs := map[string]string{
+				"unit":     strconv.Itoa(u),
+				"attempts": strconv.Itoa(n),
+			}
+			if keys[u] != "" {
+				attrs["key"] = keys[u]
+			}
+			tc.Instant("unit-done", attrs)
+		}
+	}
 
+	mergeSpan := tc.StartSpan("merge")
 	mergeStart := time.Now()
 	om, err := merge(spec, names, runs, nodes, units, oms)
 	e.mx.mergeDuration.Observe(time.Since(mergeStart).Seconds())
 	if err != nil {
+		mergeSpan.EndErr(err)
 		return nil, err
 	}
+	mergeSpan.SetAttr("units", strconv.Itoa(len(units)))
+	mergeSpan.End()
 	e.log.Info("sharded job units merged", "job", jobID,
 		"units", len(units), "merge_duration", time.Since(mergeStart))
 	var out []byte
@@ -640,7 +709,15 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 			e.mx.unitsStolen.With(w.url).Inc()
 			e.log.Debug("unit rescued from failed sibling", "job", run.id, "unit", u, "worker", w.url)
 		}
-		om, data, key, err := e.runUnitOn(ctx, w, run.units[u], run.full, u, run.agg)
+		attempt := q.attemptNumber(u)
+		unitSpan := run.tc.StartSpan("unit")
+		unitSpan.SetAttr("unit", strconv.Itoa(u))
+		unitSpan.SetAttr("attempt", strconv.Itoa(attempt))
+		unitSpan.SetAttr("worker", w.url)
+		if stolen {
+			unitSpan.SetAttr("stolen", "true")
+		}
+		om, data, key, err := e.runUnitOn(ctx, w, run, u, unitSpan.ID(), attempt, stolen)
 		if err == nil {
 			run.oms[u], run.keys[u] = om, key
 			w.recordSuccess()
@@ -654,6 +731,7 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 					run.up.UnitDone(u, key)
 				}
 			}
+			unitSpan.End()
 			q.complete(u)
 			continue
 		}
@@ -661,10 +739,19 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 			// Canceled mid-attempt — job shutdown or the worker leaving
 			// the fleet. Either way the error is a symptom, not a verdict
 			// on the unit: release it without charging an attempt.
+			unitSpan.SetAttr("status", "released")
+			unitSpan.End()
 			q.release(u)
 			return
 		}
+		unitSpan.EndErr(err)
 		w.recordFailure(err)
+		if run.tc != nil && !w.available() {
+			// This failure tripped (or kept) the breaker open: worth a
+			// marker in the trace — it explains why following units land
+			// on siblings.
+			run.tc.Instant("breaker-open", map[string]string{"worker": w.url})
+		}
 		q.fail(u, w.url, fmt.Errorf("worker %s: %w", w.url, err))
 		e.log.Warn("unit attempt failed", "job", run.id, "unit", u, "worker", w.url, "error", err)
 		// Brief backoff after a failure: gives a healthy sibling first
@@ -722,10 +809,10 @@ func (w *unitWatch) touch() { w.last.Store(time.Now().UnixNano()) }
 // status is probed, and only an unanswered probe abandons the attempt —
 // so a healthy worker whose queue is merely busy is never failed over,
 // while a dead-but-connected one is.
-func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, full service.JobSpec, u int, agg *progressAgg) (*core.ObservationMatrix, []byte, string, error) {
+func (e *Executor) runUnitOn(ctx context.Context, w *workerState, run *jobRun, u int, unitSpanID string, attempt int, stolen bool) (*core.ObservationMatrix, []byte, string, error) {
 	stall := e.cfg.StallTimeout
 	if stall <= 0 {
-		return e.attemptUnit(ctx, w.client, unit, full, u, agg, &unitWatch{})
+		return e.attemptUnit(ctx, w.client, run, u, unitSpanID, attempt, stolen, &unitWatch{})
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -767,7 +854,7 @@ func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, fu
 		}
 	}()
 
-	om, data, key, err := e.attemptUnit(actx, w.client, unit, full, u, agg, uw)
+	om, data, key, err := e.attemptUnit(actx, w.client, run, u, unitSpanID, attempt, stolen, uw)
 	if err != nil && actx.Err() != nil && ctx.Err() == nil {
 		// The watchdog (not the job) aborted the attempt. Report it as a
 		// worker *failure* — deliberately not wrapping the underlying
@@ -778,13 +865,30 @@ func (e *Executor) runUnitOn(ctx context.Context, w *workerState, unit Shard, fu
 	return om, data, key, err
 }
 
-// attemptUnit is the watchdog-free body of one unit attempt.
-func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard, full service.JobSpec, u int, agg *progressAgg, w *unitWatch) (*core.ObservationMatrix, []byte, string, error) {
-	sub := unit.Spec(full)
-	st, err := c.SubmitSpec(ctx, sub)
+// attemptUnit is the watchdog-free body of one unit attempt. The attempt
+// is traced as three children of the unit span — dispatch (the submit
+// RPC), exec (the worker running the unit, or a cache hit), validate
+// (result fetch + decode + shape check) — and the trace context rides to
+// the worker in the submission's X-BD-Trace header, so the worker's own
+// stage spans join this trace and are imported under the exec span once
+// the unit validates.
+func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, run *jobRun, u int, unitSpanID string, attempt int, stolen bool, w *unitWatch) (*core.ObservationMatrix, []byte, string, error) {
+	tc := run.tc
+	unit := run.units[u]
+	sub := unit.Spec(run.full)
+	unitAttr := strconv.Itoa(u)
+	var traceParent string
+	if tc != nil {
+		traceParent = obs.FormatTraceParent(tc.TraceID, unitSpanID)
+	}
+	dispatchSpan := tc.StartChild(unitSpanID, "dispatch")
+	dispatchSpan.SetAttr("unit", unitAttr)
+	st, err := c.SubmitSpecTraced(ctx, sub, traceParent)
 	if err != nil {
+		dispatchSpan.EndErr(err)
 		return nil, nil, "", err
 	}
+	dispatchSpan.End()
 	w.touch()
 	// With the job ID known, silence can be disambiguated: the watchdog
 	// probes the job's status and only an unanswered probe means a dead
@@ -793,11 +897,21 @@ func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard
 		_, err := c.Job(pctx, st.ID)
 		return err
 	})
+	execSpan := tc.StartChild(unitSpanID, "exec")
+	execSpan.SetAttr("unit", unitAttr)
+	execSpan.SetAttr("attempt", strconv.Itoa(attempt))
+	execSpan.SetAttr("worker", c.BaseURL)
+	if stolen {
+		execSpan.SetAttr("stolen", "true")
+	}
 	switch st.State {
 	case service.StateDone:
 		// Cache hit on the worker: the matrix is immediately fetchable.
+		execSpan.SetAttr("cache_hit", "true")
 	case service.StateFailed, service.StateCanceled:
-		return nil, nil, "", fmt.Errorf("unit job %s born %s: %s", st.ID, st.State, st.Error)
+		err := fmt.Errorf("unit job %s born %s: %s", st.ID, st.State, st.Error)
+		execSpan.EndErr(err)
+		return nil, nil, "", err
 	default:
 		// Follow the worker's NDJSON stream, multiplexing its per-cell
 		// progress into the coordinator's merged stream. The worker job
@@ -811,7 +925,7 @@ func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard
 			w.touch()
 			switch ev.Type {
 			case "progress":
-				agg.report(u, ev.Done)
+				run.agg.report(u, ev.Done)
 			case "error":
 				return fmt.Errorf("unit job %s failed: %s", st.ID, ev.Error)
 			case "state":
@@ -822,18 +936,35 @@ func (e *Executor) attemptUnit(ctx context.Context, c *client.Client, unit Shard
 			return nil
 		})
 		if err != nil {
+			execSpan.EndErr(err)
 			return nil, nil, "", err
 		}
 	}
+	execSpan.End()
 
+	validateSpan := tc.StartChild(unitSpanID, "validate")
+	validateSpan.SetAttr("unit", unitAttr)
 	data, err := c.Result(ctx, st.ID)
 	if err != nil {
+		validateSpan.EndErr(err)
 		return nil, nil, "", err
 	}
 	w.touch()
 	om, err := decodeUnitResult(data, unit, sub)
 	if err != nil {
+		validateSpan.EndErr(err)
 		return nil, nil, "", err
+	}
+	validateSpan.End()
+	if tc != nil {
+		// Best-effort import of the worker's spans for this unit job:
+		// they nest under the exec span that drove them. A worker cache
+		// hit serves spans tagged with some older trace's ID — Import
+		// filters those out. Failure here never fails the unit; the
+		// trace just lacks the worker's interior detail.
+		if export, terr := c.Trace(ctx, st.ID); terr == nil {
+			tc.Import(export.Spans, execSpan.ID(), c.BaseURL, map[string]string{"unit": unitAttr})
+		}
 	}
 	return om, data, st.ID, nil
 }

@@ -113,6 +113,49 @@ curl -fsS "$SD/v1/jobs/$SD_ID/result" -o "$WORKDIR/sd_result.json"
 cmp "$WORKDIR/co_result.json" "$WORKDIR/sd_result.json"
 echo "    byte-identical at 2 workers vs 1 daemon"
 
+echo "==> fetching the distributed trace"
+# The flight recorder saw the whole job: assert the canonical export has
+# at least one unit span attributed to each worker, monotone span
+# timestamps, and worker-side stage spans nested (via exec) under the
+# coordinator's unit spans. The Chrome trace_event rendering is saved
+# next to the repo's other CI artifacts for chrome://tracing inspection.
+curl -fsS "$CO/v1/jobs/$CO_ID/trace" -o "$WORKDIR/co_trace.json"
+curl -fsS "$CO/v1/jobs/$CO_ID/trace?format=chrome" -o smoke_bdcoord_trace.json
+python3 - "$WORKDIR/co_trace.json" "http://$W1_ADDR" "http://$W2_ADDR" <<'PY'
+import datetime, json, re, sys
+
+def ts(s):  # RFC3339Nano → datetime (trim to µs for fromisoformat)
+    s = s.replace('Z', '+00:00')
+    m = re.match(r'(.*\.)(\d+)([+-].*)', s)
+    if m:
+        s = m.group(1) + m.group(2)[:6].ljust(6, '0') + m.group(3)
+    return datetime.datetime.fromisoformat(s)
+
+t = json.load(open(sys.argv[1]))
+spans = t['spans']
+assert spans, 'trace export has no spans'
+by_id = {sp['span_id']: sp for sp in spans}
+for sp in spans:
+    assert ts(sp['start']) <= ts(sp['end']), f'span {sp["name"]} ends before it starts: {sp}'
+for worker in sys.argv[2:4]:
+    units = [sp for sp in spans
+             if sp['name'] == 'unit' and sp.get('attrs', {}).get('worker') == worker]
+    assert units, f'no unit span attributed to {worker}'
+nested = 0
+for sp in spans:
+    if sp.get('worker') and sp.get('attrs', {}).get('kind') == 'stage':
+        chain, cur = set(), sp
+        while cur.get('parent_id') in by_id and cur['parent_id'] not in chain:
+            chain.add(cur['parent_id'])
+            cur = by_id[cur['parent_id']]
+            if cur['name'] == 'unit':
+                nested += 1
+                break
+assert nested > 0, 'no worker stage span nests under a coordinator unit span'
+print(f"    trace: {len(spans)} spans, {nested} worker stage spans nested under unit spans")
+PY
+python3 -c 'import json,sys; ev=json.load(open("smoke_bdcoord_trace.json"))["traceEvents"]; assert ev, "empty chrome trace"; print(f"    chrome trace: {len(ev)} events -> smoke_bdcoord_trace.json")'
+
 echo "==> restarting the coordinator (journal replay)"
 kill "$CO_PID"
 wait "$CO_PID" 2>/dev/null || true
