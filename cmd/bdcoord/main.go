@@ -27,6 +27,7 @@
 //	        [-max-jobs 1024] [-parallelism 0] [-concurrent-jobs 1]
 //	        [-stall-timeout 5m] [-probe-interval 15s]
 //	        [-breaker-threshold 3] [-units-per-worker 4]
+//	        [-cell-cache auto] [-cell-cache-entries 0]
 //	        [-drain-timeout 30s]
 //	        [-log-level info] [-log-format text] [-stats-interval 1m]
 //	        [-trace-buffer 2048] [-pprof-addr localhost:6061]
@@ -86,7 +87,11 @@ func run() error {
 		probe   = flag.Duration("probe-interval", 15*time.Second, "worker /healthz probe period (negative disables; open breakers then re-admit via half-open dispatch trials)")
 		brk     = flag.Int("breaker-threshold", 3, "consecutive failures (units + probes) that open a worker's circuit breaker")
 		upw     = flag.Int("units-per-worker", 4, "target work units planned per worker (work-stealing granularity)")
-		drain   = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long to let in-flight jobs finish before cutting them short (they re-adopt on restart)")
+		cellDir = flag.String("cell-cache", "auto",
+			"shared cell-level result cache dir ('auto' = <data-dir>/cells, '' = disabled): fully cached units are assembled coordinator-side and never dispatched")
+		cellEntries = flag.Int("cell-cache-entries", 0,
+			"max on-disk cell cache entries (0 = default)")
+		drain = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long to let in-flight jobs finish before cutting them short (they re-adopt on restart)")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text, json")
@@ -134,6 +139,13 @@ func run() error {
 		journal = filepath.Join(*dataDir, "journal.ndjson")
 		unitDir = filepath.Join(*dataDir, "units")
 	}
+	cellCacheDir := *cellDir
+	if cellCacheDir == "auto" {
+		cellCacheDir = ""
+		if *dataDir != "" {
+			cellCacheDir = filepath.Join(*dataDir, "cells")
+		}
+	}
 	// One registry spans both layers: the manager's queue/cache/journal
 	// metrics and the executor's fleet metrics render on the same
 	// /metrics endpoint.
@@ -147,6 +159,8 @@ func run() error {
 		BreakerThreshold: *brk,
 		UnitsPerWorker:   *upw,
 		UnitCacheDir:     unitDir,
+		CellCacheDir:     cellCacheDir,
+		CellCacheEntries: *cellEntries,
 		Registry:         reg,
 		Logger:           logger,
 	})

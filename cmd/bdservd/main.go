@@ -19,7 +19,8 @@
 //
 //	bdservd [-addr :8356] [-data-dir bdservd-data] [-workers 1]
 //	        [-queue 64] [-cache-entries 256] [-max-jobs 1024]
-//	        [-journal auto] [-characterize-only] [-parallelism 0]
+//	        [-journal auto] [-cell-cache auto] [-cell-cache-entries 0]
+//	        [-characterize-only] [-parallelism 0]
 //	        [-throttle-cell 0] [-drain-timeout 30s]
 //	        [-log-level info] [-log-format text] [-stats-interval 1m]
 //	        [-trace-buffer 2048] [-pprof-addr localhost:6060]
@@ -68,13 +69,17 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8356", "listen address")
-		dataDir  = flag.String("data-dir", "bdservd-data", "on-disk result store ('' = memory only)")
-		workers  = flag.Int("workers", 1, "concurrently executing jobs")
-		queue    = flag.Int("queue", 64, "max queued jobs")
-		entries  = flag.Int("cache-entries", 256, "in-memory LRU result entries")
-		maxJobs  = flag.Int("max-jobs", 1024, "max retained job records (oldest terminal evicted)")
-		journal  = flag.String("journal", "auto", "job journal path ('auto' = <data-dir>/journal.ndjson, '' = disabled)")
+		addr    = flag.String("addr", ":8356", "listen address")
+		dataDir = flag.String("data-dir", "bdservd-data", "on-disk result store ('' = memory only)")
+		workers = flag.Int("workers", 1, "concurrently executing jobs")
+		queue   = flag.Int("queue", 64, "max queued jobs")
+		entries = flag.Int("cache-entries", 256, "in-memory LRU result entries")
+		maxJobs = flag.Int("max-jobs", 1024, "max retained job records (oldest terminal evicted)")
+		journal = flag.String("journal", "auto", "job journal path ('auto' = <data-dir>/journal.ndjson, '' = disabled)")
+		cellDir = flag.String("cell-cache", "auto",
+			"cell-level result cache dir ('auto' = <data-dir>/cells, '' = disabled): caches one workload×node column per entry so overlapping suites recompute only new cells")
+		cellEntries = flag.Int("cell-cache-entries", 0,
+			"max on-disk cell cache entries (0 = default)")
 		charOnly = flag.Bool("characterize-only", false,
 			"accept only observation-matrix jobs (shard-worker role)")
 		par      = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
@@ -119,6 +124,13 @@ func run() error {
 			journalPath = filepath.Join(*dataDir, "journal.ndjson")
 		}
 	}
+	cellCacheDir := *cellDir
+	if cellCacheDir == "auto" {
+		cellCacheDir = ""
+		if *dataDir != "" {
+			cellCacheDir = filepath.Join(*dataDir, "cells")
+		}
+	}
 
 	// Flag semantics (0 = off) map to the config's (negative = off).
 	traceSpans := *traceBuf
@@ -136,6 +148,8 @@ func run() error {
 		MaxJobs:          *maxJobs,
 		JournalPath:      journalPath,
 		CharacterizeOnly: *charOnly,
+		CellCacheDir:     cellCacheDir,
+		CellCacheEntries: *cellEntries,
 		Parallelism:      *par,
 		CellDelay:        *throttle,
 		TraceBuffer:      traceSpans,

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bigdata/workloads"
+	"repro/internal/perf"
+	"repro/internal/sim/machine"
+	"repro/internal/trace"
+)
+
+// cellKeyVersion is baked into every cell key. Bump it whenever the
+// measurement semantics change in a way the inputs below cannot express
+// (a simulator fix, a metric-schema change), so stale caches turn into
+// misses instead of serving pre-change cells.
+const cellKeyVersion = 1
+
+// cellKeySpec is the canonical content of one cell key: everything the
+// per-cell seed and simulation consume, and nothing else. A column — one
+// workload on one absolute node, all runs — is the cache unit, matching
+// the shard planner's workload×node granularity, so the run index is
+// folded in through Runs rather than keyed separately.
+//
+// The field set is an exhaustive audit of runNode's data flow: the
+// workload's resolved trace profile (names alone are not identity — the
+// open scenario registry lets two suites bind different definitions to
+// one name), the absolute node index (NodeOffset+node, which is what the
+// seed uses, so shards of the same grid share keys), and every Config
+// field the simulation reads. Execution-only knobs (Parallelism,
+// SlaveNodes, NodeOffset as a field) are deliberately absent: they never
+// affect a cell's bytes. All types are flat structs of scalars, so
+// encoding/json is deterministic and round-trips float64 exactly.
+type cellKeySpec struct {
+	V            int
+	Workload     string
+	Profile      trace.Profile
+	AbsNode      int
+	Seed         uint64
+	Jitter       float64
+	Instructions int
+	Slices       int
+	Runs         int
+	Machine      machine.Config
+	Monitor      perf.MonitorConfig
+}
+
+// CellKey returns the content address of one workload×node column of the
+// characterization grid under cfg: the full SHA-256 (64 hex digits) of
+// the canonical cell-key spec. Equal keys guarantee byte-identical
+// per-run metric vectors; node is the campaign-local index, and the key
+// is derived from the absolute index cfg.NodeOffset+node, so a sharded
+// sub-campaign and the full grid address the same columns identically.
+func CellKey(w workloads.Workload, cfg Config, node int) (string, error) {
+	data, err := json.Marshal(cellKeySpec{
+		V:            cellKeyVersion,
+		Workload:     w.Name,
+		Profile:      w.Profile,
+		AbsNode:      cfg.NodeOffset + node,
+		Seed:         cfg.Seed,
+		Jitter:       cfg.ExecutionJitter,
+		Instructions: cfg.InstructionsPerCore,
+		Slices:       cfg.Slices,
+		Runs:         cfg.Runs,
+		Machine:      cfg.Machine,
+		Monitor:      cfg.Monitor,
+	})
+	if err != nil {
+		return "", fmt.Errorf("cluster: encoding cell key: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CellCache is the cell-lookup hook CharacterizeCellsCtx consults when
+// one rides on the context: a content-addressed store of workload×node
+// columns (the per-run metric vectors of one workload on one absolute
+// node). Implementations must uphold the determinism contract — a column
+// served under a key must be exactly what recomputing it would produce —
+// and be safe for concurrent use. See internal/cellcache for the on-disk
+// implementation.
+type CellCache interface {
+	// GetCell returns the column under key, or ok=false. runs and
+	// metrics give the expected shape; implementations must never return
+	// a column that does not match it.
+	GetCell(key string, runs, metrics int) (vecs [][]float64, ok bool)
+	// PutCell stores a computed column. Best-effort: failures may be
+	// swallowed (the grid already holds the computed cells).
+	PutCell(key string, vecs [][]float64)
+}
+
+// cellCacheKey carries the CellCache capability through a context. The
+// hook travels on ctx rather than Config so Config stays a comparable
+// plain-data struct (spec normalization compares it with ==) and so the
+// capability flows from the service layer through core's pipeline
+// wrappers without either package importing the other's cache machinery.
+type cellCacheKey struct{}
+
+// ContextWithCellCache returns a context that makes cc available to any
+// CharacterizeCellsCtx call beneath it.
+func ContextWithCellCache(ctx context.Context, cc CellCache) context.Context {
+	return context.WithValue(ctx, cellCacheKey{}, cc)
+}
+
+// CellCacheFrom extracts the cell-lookup hook, if any.
+func CellCacheFrom(ctx context.Context) (CellCache, bool) {
+	cc, ok := ctx.Value(cellCacheKey{}).(CellCache)
+	return cc, ok && cc != nil
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bigdata/workloads"
+)
+
+// memCellCache is a map-backed CellCache for tests: shape-checked like
+// the real store, safe for the grid's concurrent workers.
+type memCellCache struct {
+	mu           sync.Mutex
+	cols         map[string][][]float64
+	hits, misses int
+	stores       int
+}
+
+func newMemCellCache() *memCellCache {
+	return &memCellCache{cols: map[string][][]float64{}}
+}
+
+func (c *memCellCache) GetCell(key string, runs, metrics int) ([][]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vecs, ok := c.cols[key]
+	if !ok || len(vecs) != runs {
+		c.misses++
+		return nil, false
+	}
+	for _, v := range vecs {
+		if len(v) != metrics {
+			c.misses++
+			return nil, false
+		}
+	}
+	c.hits++
+	return vecs, true
+}
+
+func (c *memCellCache) PutCell(key string, vecs [][]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cols[key] = vecs
+	c.stores++
+}
+
+func testSuite(t *testing.T, n int) []workloads.Workload {
+	t.Helper()
+	suite, err := workloads.Suite(workloads.Config{Seed: 11, Scale: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) < n {
+		t.Fatalf("suite has %d workloads, need %d", len(suite), n)
+	}
+	return suite[:n]
+}
+
+func tinyGridConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Machine.Sockets, cfg.Machine.CoresPerSocket = 1, 2
+	cfg.Machine.L1I.SizeB = 1 << 10
+	cfg.Machine.L1D.SizeB = 1 << 10
+	cfg.Machine.L2.SizeB = 4 << 10
+	cfg.Machine.L3.SizeB = 32 << 10
+	cfg.SlaveNodes = 2
+	cfg.InstructionsPerCore = 2000
+	cfg.Slices = 6
+	cfg.Runs = 2
+	cfg.Parallelism = 2
+	return cfg
+}
+
+func TestCellKeyIdentityAndSensitivity(t *testing.T) {
+	suite := testSuite(t, 2)
+	cfg := tinyGridConfig()
+
+	base, err := CellKey(suite[0], cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 64 {
+		t.Fatalf("key %q is not 64 hex digits", base)
+	}
+	again, _ := CellKey(suite[0], cfg, 1)
+	if base != again {
+		t.Fatal("identical inputs produced different keys")
+	}
+
+	// Every simulation-relevant input must perturb the key.
+	perturb := map[string]func() (string, error){
+		"node":     func() (string, error) { return CellKey(suite[0], cfg, 0) },
+		"workload": func() (string, error) { return CellKey(suite[1], cfg, 1) },
+		"seed": func() (string, error) {
+			c := cfg
+			c.Seed++
+			return CellKey(suite[0], c, 1)
+		},
+		"jitter": func() (string, error) {
+			c := cfg
+			c.ExecutionJitter += 0.01
+			return CellKey(suite[0], c, 1)
+		},
+		"instructions": func() (string, error) {
+			c := cfg
+			c.InstructionsPerCore += 1000
+			return CellKey(suite[0], c, 1)
+		},
+		"slices": func() (string, error) {
+			c := cfg
+			c.Slices++
+			return CellKey(suite[0], c, 1)
+		},
+		"runs": func() (string, error) {
+			c := cfg
+			c.Runs++
+			return CellKey(suite[0], c, 1)
+		},
+		"machine": func() (string, error) {
+			c := cfg
+			c.Machine.L2.SizeB *= 2
+			return CellKey(suite[0], c, 1)
+		},
+		"profile": func() (string, error) {
+			w := suite[0]
+			w.Profile.Compute.LoadFrac += 0.01
+			return CellKey(w, cfg, 1)
+		},
+	}
+	for name, fn := range perturb {
+		k, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == base {
+			t.Errorf("perturbing %s did not change the cell key", name)
+		}
+	}
+
+	// Execution-only knobs must NOT perturb the key.
+	c := cfg
+	c.Parallelism = 7
+	c.SlaveNodes = 9
+	if k, _ := CellKey(suite[0], c, 1); k != base {
+		t.Error("execution-only knobs changed the cell key")
+	}
+}
+
+// TestCellKeyShardEquivalence pins the sharding identity: a sub-campaign
+// at NodeOffset o addressing its local node n derives the same key as
+// the full grid addressing absolute node o+n.
+func TestCellKeyShardEquivalence(t *testing.T) {
+	suite := testSuite(t, 1)
+	full := tinyGridConfig()
+	sub := full
+	sub.NodeOffset, sub.SlaveNodes = 1, 1
+
+	want, err := CellKey(suite[0], full, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CellKey(suite[0], sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("shard key %s != full-grid key %s", got, want)
+	}
+}
+
+// TestCharacterizeCellsCached is the determinism contract at grid level:
+// a warm-cache run must produce cells identical to the cold run, with
+// every column served from the cache and nothing recomputed.
+func TestCharacterizeCellsCached(t *testing.T) {
+	suite := testSuite(t, 2)
+	cfg := tinyGridConfig()
+
+	plain, err := CharacterizeCellsCtx(context.Background(), suite, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc := newMemCellCache()
+	ctx := ContextWithCellCache(context.Background(), cc)
+	cold, err := CharacterizeCellsCtx(ctx, suite, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, plain) {
+		t.Fatal("cold cached run differs from uncached run")
+	}
+	wantCols := len(suite) * cfg.SlaveNodes
+	if cc.stores != wantCols || cc.hits != 0 {
+		t.Fatalf("cold run: stores=%d hits=%d, want %d/0", cc.stores, cc.hits, wantCols)
+	}
+
+	var progDone, progTotal int
+	warm, err := CharacterizeCellsCtx(ctx, suite, cfg, func(done, total int) {
+		progDone, progTotal = done, total
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, plain) {
+		t.Fatal("warm cached run differs from uncached run")
+	}
+	if cc.hits != wantCols {
+		t.Fatalf("warm run hit %d columns, want %d", cc.hits, wantCols)
+	}
+	if cc.stores != wantCols {
+		t.Fatalf("warm run re-stored columns: stores=%d, want %d", cc.stores, wantCols)
+	}
+	// Cached cells still count toward the full grid total.
+	ntasks := len(suite) * cfg.Runs * cfg.SlaveNodes
+	if progDone != ntasks || progTotal != ntasks {
+		t.Fatalf("warm progress reported %d/%d, want %d/%d", progDone, progTotal, ntasks, ntasks)
+	}
+
+	// Partial warmth: a changed workload definition invalidates exactly
+	// its own columns.
+	mut := append([]workloads.Workload(nil), suite...)
+	mut[0].Profile.Compute.LoadFrac += 0.02
+	before := cc.hits
+	mutCells, err := CharacterizeCellsCtx(ctx, mut, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.hits-before != cfg.SlaveNodes {
+		t.Fatalf("partial warm run hit %d columns, want %d (only the unchanged workload)",
+			cc.hits-before, cfg.SlaveNodes)
+	}
+	plainMut, err := CharacterizeCellsCtx(context.Background(), mut, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mutCells, plainMut) {
+		t.Fatal("partially cached run differs from uncached run")
+	}
+}

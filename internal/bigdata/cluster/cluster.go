@@ -234,6 +234,15 @@ func CharacterizeCtx(ctx context.Context, suite []workloads.Workload, cfg Config
 // shard workers: a coordinator re-assembles cells from several campaigns
 // (split on the workload and node axes) into the full grid and reduces
 // once, reproducing the single-process result bit for bit.
+//
+// When a CellCache rides on ctx (ContextWithCellCache), every
+// workload×node column is first probed by content address (CellKey):
+// cached columns fill their cells directly and never enter the work
+// queue, and freshly computed columns are stored back afterwards. The
+// cache holds exactly the vectors a recomputation would produce, so the
+// result is byte-identical with the cache hot, cold, or absent — only
+// the work skipped changes. Progress still counts cached cells toward
+// the full grid total, so (done, total) semantics are unchanged.
 func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg Config, progress Progress) ([][][][]float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -244,13 +253,6 @@ func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg C
 
 	type task struct{ wi, run, node int }
 	ntasks := len(suite) * cfg.Runs * cfg.SlaveNodes
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > ntasks {
-		par = ntasks
-	}
 
 	// cells[wi][run][node] is one grid cell's metric vector; each task
 	// writes its own cell, so no locking is needed.
@@ -262,21 +264,69 @@ func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg C
 		}
 	}
 
+	// Cell-cache probe, column by column. A column whose key cannot be
+	// derived (colKeys entry left empty) is computed and not stored —
+	// the cache can only ever skip work, never change bytes.
+	cc, _ := CellCacheFrom(ctx)
+	var colKeys [][]string
+	var colCached [][]bool
+	cachedCells := 0
+	if cc != nil {
+		nmetrics := len(perf.MetricNames())
+		colKeys = make([][]string, len(suite))
+		colCached = make([][]bool, len(suite))
+		for wi, w := range suite {
+			colKeys[wi] = make([]string, cfg.SlaveNodes)
+			colCached[wi] = make([]bool, cfg.SlaveNodes)
+			for node := 0; node < cfg.SlaveNodes; node++ {
+				key, err := CellKey(w, cfg, node)
+				if err != nil {
+					continue
+				}
+				colKeys[wi][node] = key
+				vecs, ok := cc.GetCell(key, cfg.Runs, nmetrics)
+				if !ok {
+					continue
+				}
+				colCached[wi][node] = true
+				cachedCells += cfg.Runs
+				for run := 0; run < cfg.Runs; run++ {
+					cells[wi][run][node] = vecs[run]
+				}
+			}
+		}
+	}
+
 	type flatTask struct {
 		task
 		ti int // flat task index
 	}
 	tasks := make(chan flatTask, ntasks)
-	ti := 0
+	ti, queued := 0, 0
 	for wi := range suite {
 		for run := 0; run < cfg.Runs; run++ {
 			for node := 0; node < cfg.SlaveNodes; node++ {
-				tasks <- flatTask{task{wi, run, node}, ti}
+				if colCached == nil || !colCached[wi][node] {
+					tasks <- flatTask{task{wi, run, node}, ti}
+					queued++
+				}
 				ti++
 			}
 		}
 	}
 	close(tasks)
+	if progress != nil && cachedCells > 0 {
+		progress(cachedCells, ntasks)
+	}
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > queued {
+		// A fully cached grid spins up no workers (and builds no machines).
+		par = queued
+	}
 
 	// errs is indexed by flat task index: every slot has exactly one
 	// writer (the worker that consumed that task), so no locking is
@@ -285,6 +335,7 @@ func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg C
 	errs := make([]error, ntasks)
 	taskWorkload := make([]int, ntasks)
 	var done atomic.Int64
+	done.Store(int64(cachedCells)) // cached cells count toward the grid total
 	var wg sync.WaitGroup
 	for i := 0; i < par; i++ {
 		wg.Add(1)
@@ -324,6 +375,22 @@ func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg C
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: workload %s: %w", suite[taskWorkload[i]].Name, err)
+		}
+	}
+	// Store the freshly computed columns. Only after the whole grid
+	// validated: a partially failed campaign must not seed the cache.
+	if cc != nil {
+		for wi := range suite {
+			for node := 0; node < cfg.SlaveNodes; node++ {
+				if colCached[wi][node] || colKeys[wi][node] == "" {
+					continue
+				}
+				vecs := make([][]float64, cfg.Runs)
+				for run := 0; run < cfg.Runs; run++ {
+					vecs[run] = cells[wi][run][node]
+				}
+				cc.PutCell(colKeys[wi][node], vecs)
+			}
 		}
 	}
 	return cells, nil

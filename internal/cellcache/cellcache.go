@@ -1,0 +1,233 @@
+// Package cellcache is the content-addressed cell store behind the
+// cell-level result cache: one JSON file per workload×node *column* of
+// the characterization grid (the per-run metric vectors of one workload
+// on one absolute node), keyed by the full SHA-256 of the column's
+// canonical cell-key spec (see cluster.CellKey).
+//
+// Two deployments share this store. A bdservd worker keeps one under its
+// -data-dir and consults it inside the measurement grid, so overlapping
+// suites recompute only the columns they do not share. A bdcoord
+// coordinator keeps a second, shared one fed by every finished unit, so
+// a fully-cached unit is assembled coordinator-side and never dispatched
+// at all.
+//
+// The determinism contract of the grid extends to the cache: a cached
+// column is exactly the vectors a recomputation would produce, so cached
+// and recomputed results are byte-identical. Entries that fail to parse
+// or have the wrong shape are deleted on read and counted as corruption —
+// a corrupt file can only ever cost a recompute, never serve bad cells.
+package cellcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/fsio"
+	"repro/internal/obs"
+)
+
+// DefaultMaxEntries bounds the store when the caller does not: at one
+// file per workload×node column, 4096 entries cover ~93 full 44-workload
+// paper grids before eviction starts.
+const DefaultMaxEntries = 4096
+
+// sweepEvery is how many stores may land between eviction sweeps. The
+// bound is enforced in batches — a directory listing per store would turn
+// every Put into O(entries).
+const sweepEvery = 64
+
+// Metrics is the counter storage behind the bd_cellcache_* families.
+type Metrics struct {
+	Hits    *obs.Counter
+	Misses  *obs.Counter
+	Stores  *obs.Counter
+	Corrupt *obs.Counter
+	Evicted *obs.Counter
+}
+
+// NewMetrics registers the cell-cache counters on reg. Register at most
+// once per registry: bdservd wires the worker-local store's metrics,
+// bdcoord the coordinator-shared store's.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Hits: reg.Counter("bd_cellcache_hits_total",
+			"Cell-cache lookups served from the store (one per workload×node column)."),
+		Misses: reg.Counter("bd_cellcache_misses_total",
+			"Cell-cache lookups that found no usable entry."),
+		Stores: reg.Counter("bd_cellcache_stores_total",
+			"Columns written to the cell cache."),
+		Corrupt: reg.Counter("bd_cellcache_corrupt_total",
+			"Cell-cache entries deleted because they failed to parse or had the wrong shape."),
+		Evicted: reg.Counter("bd_cellcache_evicted_total",
+			"Cell-cache entries removed by the max-entries eviction sweep."),
+	}
+}
+
+// Store is an on-disk cell cache. All methods are safe for concurrent
+// use; reads and writes go straight to the filesystem (the grid hot path
+// holds no store-wide lock), only the eviction sweep serializes.
+type Store struct {
+	dir string
+	max int
+	mx  *Metrics
+
+	mu     sync.Mutex // guards sinceSweep and the sweep itself
+	sinceS int
+}
+
+// Open creates (if needed) and opens a cell store rooted at dir, bounded
+// to maxEntries files (<=0 uses DefaultMaxEntries). mx may be nil, in
+// which case counters land on a private registry nothing renders.
+func Open(dir string, maxEntries int, mx *Metrics) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cellcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellcache: creating store dir: %w", err)
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if mx == nil {
+		mx = NewMetrics(obs.NewRegistry())
+	}
+	return &Store{dir: dir, max: maxEntries, mx: mx}, nil
+}
+
+// validKey reports whether key has the exact shape of a cell key — 64
+// lowercase hex digits, the full SHA-256 of the canonical cell-key spec.
+// Keys become file names, so anything else must never reach the
+// filesystem.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// GetCell returns the cached per-run metric vectors for one column, or
+// ok=false on a miss. The entry is validated — JSON parse plus the exact
+// runs×metrics shape — *before* it is served: a truncated or corrupted
+// file is deleted and counted, then reported as a miss, so it costs a
+// recompute instead of poisoning a confidently-hashed result.
+func (s *Store) GetCell(key string, runs, metrics int) ([][]float64, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.mx.Misses.Inc()
+		return nil, false
+	}
+	var vecs [][]float64
+	if err := json.Unmarshal(data, &vecs); err != nil {
+		s.corrupt(key)
+		return nil, false
+	}
+	if len(vecs) != runs {
+		s.corrupt(key)
+		return nil, false
+	}
+	for _, v := range vecs {
+		if len(v) != metrics {
+			s.corrupt(key)
+			return nil, false
+		}
+	}
+	s.mx.Hits.Inc()
+	return vecs, true
+}
+
+func (s *Store) corrupt(key string) {
+	os.Remove(s.path(key))
+	s.mx.Corrupt.Inc()
+	s.mx.Misses.Inc()
+}
+
+// PutCell stores one column's per-run metric vectors. Failures are
+// deliberately swallowed: the cache is an accelerator, and a column that
+// fails to persist only costs a future recompute. The write is atomic
+// and fsynced (fsio), so no torn entry can ever be read back.
+func (s *Store) PutCell(key string, vecs [][]float64) {
+	if !validKey(key) || len(vecs) == 0 {
+		return
+	}
+	data, err := json.Marshal(vecs)
+	if err != nil {
+		return
+	}
+	if err := fsio.WriteFileSync(s.path(key), data, 0o644); err != nil {
+		return
+	}
+	s.mx.Stores.Inc()
+	s.maybeSweep()
+}
+
+// maybeSweep enforces the max-entries bound every sweepEvery stores:
+// list the directory and delete the oldest (by mtime) entries beyond
+// capacity. Recently used entries survive — GetCell does not bump mtime,
+// so this is write-recency eviction: the working set of the most recent
+// campaigns stays resident, which is exactly the overlap the cache is
+// for.
+func (s *Store) maybeSweep() {
+	s.mu.Lock()
+	s.sinceS++
+	if s.sinceS < sweepEvery {
+		s.mu.Unlock()
+		return
+	}
+	s.sinceS = 0
+	s.mu.Unlock()
+	s.sweep()
+}
+
+func (s *Store) sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil || len(ents) <= s.max {
+		return
+	}
+	type entry struct {
+		name string
+		mod  int64
+	}
+	files := make([]entry, 0, len(ents))
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{e.Name(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for i := 0; i < len(files)-s.max; i++ {
+		if os.Remove(filepath.Join(s.dir, files[i].name)) == nil {
+			s.mx.Evicted.Inc()
+		}
+	}
+}
+
+// Len counts the store's current entries (a directory listing — for
+// tests and render-time gauges, not hot paths).
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	return len(ents)
+}

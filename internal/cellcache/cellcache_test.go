@@ -1,0 +1,140 @@
+package cellcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func key(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestRoundTrip(t *testing.T) {
+	mx := NewMetrics(obs.NewRegistry())
+	s, err := Open(t.TempDir(), 0, mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	s.PutCell(key(1), want)
+	got, ok := s.GetCell(key(1), 2, 3)
+	if !ok {
+		t.Fatal("stored column missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if _, ok := s.GetCell(key(2), 2, 3); ok {
+		t.Fatal("absent key hit")
+	}
+	if h, m, st := mx.Hits.Value(), mx.Misses.Value(), mx.Stores.Value(); h != 1 || m != 1 || st != 1 {
+		t.Fatalf("hits/misses/stores = %d/%d/%d, want 1/1/1", h, m, st)
+	}
+}
+
+func TestRejectsInvalidKeys(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{
+		"", "abc", strings.Repeat("g", 64), strings.Repeat("A", 64),
+		"../" + strings.Repeat("a", 61), strings.Repeat("a", 63),
+	} {
+		s.PutCell(k, [][]float64{{1}})
+		if _, ok := s.GetCell(k, 1, 1); ok {
+			t.Errorf("invalid key %q served a column", k)
+		}
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("invalid keys reached the filesystem: %d entries", len(ents))
+	}
+}
+
+// TestCorruptEntryDeletedNotServed pins the corruption blind-spot fix:
+// a truncated or wrong-shape entry must be deleted, counted, and
+// reported as a miss — never promoted.
+func TestCorruptEntryDeletedNotServed(t *testing.T) {
+	mx := NewMetrics(obs.NewRegistry())
+	dir := t.TempDir()
+	s, err := Open(dir, 0, mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"truncated", `[[1.0, 2.`},
+		{"wrong-runs", `[[1,2]]`},        // one run where two are expected
+		{"wrong-metrics", `[[1],[2,3]]`}, // second run has two metrics, want one
+		{"not-an-array", `{"a":1}`},
+	}
+	for i, c := range cases {
+		k := key(100 + i)
+		if err := os.WriteFile(s.path(k), []byte(c.data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.GetCell(k, 2, 1); ok {
+			t.Errorf("%s: corrupt entry served", c.name)
+		}
+		if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
+			t.Errorf("%s: corrupt entry not deleted", c.name)
+		}
+	}
+	if got := mx.Corrupt.Value(); got != uint64(len(cases)) {
+		t.Fatalf("corruption counter %d, want %d", got, len(cases))
+	}
+	if got := mx.Misses.Value(); got != uint64(len(cases)) {
+		t.Fatalf("corrupt reads counted %d misses, want %d", got, len(cases))
+	}
+}
+
+func TestEvictionBoundsEntries(t *testing.T) {
+	mx := NewMetrics(obs.NewRegistry())
+	s, err := Open(t.TempDir(), 8, mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct mtimes make the oldest-first order deterministic enough to
+	// assert the newest entries survive.
+	for i := 0; i < sweepEvery+8; i++ {
+		s.PutCell(key(i), [][]float64{{float64(i)}})
+		if i%16 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	s.sweep()
+	if n := s.Len(); n > 8 {
+		t.Fatalf("store holds %d entries after sweep, want <= 8", n)
+	}
+	if mx.Evicted.Value() == 0 {
+		t.Fatal("eviction sweep counted nothing")
+	}
+	// The most recently written column must still be resident.
+	if _, ok := s.GetCell(key(sweepEvery+7), 1, 1); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+}
+
+func TestPutFailureIsSilent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.dir = filepath.Join(dir, "missing")
+	s.PutCell(key(1), [][]float64{{1}}) // must not panic
+	if _, ok := s.GetCell(key(1), 1, 1); ok {
+		t.Fatal("failed Put served a column")
+	}
+}

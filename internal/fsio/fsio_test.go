@@ -1,0 +1,73 @@
+package fsio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteFileSyncRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "entry.json")
+	want := []byte(`{"x":1}`)
+	if err := WriteFileSync(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	// Replace: the rename must overwrite, not fail on the existing file.
+	want2 := []byte(`{"x":2}`)
+	if err := WriteFileSync(path, want2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, want2) {
+		t.Fatalf("after replace read %q, want %q", got, want2)
+	}
+}
+
+func TestWriteFileSyncLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+
+	// Concurrent writers to the same path: unique temp names mean no
+	// writer can clobber another's in-progress file, and afterwards the
+	// directory holds exactly the final entry.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := WriteFileSync(path, []byte(`{"k":"v"}`), 0o644); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries, want 1", len(ents))
+	}
+}
+
+func TestWriteFileSyncMissingDirFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing", "entry.json")
+	if err := WriteFileSync(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"repro/internal/fsio"
 	"repro/internal/obs"
 )
 
@@ -22,6 +24,7 @@ type CacheStats struct {
 	DiskHits   uint64 `json:"disk_hits"`   // hits promoted from the disk tier
 	Stores     uint64 `json:"stores"`      // results written
 	Evictions  uint64 `json:"evictions"`   // LRU entries displaced (disk copies remain)
+	Corrupt    uint64 `json:"corrupt"`     // disk entries deleted as unparseable
 }
 
 // cacheEntry is one cached result: the canonical JSON bytes plus their
@@ -97,53 +100,82 @@ func (c *resultCache) path(id string) string {
 // Get returns the cached result bytes and their hash for a job ID,
 // consulting the LRU tier first and falling back to disk (promoting the
 // entry back into the LRU on a disk hit).
+//
+// The disk read happens outside c.mu — one slow disk op must not
+// serialize every concurrent cache probe — with a re-check on reacquire:
+// an entry a concurrent Put or promotion landed meanwhile wins (same
+// content either way; results are content-addressed by the job ID).
+// Disk bytes are validated as canonical JSON *before* promotion: a
+// truncated or corrupted file — hashing cleanly but serving garbage —
+// is deleted and counted instead of promoted.
 func (c *resultCache) Get(id string) (data []byte, hash string, ok bool) {
 	if !validID(id) {
 		return nil, "", false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byID[id]; ok {
 		c.ll.MoveToFront(el)
 		ent := el.Value.(*cacheEntry)
+		c.mu.Unlock()
 		c.mx.memHits.Inc()
 		return ent.data, ent.hash, true
 	}
-	if c.dir != "" {
-		if data, err := os.ReadFile(c.path(id)); err == nil {
-			c.mx.diskHits.Inc()
-			hash := hashBytes(data)
-			c.insert(&cacheEntry{id: id, data: data, hash: hash})
-			return data, hash, true
-		}
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		c.mx.misses.Inc()
+		return nil, "", false
 	}
-	c.mx.misses.Inc()
-	return nil, "", false
+	data, err := os.ReadFile(c.path(id))
+	if err != nil {
+		c.mx.misses.Inc()
+		return nil, "", false
+	}
+	if !json.Valid(data) {
+		// Torn write from a pre-fsync crash, bit rot, or tampering: a
+		// result is canonical JSON by construction, so anything else is
+		// corruption. Delete it so it can never be served, and let the
+		// miss re-execute the job.
+		os.Remove(c.path(id))
+		c.mx.corrupt.Inc()
+		c.mx.misses.Inc()
+		return nil, "", false
+	}
+	hash = hashBytes(data)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		// A concurrent probe or Put populated the LRU while we read disk:
+		// keep its entry, serve our (identical) bytes.
+		c.ll.MoveToFront(el)
+	} else {
+		c.insert(&cacheEntry{id: id, data: data, hash: hash})
+	}
+	c.mx.diskHits.Inc()
+	return data, hash, true
 }
 
 // Put stores a result under its job ID (write-through to disk when a data
 // directory is configured) and returns the result hash. The disk write
-// happens first: if it fails, no tier holds the entry, so a failed job
-// can never be replayed as a cached success.
+// happens first, outside c.mu (fsio gives each writer a unique temp file,
+// so concurrent Puts of the same ID cannot interleave), and is fsynced
+// before the rename: a journaled "done" record must never outlive its
+// result bytes across a power loss. If the write fails, no tier holds the
+// entry, so a failed job can never be replayed as a cached success.
 func (c *resultCache) Put(id string, data []byte) (string, error) {
 	if !validID(id) {
 		return "", fmt.Errorf("service: invalid result cache ID %q", id)
 	}
 	hash := hashBytes(data)
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.dir != "" {
-		tmp := c.path(id) + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			os.Remove(tmp)
+		if err := fsio.WriteFileSync(c.path(id), data, 0o644); err != nil {
 			return hash, fmt.Errorf("service: writing result: %w", err)
-		}
-		if err := os.Rename(tmp, c.path(id)); err != nil {
-			os.Remove(tmp)
-			return hash, fmt.Errorf("service: committing result: %w", err)
 		}
 	}
 	c.mx.stores.Inc()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.byID[id]; ok {
 		c.ll.MoveToFront(el)
 		el.Value = &cacheEntry{id: id, data: data, hash: hash}
@@ -185,5 +217,6 @@ func (c *resultCache) Stats() CacheStats {
 		DiskHits:   disk,
 		Stores:     c.mx.stores.Value(),
 		Evictions:  c.mx.evictions.Value(),
+		Corrupt:    c.mx.corrupt.Value(),
 	}
 }

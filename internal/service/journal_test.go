@@ -34,7 +34,9 @@ func fakeExec(delay time.Duration) ExecuteFunc {
 		if err != nil {
 			return nil, err
 		}
-		return []byte("result-" + id + "\n"), nil
+		// Valid JSON: the real pipeline emits canonical JSON, and the disk
+		// cache deletes anything that isn't as corruption.
+		return []byte(`{"result":"` + id + `"}` + "\n"), nil
 	}
 }
 

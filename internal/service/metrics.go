@@ -28,6 +28,7 @@ type cacheMetrics struct {
 	misses    *obs.Counter
 	stores    *obs.Counter
 	evictions *obs.Counter
+	corrupt   *obs.Counter
 }
 
 type journalMetrics struct {
@@ -48,6 +49,8 @@ func newCacheMetrics(reg *obs.Registry) *cacheMetrics {
 			"Results written to the cache."),
 		evictions: reg.Counter("bd_cache_evictions_total",
 			"Entries displaced from the in-memory LRU tier (disk copies remain)."),
+		corrupt: reg.Counter("bd_cache_corrupt_total",
+			"Disk-tier entries deleted because their bytes failed JSON validation."),
 	}
 }
 

@@ -167,6 +167,10 @@ func TestShutdownReadoptsRunningJob(t *testing.T) {
 	if data, ok := m2.Result(st.ID); !ok || len(data) == 0 {
 		t.Fatal("re-adopted job has no result")
 	}
+	// A restart means the previous incarnation shut down: Close drains the
+	// async journal writer, so the done record is on disk before m3 opens
+	// the file. (Without this the test races the writer goroutine.)
+	m2.Close()
 
 	// Third incarnation sees it done — the terminal record landed.
 	m3 := newTestManager(t, cfg)

@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/benchio"
+	"repro/internal/bigdata/cluster"
+	"repro/internal/cellcache"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -215,6 +218,18 @@ type Config struct {
 	// (Mode == ModeObservations) — the worker role in a sharded
 	// deployment, where analysis runs coordinator-side.
 	CharacterizeOnly bool
+	// CellCacheDir, when set, enables the worker-local cell cache: a
+	// content-addressed store of characterization-grid columns (one
+	// workload on one absolute node, all runs — see internal/cellcache)
+	// consulted inside the measurement grid, so overlapping suites
+	// recompute only the columns they do not share. Purely an
+	// accelerator: cached and recomputed results are byte-identical.
+	// Empty disables it. Ignored when Execute is overridden (a
+	// coordinator caches cells in its shard executor instead).
+	CellCacheDir string
+	// CellCacheEntries bounds the cell cache's on-disk entry count
+	// (0 = cellcache.DefaultMaxEntries).
+	CellCacheEntries int
 	// TraceBuffer bounds each job's span ring in the tracing flight
 	// recorder (-trace-buffer): 0 uses the default (2048 spans per job),
 	// negative disables tracing entirely. Tracing is observational only —
@@ -249,6 +264,7 @@ var ErrDraining = errors.New("service: draining for shutdown")
 type Manager struct {
 	cfg    Config
 	cache  *resultCache
+	cells  *cellcache.Store // nil when the cell cache is disabled
 	reg    *obs.Registry
 	mx     *svcMetrics
 	log    *slog.Logger
@@ -301,10 +317,18 @@ func New(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cells *cellcache.Store
+	if cfg.CellCacheDir != "" && cfg.Execute == nil {
+		cells, err = cellcache.Open(cfg.CellCacheDir, cfg.CellCacheEntries, cellcache.NewMetrics(reg))
+		if err != nil {
+			return nil, err
+		}
+	}
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:   cfg,
 		cache: cache,
+		cells: cells,
 		reg:   reg,
 		mx:    mx,
 		log:   logger,
@@ -1102,9 +1126,33 @@ func (m *Manager) execute(j *job) (string, error) {
 	return hash, nil
 }
 
+// countingCellCache wraps the manager's cell store for one job run,
+// counting this job's probe outcomes so the cellcache-probe span can
+// carry them as attributes (the store's own counters are daemon-global).
+type countingCellCache struct {
+	cc           cluster.CellCache
+	hits, misses atomic.Int64
+}
+
+func (c *countingCellCache) GetCell(key string, runs, metrics int) ([][]float64, bool) {
+	vecs, ok := c.cc.GetCell(key, runs, metrics)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return vecs, ok
+}
+
+func (c *countingCellCache) PutCell(key string, vecs [][]float64) { c.cc.PutCell(key, vecs) }
+
 // executeLocal runs a job's pipeline in-process: the full characterize +
 // analyze pipeline for analyze jobs, or just the measurement grid —
 // returning the raw observation matrix — for characterize-only jobs.
+// With a cell cache configured, the grid probes it column by column
+// (through the context hook, see cluster.ContextWithCellCache); the
+// probe outcome is summarized in a cellcache-probe span under the job's
+// root.
 func (m *Manager) executeLocal(ctx context.Context, spec JobSpec, progress core.Progress) ([]byte, error) {
 	suite, err := spec.ResolveSuite()
 	if err != nil {
@@ -1112,6 +1160,22 @@ func (m *Manager) executeLocal(ctx context.Context, spec JobSpec, progress core.
 	}
 	ccfg := spec.Cluster
 	ccfg.Parallelism = m.cfg.Parallelism
+
+	if m.cells != nil {
+		probe := &countingCellCache{cc: m.cells}
+		ctx = cluster.ContextWithCellCache(ctx, probe)
+		if tc := obs.TraceFromContext(ctx); tc != nil {
+			// The probes interleave with the grid's startup, so the span
+			// summarizing them is recorded once the job's grid work is
+			// over, as an instant carrying this job's hit/miss counts.
+			defer func() {
+				tc.Instant("cellcache-probe", map[string]string{
+					"hits":   strconv.FormatInt(probe.hits.Load(), 10),
+					"misses": strconv.FormatInt(probe.misses.Load(), 10),
+				})
+			}()
+		}
+	}
 
 	if spec.Mode == ModeObservations {
 		om, err := core.CharacterizeObservationsCtx(ctx, suite, ccfg, progress)

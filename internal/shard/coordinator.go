@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/benchio"
+	"repro/internal/bigdata/cluster"
+	"repro/internal/cellcache"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/perf"
@@ -91,6 +93,20 @@ type Config struct {
 	// Empty disables unit persistence (a restart re-executes all units).
 	UnitCacheDir string
 
+	// CellCacheDir, when set, gives the coordinator a shared cell-level
+	// result cache: one workload×node column (all runs) per entry, keyed
+	// by the cell's content address (see cluster.CellKey). It is probed
+	// before dispatch — a unit whose every column is cached is assembled
+	// coordinator-side and never leaves the coordinator — and written
+	// through after every unit completes, so overlapping suites submitted
+	// over time pay only for the cells they add. Unlike UnitCacheDir
+	// (bounded by the in-flight working set, entries dropped at merge)
+	// this cache persists across jobs; Empty disables it.
+	CellCacheDir string
+	// CellCacheEntries bounds the cell cache's on-disk entry count
+	// (0 = the cellcache package default).
+	CellCacheEntries int
+
 	// Registry receives the executor's fleet metrics (per-worker unit
 	// counters, breaker transitions, probe outcomes, lease events, merge
 	// latency). Pass the same registry to the manager's service.Config so
@@ -118,7 +134,8 @@ const dispatchPoll = 10 * time.Millisecond
 type Executor struct {
 	cfg   Config
 	reg   *registry
-	store *unitStore // nil when UnitCacheDir is unset
+	store *unitStore       // nil when UnitCacheDir is unset
+	cells *cellcache.Store // nil when CellCacheDir is unset
 	mx    *shardMetrics
 	log   *slog.Logger
 
@@ -195,6 +212,13 @@ func New(cfg Config) (*Executor, error) {
 			return nil, err
 		}
 		e.store = store
+	}
+	if cfg.CellCacheDir != "" {
+		cells, err := cellcache.Open(cfg.CellCacheDir, cfg.CellCacheEntries, cellcache.NewMetrics(mreg))
+		if err != nil {
+			return nil, err
+		}
+		e.cells = cells
 	}
 	pctx, stop := context.WithCancel(context.Background())
 	e.stop = stop
@@ -432,6 +456,11 @@ type jobRun struct {
 	keys  []string             // unit → content-addressed store key
 	up    service.UnitProgress // nil without a manager journal
 	tc    *obs.TraceContext    // nil when tracing is disabled
+	// cellKeys holds each unit's column cell keys (flattened
+	// wi*unit.Nodes+nd, "" where derivation failed), computed once at
+	// probe time; nil when the executor has no cell cache or the unit
+	// never reached the probe (recovered preDone).
+	cellKeys [][]string
 }
 
 // Execute implements service.ExecuteFunc: plan fine-grained units → run
@@ -542,13 +571,86 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 	planSpan.SetAttr("units", strconv.Itoa(len(units)))
 	planSpan.SetAttr("recovered", strconv.Itoa(recoveredUnits))
 	planSpan.End()
+
+	// Probe the shared cell cache: each remaining unit's workload×node
+	// columns are looked up by content address, and a unit with every
+	// column cached is assembled coordinator-side — born preDone, never
+	// dispatched. Partial hits only record the keys here; the columns a
+	// worker does compute are written through after the unit validates.
+	var cellKeys [][]string
+	cachedUnits := 0
+	if e.cells != nil {
+		probeSpan := tc.StartSpan("cellcache-probe")
+		nmetrics := len(perf.MetricNames())
+		cellKeys = make([][]string, len(units))
+		hits, misses := 0, 0
+		for u, unit := range units {
+			if preDone[u] {
+				continue
+			}
+			ncols := len(unit.Workloads) * unit.Nodes
+			cellKeys[u] = make([]string, ncols)
+			vecs := make([][][]float64, ncols)
+			complete := true
+			for wi := range unit.Workloads {
+				for nd := 0; nd < unit.Nodes; nd++ {
+					ci := wi*unit.Nodes + nd
+					key, kerr := cluster.CellKey(suite[unit.WorkloadOffset+wi], spec.Cluster, unit.NodeOffset+nd)
+					if kerr != nil {
+						complete = false
+						continue
+					}
+					cellKeys[u][ci] = key
+					if v, ok := e.cells.GetCell(key, runs, nmetrics); ok {
+						vecs[ci] = v
+						hits++
+					} else {
+						misses++
+						complete = false
+					}
+				}
+			}
+			if !complete {
+				continue
+			}
+			// Re-assemble the unit's matrix from cached columns in the
+			// exact shape a worker would have returned; keys[u] stays ""
+			// (there are no unit-store bytes to journal or drop).
+			cells := make([][][][]float64, len(unit.Workloads))
+			for wi := range cells {
+				cells[wi] = make([][][]float64, runs)
+				for r := range cells[wi] {
+					row := make([][]float64, unit.Nodes)
+					for nd := 0; nd < unit.Nodes; nd++ {
+						row[nd] = vecs[wi*unit.Nodes+nd][r]
+					}
+					cells[wi][r] = row
+				}
+			}
+			oms[u] = &core.ObservationMatrix{
+				Labels:     append([]string(nil), unit.Workloads...),
+				Metrics:    perf.MetricNames(),
+				Cells:      cells,
+				NodeOffset: spec.Cluster.NodeOffset + unit.NodeOffset,
+			}
+			preDone[u] = true
+			cachedUnits++
+			agg.report(u, len(unit.Workloads)*runs*unit.Nodes)
+		}
+		probeSpan.SetAttr("hits", strconv.Itoa(hits))
+		probeSpan.SetAttr("misses", strconv.Itoa(misses))
+		probeSpan.SetAttr("cached_units", strconv.Itoa(cachedUnits))
+		probeSpan.End()
+	}
+
 	e.log.Info("sharded job dispatch starting", "job", jobID,
 		"units", len(units), "recovered_units", recoveredUnits,
+		"cached_units", cachedUnits,
 		"workers", len(e.reg.snapshot()))
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	q := newUnitQueue(len(units), e.cfg.MaxUnitAttempts, preDone, cancel)
-	run := &jobRun{id: jobID, q: q, units: units, full: spec, agg: agg, oms: oms, keys: keys, up: up, tc: tc}
+	run := &jobRun{id: jobID, q: q, units: units, full: spec, agg: agg, oms: oms, keys: keys, up: up, tc: tc, cellKeys: cellKeys}
 	var wg sync.WaitGroup
 	active := make(map[*workerState]bool)
 	// fleet tracks membership for the trace: a join/leave instant per
@@ -720,6 +822,7 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 		om, data, key, err := e.runUnitOn(ctx, w, run, u, unitSpan.ID(), attempt, stolen)
 		if err == nil {
 			run.oms[u], run.keys[u] = om, key
+			e.storeUnitCells(run, u, om)
 			w.recordSuccess()
 			run.agg.report(u, len(run.units[u].Workloads)*run.full.Cluster.Runs*run.units[u].Nodes)
 			// Persist the unit's bytes *before* journaling it done: a
@@ -758,6 +861,32 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 		// claim on the re-queued unit and keeps a fast-failing worker
 		// (connection refused) from spinning.
 		sleepCtx(ctx, dispatchPoll)
+	}
+}
+
+// storeUnitCells writes a validated unit's workload×node columns through
+// to the shared cell cache under the keys derived at probe time. The
+// matrix has already passed validateUnitResult, so every column has the
+// canonical runs×metrics shape; stores are best-effort (cellcache
+// swallows write failures — the grid already holds the bytes).
+func (e *Executor) storeUnitCells(run *jobRun, u int, om *core.ObservationMatrix) {
+	if e.cells == nil || run.cellKeys == nil || run.cellKeys[u] == nil {
+		return
+	}
+	unit := run.units[u]
+	runs := run.full.Cluster.Runs
+	for wi := range unit.Workloads {
+		for nd := 0; nd < unit.Nodes; nd++ {
+			key := run.cellKeys[u][wi*unit.Nodes+nd]
+			if key == "" {
+				continue
+			}
+			vecs := make([][]float64, runs)
+			for r := 0; r < runs; r++ {
+				vecs[r] = om.Cells[wi][r][nd]
+			}
+			e.cells.PutCell(key, vecs)
+		}
 	}
 }
 

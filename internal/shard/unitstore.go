@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/fsio"
 )
 
 // unitStore is the coordinator's on-disk store for per-unit observation
@@ -46,21 +48,17 @@ func (s *unitStore) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
-// put writes one unit's canonical result bytes atomically (tmp+rename),
-// so a crash mid-write can never leave a half-record behind a key the
-// journal claims is done.
+// put writes one unit's canonical result bytes atomically (unique
+// tmp+fsync+rename), so a crash mid-write can never leave a half-record
+// behind a key the journal claims is done: the caller journals unit_done
+// only after put returns, and put returns only after the bytes are
+// durable.
 func (s *unitStore) put(key string, data []byte) error {
 	if !validUnitKey(key) {
 		return fmt.Errorf("shard: invalid unit store key %q", key)
 	}
-	tmp := s.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		os.Remove(tmp)
+	if err := fsio.WriteFileSync(s.path(key), data, 0o644); err != nil {
 		return fmt.Errorf("shard: writing unit result: %w", err)
-	}
-	if err := os.Rename(tmp, s.path(key)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("shard: committing unit result: %w", err)
 	}
 	return nil
 }

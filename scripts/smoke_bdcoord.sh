@@ -9,6 +9,10 @@
 # preset family plus an inline ad-hoc definition) and assert the merged
 # result is byte-identical to the single-daemon run and that
 # resubmission is a cache hit with an unchanged job ID.
+# Then resubmit the first suite with one workload changed: the
+# coordinator's shared cell cache must serve the unchanged workloads'
+# columns (bd_cellcache_hits_total rises) while the merged bytes stay
+# identical to a cell-cache-disabled coordinator run.
 # Finally, run the heterogeneous-speed scenario: one worker throttled
 # with -throttle-cell, asserting the work-stealing dispatcher (a) still
 # produces the identical hash, (b) beats the static-planner worst case
@@ -23,7 +27,9 @@ SD_ADDR="127.0.0.1:8363"
 W3_ADDR="127.0.0.1:8364"
 W4_ADDR="127.0.0.1:8365"
 C2_ADDR="127.0.0.1:8366"
+C3_ADDR="127.0.0.1:8367"
 C2="http://$C2_ADDR"
+C3="http://$C3_ADDR"
 CO="http://$CO_ADDR"
 SD="http://$SD_ADDR"
 WORKDIR="$(mktemp -d)"
@@ -229,6 +235,48 @@ PY
 curl -fsS "http://$W1_ADDR/metrics" | grep -q '^bd_jobs_completed_total{state="done"} [1-9]' \
   || { echo "worker 1 /metrics shows no completed jobs" >&2; exit 1; }
 echo "    worker /metrics shows completed shard jobs"
+
+echo "==> overlapping-suite resubmission: one workload changed (cell cache)"
+# The first job populated the coordinator's shared cell cache (under
+# -data-dir/cells). A job sharing 3 of its 4 workloads must serve the
+# shared workload×node columns from that cache — only the new
+# workload's cells are recomputed — visible as a bd_cellcache_hits_total
+# increase, and its merged bytes must be identical to a coordinator run
+# with the cell cache disabled.
+cell_hits() {
+  curl -fsS "$1/metrics" | python3 -c 'import sys,re
+t = sys.stdin.read()
+m = re.search(r"^bd_cellcache_hits_total ([0-9.eE+-]+)$", t, re.M)
+print(m.group(1) if m else 0)'
+}
+PRE_CELL_HITS=$(cell_hits "$CO")
+JOB2='{"workloads":["H-Sort","S-Sort","H-Grep","H-WordCount"],"nodes":2,"instructions":6000,"kmax":3}'
+curl -fsS -X POST -d "$JOB2" "$CO/v1/jobs" -o "$WORKDIR/j2_submit.json"
+J2_ID=$(json_field "$WORKDIR/j2_submit.json" id)
+[ -n "$J2_ID" ] || { echo "no job id for changed-workload job" >&2; exit 1; }
+poll_done "$CO" "$J2_ID" "$WORKDIR/j2_status.json"
+J2_HASH=$(json_field "$WORKDIR/j2_status.json" result_hash)
+POST_CELL_HITS=$(cell_hits "$CO")
+python3 -c "
+pre, post = float('$PRE_CELL_HITS'), float('$POST_CELL_HITS')
+assert post > pre, f'no cell-cache hits on overlapping resubmission ({pre} -> {post})'
+print(f'    bd_cellcache_hits_total {pre:.0f} -> {post:.0f}')
+"
+
+"$WORKDIR/bdcoord" -addr "$C3_ADDR" -data-dir "$WORKDIR/coord3" -cell-cache "" \
+  -workers "http://$W1_ADDR,http://$W2_ADDR" &
+PIDS+=($!); C3_PID=$!
+wait_healthy "$C3" "$C3_PID"
+curl -fsS -X POST -d "$JOB2" "$C3/v1/jobs" -o "$WORKDIR/j2_nc_submit.json"
+J2_NC_ID=$(json_field "$WORKDIR/j2_nc_submit.json" id)
+[ "$J2_NC_ID" = "$J2_ID" ] || { echo "cache-disabled job id $J2_NC_ID != $J2_ID" >&2; exit 1; }
+poll_done "$C3" "$J2_NC_ID" "$WORKDIR/j2_nc_status.json"
+J2_NC_HASH=$(json_field "$WORKDIR/j2_nc_status.json" result_hash)
+[ "$J2_HASH" = "$J2_NC_HASH" ] || { echo "CELL CACHE CHANGED RESULT: cached $J2_HASH vs disabled $J2_NC_HASH" >&2; exit 1; }
+curl -fsS "$CO/v1/jobs/$J2_ID/result" -o "$WORKDIR/j2_result.json"
+curl -fsS "$C3/v1/jobs/$J2_NC_ID/result" -o "$WORKDIR/j2_nc_result.json"
+cmp "$WORKDIR/j2_result.json" "$WORKDIR/j2_nc_result.json"
+echo "    cell-cached result byte-identical to cache-disabled run ($J2_HASH)"
 
 echo "==> heterogeneous-speed scenario: one worker throttled 3s/cell"
 # Fresh workers and coordinator (fresh data dirs: no cache replay). The
