@@ -28,14 +28,19 @@
 //	        [-stall-timeout 5m] [-probe-interval 15s]
 //	        [-breaker-threshold 3] [-units-per-worker 4]
 //	        [-cell-cache auto] [-cell-cache-entries 0]
-//	        [-drain-timeout 30s]
+//	        [-cell-cache-max-age 0] [-drain-timeout 30s]
 //	        [-log-level info] [-log-format text] [-stats-interval 1m]
+//	        [-status-tick 5s] [-status-window 10m]
+//	        [-status-worker-timeout 2s]
 //	        [-trace-buffer 2048] [-pprof-addr localhost:6061]
 //
 // GET /metrics serves the Prometheus text exposition covering both the
 // job-manager layer (queue, cache, journal, per-stage timing) and the
 // shard layer (per-worker units, breakers, probes, leases) from one
-// shared registry; see DESIGN.md §9.
+// shared registry; see DESIGN.md §9. GET /v1/status serves the merged
+// operational snapshot — coordinator state, cell cache, time-series
+// window, and a fleet view with every worker's self-reported status —
+// rendered live by cmd/bdtop; see DESIGN.md §12.
 //
 // The coordinator keeps its own content-addressed result cache, a
 // persistent job journal with per-unit progress records, and a unit
@@ -91,6 +96,8 @@ func run() error {
 			"shared cell-level result cache dir ('auto' = <data-dir>/cells, '' = disabled): fully cached units are assembled coordinator-side and never dispatched")
 		cellEntries = flag.Int("cell-cache-entries", 0,
 			"max on-disk cell cache entries (0 = default)")
+		cellMaxAge = flag.Duration("cell-cache-max-age", 0,
+			"evict cell-cache entries older than this (mtime sweep; 0 = no age bound)")
 		drain = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long to let in-flight jobs finish before cutting them short (they re-adopt on restart)")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -99,6 +106,12 @@ func run() error {
 			"period of the one-line INFO fleet summary (0 disables)")
 		traceBuf = flag.Int("trace-buffer", 2048,
 			"per-job flight-recorder span capacity (0 disables tracing)")
+		statusTick = flag.Duration("status-tick", 5*time.Second,
+			"sampling tick of the /v1/status time-series window")
+		statusWindow = flag.Duration("status-window", 10*time.Minute,
+			"trailing extent of the /v1/status time-series window")
+		statusTimeout = flag.Duration("status-worker-timeout", 2*time.Second,
+			"per-worker timeout of the /v1/status fleet fan-out")
 		pprofAddr = flag.String("pprof-addr", "",
 			"listen address for net/http/pprof (e.g. localhost:6061; empty = disabled; bind to localhost unless you mean to expose profiles)")
 	)
@@ -151,6 +164,8 @@ func run() error {
 	// /metrics endpoint.
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
+	sampler := obs.NewSampler(reg, *statusTick, *statusWindow,
+		append(service.StatusSeriesDefs(), shard.FleetSeriesDefs()...))
 	exec, err := shard.New(shard.Config{
 		Workers:          urls,
 		Parallelism:      *par,
@@ -161,6 +176,7 @@ func run() error {
 		UnitCacheDir:     unitDir,
 		CellCacheDir:     cellCacheDir,
 		CellCacheEntries: *cellEntries,
+		CellCacheMaxAge:  *cellMaxAge,
 		Registry:         reg,
 		Logger:           logger,
 	})
@@ -184,12 +200,15 @@ func run() error {
 		TraceBuffer:  traceSpans,
 		TraceService: "bdcoord",
 		Registry:     reg,
+		Sampler:      sampler,
 		Logger:       logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer mgr.Close()
+	stopSampler := sampler.Start()
+	defer stopSampler()
 
 	if *pprofAddr != "" {
 		stopPprof, err := obs.StartPprof(*pprofAddr, logger)
@@ -204,6 +223,27 @@ func run() error {
 	// (or heartbeat-renews) a worker, DELETE releases its lease.
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(mgr))
+	// /v1/status here overrides the inner handler's route (the more
+	// specific pattern wins): the coordinator serves the same manager
+	// snapshot with two additions — its cell cache lives in the shard
+	// executor, not the manager (Execute is overridden), and the fleet
+	// view appends every registered worker's coordinator-side record plus
+	// the worker's own self-reported snapshot (bounded concurrency,
+	// per-worker timeout, failures isolated per row).
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		snap := mgr.Status()
+		if cs, ok := exec.CellCacheStats(); ok {
+			snap.CellCache = &cs
+		}
+		fleet := exec.FleetStatus(r.Context(), *statusTimeout)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			service.StatusSnapshot
+			Fleet []shard.WorkerFleetStatus `json:"fleet"`
+		}{snap, fleet})
+	})
 	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -263,7 +303,7 @@ func run() error {
 				open++
 			}
 		}
-		return []slog.Attr{
+		attrs := []slog.Attr{
 			slog.Int("queued", st.Queued), slog.Int("running", st.Running),
 			slog.Int("done", st.Done), slog.Int("failed", st.Failed),
 			slog.Int("queue_depth", st.QueueDepth),
@@ -271,6 +311,14 @@ func run() error {
 			slog.Int("fleet_workers", len(ws)), slog.Int("breakers_not_closed", open),
 			slog.Int("fleet_units_done", unitsDone),
 		}
+		if h, ok := reg.ReadHistogram("bd_worker_unit_duration_seconds"); ok && h.Count > 0 {
+			q := h.Quantiles(0.50, 0.95, 0.99)
+			attrs = append(attrs,
+				slog.Float64("unit_p50_s", q[0]),
+				slog.Float64("unit_p95_s", q[1]),
+				slog.Float64("unit_p99_s", q[2]))
+		}
+		return attrs
 	})
 	defer stopStats()
 

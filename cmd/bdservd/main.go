@@ -20,9 +20,10 @@
 //	bdservd [-addr :8356] [-data-dir bdservd-data] [-workers 1]
 //	        [-queue 64] [-cache-entries 256] [-max-jobs 1024]
 //	        [-journal auto] [-cell-cache auto] [-cell-cache-entries 0]
-//	        [-characterize-only] [-parallelism 0]
+//	        [-cell-cache-max-age 0] [-characterize-only] [-parallelism 0]
 //	        [-throttle-cell 0] [-drain-timeout 30s]
 //	        [-log-level info] [-log-format text] [-stats-interval 1m]
+//	        [-status-tick 5s] [-status-window 10m]
 //	        [-trace-buffer 2048] [-pprof-addr localhost:6060]
 //	        [-register http://coord:8360 -advertise http://thishost:8356
 //	         -lease-ttl 30s]
@@ -37,6 +38,7 @@
 //	GET    /v1/jobs/{id}/trace  trace export (?format=chrome)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/cache/stats      cache counters
+//	GET    /v1/status           full operational snapshot + time series
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness
 package main
@@ -80,6 +82,8 @@ func run() error {
 			"cell-level result cache dir ('auto' = <data-dir>/cells, '' = disabled): caches one workload×node column per entry so overlapping suites recompute only new cells")
 		cellEntries = flag.Int("cell-cache-entries", 0,
 			"max on-disk cell cache entries (0 = default)")
+		cellMaxAge = flag.Duration("cell-cache-max-age", 0,
+			"evict cell-cache entries older than this (mtime sweep; 0 = no age bound)")
 		charOnly = flag.Bool("characterize-only", false,
 			"accept only observation-matrix jobs (shard-worker role)")
 		par      = flag.Int("parallelism", 0, "per-job grid parallelism (0 = GOMAXPROCS)")
@@ -99,6 +103,10 @@ func run() error {
 			"period of the one-line INFO stats summary (0 disables)")
 		traceBuf = flag.Int("trace-buffer", 2048,
 			"per-job flight-recorder span capacity (0 disables tracing)")
+		statusTick = flag.Duration("status-tick", 5*time.Second,
+			"sampling tick of the /v1/status time-series window")
+		statusWindow = flag.Duration("status-window", 10*time.Minute,
+			"trailing extent of the /v1/status time-series window")
 		pprofAddr = flag.String("pprof-addr", "",
 			"listen address for net/http/pprof (e.g. localhost:6060; empty = disabled; bind to localhost unless you mean to expose profiles)")
 	)
@@ -140,6 +148,7 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
+	sampler := obs.NewSampler(reg, *statusTick, *statusWindow, service.StatusSeriesDefs())
 	mgr, err := service.New(service.Config{
 		DataDir:          *dataDir,
 		Workers:          *workers,
@@ -150,17 +159,21 @@ func run() error {
 		CharacterizeOnly: *charOnly,
 		CellCacheDir:     cellCacheDir,
 		CellCacheEntries: *cellEntries,
+		CellCacheMaxAge:  *cellMaxAge,
 		Parallelism:      *par,
 		CellDelay:        *throttle,
 		TraceBuffer:      traceSpans,
 		TraceService:     "bdservd",
 		Registry:         reg,
+		Sampler:          sampler,
 		Logger:           logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer mgr.Close()
+	stopSampler := sampler.Start()
+	defer stopSampler()
 
 	if *pprofAddr != "" {
 		stopPprof, err := obs.StartPprof(*pprofAddr, logger)
@@ -185,13 +198,21 @@ func run() error {
 
 	stopStats := obs.StartStatsTicker(logger, *statsIvl, func() []slog.Attr {
 		st := mgr.Stats()
-		return []slog.Attr{
+		attrs := []slog.Attr{
 			slog.Int("queued", st.Queued), slog.Int("running", st.Running),
 			slog.Int("done", st.Done), slog.Int("failed", st.Failed),
 			slog.Int("canceled", st.Canceled), slog.Int("queue_depth", st.QueueDepth),
 			slog.Uint64("cache_hits", st.Cache.Hits), slog.Uint64("cache_misses", st.Cache.Misses),
 			slog.Int("cache_entries", st.Cache.Entries),
 		}
+		if h, ok := reg.ReadHistogram("bd_stage_duration_seconds"); ok && h.Count > 0 {
+			q := h.Quantiles(0.50, 0.95, 0.99)
+			attrs = append(attrs,
+				slog.Float64("stage_p50_s", q[0]),
+				slog.Float64("stage_p95_s", q[1]),
+				slog.Float64("stage_p99_s", q[2]))
+		}
+		return attrs
 	})
 	defer stopStats()
 

@@ -1,0 +1,112 @@
+// Command bdtop is the fleet console: a polling terminal view of a
+// bdcoord (or bdservd) daemon built entirely on GET /v1/status. Each
+// frame renders the daemon's operational snapshot — jobs by state, queue
+// and executor occupancy, the worker fleet with breaker state and
+// per-worker self-reported status, active jobs with stage progress,
+// cache tiers with per-workload cell-cache hit ratios, and sparklines
+// over the daemon's in-process time-series window.
+//
+// Plain ANSI only (clear-screen + home between frames, no curses): the
+// output is equally usable live in a terminal, piped to a file, or
+// captured by scripts. -once prints a single frame and exits, which is
+// how the smoke tests assert on a live fleet.
+//
+// Usage:
+//
+//	bdtop [-addr http://127.0.0.1:8360] [-interval 2s] [-once]
+//	      [-width 100]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// clearScreen is the only ANSI this tool emits: erase display, cursor
+// home — a poor man's full repaint, dependency-free.
+const clearScreen = "\x1b[2J\x1b[H"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr = flag.String("addr", "http://127.0.0.1:8360",
+			"daemon base URL (bdcoord for the fleet view; a bare bdservd works too)")
+		interval = flag.Duration("interval", 2*time.Second, "poll period")
+		once     = flag.Bool("once", false, "print one frame and exit (for scripts)")
+		width    = flag.Int("width", 100, "frame width in columns")
+	)
+	flag.Parse()
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive")
+	}
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	frame := func() error {
+		st, err := fetchStatus(ctx, hc, *addr)
+		if err != nil {
+			return err
+		}
+		out := renderFrame(st, time.Now(), *width)
+		if !*once {
+			out = clearScreen + out
+		}
+		_, werr := os.Stdout.WriteString(out)
+		return werr
+	}
+
+	if *once {
+		return frame()
+	}
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		if err := frame(); err != nil {
+			// A transient fetch error (daemon restarting, fleet churn) is
+			// worth a line, not an exit: the console keeps polling.
+			fmt.Fprintln(os.Stderr, "bdtop:", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// fetchStatus fetches and decodes one /v1/status snapshot. The fleet
+// array is bdcoord-only; against bdservd it simply decodes absent.
+func fetchStatus(ctx context.Context, hc *http.Client, base string) (fleetStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/status", nil)
+	if err != nil {
+		return fleetStatus{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fleetStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleetStatus{}, fmt.Errorf("GET %s/v1/status: %s", base, resp.Status)
+	}
+	var st fleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fleetStatus{}, fmt.Errorf("decoding status: %w", err)
+	}
+	return st, nil
+}

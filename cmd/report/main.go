@@ -270,6 +270,7 @@ func fetchDataset(base string, seed uint64, defs []custom.Definition, trace bool
 			fmt.Fprintf(os.Stderr, "trace unavailable: %v\n", terr)
 		}
 	}
+	printCellCacheTable(ctx, c)
 	var oj benchio.ObservationsJSON
 	if err := json.Unmarshal(data, &oj); err != nil {
 		return nil, fmt.Errorf("decoding remote result: %w", err)
@@ -279,4 +280,23 @@ func fetchDataset(base string, seed uint64, defs []custom.Definition, trace bool
 		return nil, err
 	}
 	return om.Reduce()
+}
+
+// printCellCacheTable prints the daemon's per-workload cell-cache hit
+// ratios to stderr after a remote characterization: which workloads
+// replayed from cache and which were simulated fresh is exactly what a
+// sweep planner wants to know before the next submission. Best effort —
+// a daemon without the status surface or a cell cache prints nothing.
+func printCellCacheTable(ctx context.Context, c *client.Client) {
+	snap, err := c.Status(ctx)
+	if err != nil || snap.CellCache == nil || len(snap.CellCache.ByWorkload) == 0 {
+		return
+	}
+	cc := snap.CellCache
+	fmt.Fprintf(os.Stderr, "cell cache on %s: %d entries, hit ratio %.2f\n",
+		c.BaseURL, cc.Entries, cc.HitRatio)
+	fmt.Fprintf(os.Stderr, "  %-24s %8s %8s %6s\n", "WORKLOAD", "HITS", "MISSES", "RATIO")
+	for _, w := range cc.ByWorkload {
+		fmt.Fprintf(os.Stderr, "  %-24s %8d %8d %6.2f\n", w.Workload, w.Hits, w.Misses, w.HitRatio)
+	}
 }

@@ -83,13 +83,15 @@ func CellKey(w workloads.Workload, cfg Config, node int) (string, error) {
 // and be safe for concurrent use. See internal/cellcache for the on-disk
 // implementation.
 type CellCache interface {
-	// GetCell returns the column under key, or ok=false. runs and
-	// metrics give the expected shape; implementations must never return
-	// a column that does not match it.
-	GetCell(key string, runs, metrics int) (vecs [][]float64, ok bool)
+	// GetCell returns the column under key, or ok=false. workload is the
+	// resolved workload name of the column — attribution only (per-
+	// workload hit/miss accounting); it must never affect what is served.
+	// runs and metrics give the expected shape; implementations must
+	// never return a column that does not match it.
+	GetCell(workload, key string, runs, metrics int) (vecs [][]float64, ok bool)
 	// PutCell stores a computed column. Best-effort: failures may be
 	// swallowed (the grid already holds the computed cells).
-	PutCell(key string, vecs [][]float64)
+	PutCell(workload, key string, vecs [][]float64)
 }
 
 // cellCacheKey carries the CellCache capability through a context. The

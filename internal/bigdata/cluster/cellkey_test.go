@@ -22,7 +22,7 @@ func newMemCellCache() *memCellCache {
 	return &memCellCache{cols: map[string][][]float64{}}
 }
 
-func (c *memCellCache) GetCell(key string, runs, metrics int) ([][]float64, bool) {
+func (c *memCellCache) GetCell(workload, key string, runs, metrics int) ([][]float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	vecs, ok := c.cols[key]
@@ -40,7 +40,7 @@ func (c *memCellCache) GetCell(key string, runs, metrics int) ([][]float64, bool
 	return vecs, true
 }
 
-func (c *memCellCache) PutCell(key string, vecs [][]float64) {
+func (c *memCellCache) PutCell(workload, key string, vecs [][]float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cols[key] = vecs

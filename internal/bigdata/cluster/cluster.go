@@ -284,7 +284,7 @@ func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg C
 					continue
 				}
 				colKeys[wi][node] = key
-				vecs, ok := cc.GetCell(key, cfg.Runs, nmetrics)
+				vecs, ok := cc.GetCell(w.Name, key, cfg.Runs, nmetrics)
 				if !ok {
 					continue
 				}
@@ -389,7 +389,7 @@ func CharacterizeCellsCtx(ctx context.Context, suite []workloads.Workload, cfg C
 				for run := 0; run < cfg.Runs; run++ {
 					vecs[run] = cells[wi][run][node]
 				}
-				cc.PutCell(colKeys[wi][node], vecs)
+				cc.PutCell(suite[wi].Name, colKeys[wi][node], vecs)
 			}
 		}
 	}

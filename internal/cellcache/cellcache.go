@@ -16,6 +16,13 @@
 // and recomputed results are byte-identical. Entries that fail to parse
 // or have the wrong shape are deleted on read and counted as corruption —
 // a corrupt file can only ever cost a recompute, never serve bad cells.
+//
+// Lookups carry the workload name purely for attribution: the
+// bd_cellcache_requests_total{workload,result} family and the
+// per-workload hit-ratio table on /v1/status, the signal sweep planners
+// use to see which workloads actually share cells across campaigns.
+// Label cardinality is bounded by the resolved workload registry — names
+// reach here only after spec normalization resolved them.
 package cellcache
 
 import (
@@ -25,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/fsio"
 	"repro/internal/obs"
@@ -47,6 +55,11 @@ type Metrics struct {
 	Stores  *obs.Counter
 	Corrupt *obs.Counter
 	Evicted *obs.Counter
+	// Requests attributes every lookup to its workload:
+	// bd_cellcache_requests_total{workload,result="hit"|"miss"}.
+	Requests *obs.CounterVec
+
+	reg *obs.Registry // for the per-store gauge-funcs Open registers
 }
 
 // NewMetrics registers the cell-cache counters on reg. Register at most
@@ -63,7 +76,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Corrupt: reg.Counter("bd_cellcache_corrupt_total",
 			"Cell-cache entries deleted because they failed to parse or had the wrong shape."),
 		Evicted: reg.Counter("bd_cellcache_evicted_total",
-			"Cell-cache entries removed by the max-entries eviction sweep."),
+			"Cell-cache entries removed by the max-entries or max-age eviction sweep."),
+		Requests: reg.CounterVec("bd_cellcache_requests_total",
+			"Cell-cache lookups by workload and result (hit, miss); cardinality bounded by the resolved workload registry.",
+			"workload", "result"),
+		reg: reg,
 	}
 }
 
@@ -71,18 +88,25 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 // use; reads and writes go straight to the filesystem (the grid hot path
 // holds no store-wide lock), only the eviction sweep serializes.
 type Store struct {
-	dir string
-	max int
-	mx  *Metrics
+	dir    string
+	max    int
+	maxAge time.Duration // 0 = no age bound
+	mx     *Metrics
 
 	mu     sync.Mutex // guards sinceSweep and the sweep itself
 	sinceS int
 }
 
 // Open creates (if needed) and opens a cell store rooted at dir, bounded
-// to maxEntries files (<=0 uses DefaultMaxEntries). mx may be nil, in
-// which case counters land on a private registry nothing renders.
-func Open(dir string, maxEntries int, mx *Metrics) (*Store, error) {
+// to maxEntries files (<=0 uses DefaultMaxEntries). maxAge > 0 adds an
+// age bound: entries whose file mtime is older are garbage-collected by
+// the same sweep that enforces the entry count (and once immediately at
+// open, so a restart reclaims a long-idle cache without waiting for
+// writes). mx may be nil, in which case counters land on a private
+// registry nothing renders; when it carries a live registry, Open also
+// registers the bd_cellcache_entries / bd_cellcache_disk_bytes
+// gauge-funcs over this store.
+func Open(dir string, maxEntries int, maxAge time.Duration, mx *Metrics) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cellcache: empty directory")
 	}
@@ -92,10 +116,25 @@ func Open(dir string, maxEntries int, mx *Metrics) (*Store, error) {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
+	if maxAge < 0 {
+		maxAge = 0
+	}
 	if mx == nil {
 		mx = NewMetrics(obs.NewRegistry())
 	}
-	return &Store{dir: dir, max: maxEntries, mx: mx}, nil
+	s := &Store{dir: dir, max: maxEntries, maxAge: maxAge, mx: mx}
+	if mx.reg != nil {
+		mx.reg.GaugeFunc("bd_cellcache_entries",
+			"Cell-cache entries currently on disk (render-time directory listing).",
+			func() float64 { return float64(s.Len()) })
+		mx.reg.GaugeFunc("bd_cellcache_disk_bytes",
+			"Bytes the cell cache currently occupies on disk.",
+			func() float64 { return float64(s.DiskBytes()) })
+	}
+	if maxAge > 0 {
+		s.sweep()
+	}
+	return s, nil
 }
 
 // validKey reports whether key has the exact shape of a cell key — 64
@@ -119,50 +158,68 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
+// workloadLabel bounds the attribution label: lookups that arrive
+// without a workload name (none should) collapse into one series.
+func workloadLabel(workload string) string {
+	if workload == "" {
+		return "unknown"
+	}
+	return workload
+}
+
 // GetCell returns the cached per-run metric vectors for one column, or
 // ok=false on a miss. The entry is validated — JSON parse plus the exact
 // runs×metrics shape — *before* it is served: a truncated or corrupted
 // file is deleted and counted, then reported as a miss, so it costs a
-// recompute instead of poisoning a confidently-hashed result.
-func (s *Store) GetCell(key string, runs, metrics int) ([][]float64, bool) {
+// recompute instead of poisoning a confidently-hashed result. workload
+// is attribution only (per-workload hit/miss counters); it never affects
+// what is served.
+func (s *Store) GetCell(workload, key string, runs, metrics int) ([][]float64, bool) {
 	if !validKey(key) {
 		return nil, false
 	}
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
-		s.mx.Misses.Inc()
+		s.miss(workload)
 		return nil, false
 	}
 	var vecs [][]float64
 	if err := json.Unmarshal(data, &vecs); err != nil {
-		s.corrupt(key)
+		s.corrupt(workload, key)
 		return nil, false
 	}
 	if len(vecs) != runs {
-		s.corrupt(key)
+		s.corrupt(workload, key)
 		return nil, false
 	}
 	for _, v := range vecs {
 		if len(v) != metrics {
-			s.corrupt(key)
+			s.corrupt(workload, key)
 			return nil, false
 		}
 	}
 	s.mx.Hits.Inc()
+	s.mx.Requests.With(workloadLabel(workload), "hit").Inc()
 	return vecs, true
 }
 
-func (s *Store) corrupt(key string) {
+func (s *Store) miss(workload string) {
+	s.mx.Misses.Inc()
+	s.mx.Requests.With(workloadLabel(workload), "miss").Inc()
+}
+
+func (s *Store) corrupt(workload, key string) {
 	os.Remove(s.path(key))
 	s.mx.Corrupt.Inc()
-	s.mx.Misses.Inc()
+	s.miss(workload)
 }
 
 // PutCell stores one column's per-run metric vectors. Failures are
 // deliberately swallowed: the cache is an accelerator, and a column that
 // fails to persist only costs a future recompute. The write is atomic
-// and fsynced (fsio), so no torn entry can ever be read back.
-func (s *Store) PutCell(key string, vecs [][]float64) {
+// and fsynced (fsio), so no torn entry can ever be read back. workload
+// is attribution only.
+func (s *Store) PutCell(workload, key string, vecs [][]float64) {
 	if !validKey(key) || len(vecs) == 0 {
 		return
 	}
@@ -177,10 +234,11 @@ func (s *Store) PutCell(key string, vecs [][]float64) {
 	s.maybeSweep()
 }
 
-// maybeSweep enforces the max-entries bound every sweepEvery stores:
-// list the directory and delete the oldest (by mtime) entries beyond
-// capacity. Recently used entries survive — GetCell does not bump mtime,
-// so this is write-recency eviction: the working set of the most recent
+// maybeSweep enforces the max-entries (and max-age) bound every
+// sweepEvery stores: list the directory and delete the oldest (by mtime)
+// entries beyond capacity, plus any entry older than the age bound.
+// Recently used entries survive — GetCell does not bump mtime, so this
+// is write-recency eviction: the working set of the most recent
 // campaigns stays resident, which is exactly the overlap the cache is
 // for.
 func (s *Store) maybeSweep() {
@@ -199,7 +257,7 @@ func (s *Store) sweep() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ents, err := os.ReadDir(s.dir)
-	if err != nil || len(ents) <= s.max {
+	if err != nil {
 		return
 	}
 	type entry struct {
@@ -215,8 +273,19 @@ func (s *Store) sweep() {
 		files = append(files, entry{e.Name(), info.ModTime().UnixNano()})
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
-	for i := 0; i < len(files)-s.max; i++ {
-		if os.Remove(filepath.Join(s.dir, files[i].name)) == nil {
+	// Oldest-first: everything beyond capacity goes, and with an age
+	// bound configured so does everything written before the cutoff.
+	var cutoff int64
+	if s.maxAge > 0 {
+		cutoff = time.Now().Add(-s.maxAge).UnixNano()
+	}
+	for i, f := range files {
+		overCap := i < len(files)-s.max
+		expired := cutoff != 0 && f.mod < cutoff
+		if !overCap && !expired {
+			break // sorted by mtime: nothing later can be expired either
+		}
+		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
 			s.mx.Evicted.Inc()
 		}
 	}
@@ -230,4 +299,95 @@ func (s *Store) Len() int {
 		return 0
 	}
 	return len(ents)
+}
+
+// DiskBytes sums the store's current on-disk size (render-time only).
+func (s *Store) DiskBytes() int64 {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range ents {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// WorkloadStats is one row of the per-workload attribution table.
+type WorkloadStats struct {
+	Workload string  `json:"workload"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Stats is the store's point-in-time JSON snapshot: capacity and usage,
+// the global counters, and the per-workload hit/miss table (sorted by
+// workload name). Served inside /v1/status.
+type Stats struct {
+	Entries       int             `json:"entries"`
+	DiskBytes     int64           `json:"disk_bytes"`
+	MaxEntries    int             `json:"max_entries"`
+	MaxAgeSeconds float64         `json:"max_age_seconds,omitempty"`
+	Hits          uint64          `json:"hits"`
+	Misses        uint64          `json:"misses"`
+	Stores        uint64          `json:"stores"`
+	Corrupt       uint64          `json:"corrupt"`
+	Evicted       uint64          `json:"evicted"`
+	HitRatio      float64         `json:"hit_ratio"`
+	ByWorkload    []WorkloadStats `json:"by_workload,omitempty"`
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Entries:       s.Len(),
+		DiskBytes:     s.DiskBytes(),
+		MaxEntries:    s.max,
+		MaxAgeSeconds: s.maxAge.Seconds(),
+		Hits:          s.mx.Hits.Value(),
+		Misses:        s.mx.Misses.Value(),
+		Stores:        s.mx.Stores.Value(),
+		Corrupt:       s.mx.Corrupt.Value(),
+		Evicted:       s.mx.Evicted.Value(),
+	}
+	st.HitRatio = ratio(st.Hits, st.Misses)
+	byName := map[string]*WorkloadStats{}
+	s.mx.Requests.Each(func(labels []string, value uint64) {
+		if len(labels) != 2 {
+			return
+		}
+		w := byName[labels[0]]
+		if w == nil {
+			w = &WorkloadStats{Workload: labels[0]}
+			byName[w.Workload] = w
+		}
+		switch labels[1] {
+		case "hit":
+			w.Hits += value
+		case "miss":
+			w.Misses += value
+		}
+	})
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w := byName[n]
+		w.HitRatio = ratio(w.Hits, w.Misses)
+		st.ByWorkload = append(st.ByWorkload, *w)
+	}
+	return st
+}
+
+func ratio(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }

@@ -18,20 +18,20 @@ func key(i int) string {
 
 func TestRoundTrip(t *testing.T) {
 	mx := NewMetrics(obs.NewRegistry())
-	s, err := Open(t.TempDir(), 0, mx)
+	s, err := Open(t.TempDir(), 0, 0, mx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := [][]float64{{1, 2, 3}, {4, 5, 6}}
-	s.PutCell(key(1), want)
-	got, ok := s.GetCell(key(1), 2, 3)
+	s.PutCell("w", key(1), want)
+	got, ok := s.GetCell("w", key(1), 2, 3)
 	if !ok {
 		t.Fatal("stored column missed")
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("got %v, want %v", got, want)
 	}
-	if _, ok := s.GetCell(key(2), 2, 3); ok {
+	if _, ok := s.GetCell("w", key(2), 2, 3); ok {
 		t.Fatal("absent key hit")
 	}
 	if h, m, st := mx.Hits.Value(), mx.Misses.Value(), mx.Stores.Value(); h != 1 || m != 1 || st != 1 {
@@ -41,7 +41,7 @@ func TestRoundTrip(t *testing.T) {
 
 func TestRejectsInvalidKeys(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, 0, nil)
+	s, err := Open(dir, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,8 +49,8 @@ func TestRejectsInvalidKeys(t *testing.T) {
 		"", "abc", strings.Repeat("g", 64), strings.Repeat("A", 64),
 		"../" + strings.Repeat("a", 61), strings.Repeat("a", 63),
 	} {
-		s.PutCell(k, [][]float64{{1}})
-		if _, ok := s.GetCell(k, 1, 1); ok {
+		s.PutCell("w", k, [][]float64{{1}})
+		if _, ok := s.GetCell("w", k, 1, 1); ok {
 			t.Errorf("invalid key %q served a column", k)
 		}
 	}
@@ -65,7 +65,7 @@ func TestRejectsInvalidKeys(t *testing.T) {
 func TestCorruptEntryDeletedNotServed(t *testing.T) {
 	mx := NewMetrics(obs.NewRegistry())
 	dir := t.TempDir()
-	s, err := Open(dir, 0, mx)
+	s, err := Open(dir, 0, 0, mx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestCorruptEntryDeletedNotServed(t *testing.T) {
 		if err := os.WriteFile(s.path(k), []byte(c.data), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := s.GetCell(k, 2, 1); ok {
+		if _, ok := s.GetCell("w", k, 2, 1); ok {
 			t.Errorf("%s: corrupt entry served", c.name)
 		}
 		if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
@@ -101,14 +101,14 @@ func TestCorruptEntryDeletedNotServed(t *testing.T) {
 
 func TestEvictionBoundsEntries(t *testing.T) {
 	mx := NewMetrics(obs.NewRegistry())
-	s, err := Open(t.TempDir(), 8, mx)
+	s, err := Open(t.TempDir(), 8, 0, mx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Distinct mtimes make the oldest-first order deterministic enough to
 	// assert the newest entries survive.
 	for i := 0; i < sweepEvery+8; i++ {
-		s.PutCell(key(i), [][]float64{{float64(i)}})
+		s.PutCell("w", key(i), [][]float64{{float64(i)}})
 		if i%16 == 0 {
 			time.Sleep(2 * time.Millisecond)
 		}
@@ -121,20 +121,113 @@ func TestEvictionBoundsEntries(t *testing.T) {
 		t.Fatal("eviction sweep counted nothing")
 	}
 	// The most recently written column must still be resident.
-	if _, ok := s.GetCell(key(sweepEvery+7), 1, 1); !ok {
+	if _, ok := s.GetCell("w", key(sweepEvery+7), 1, 1); !ok {
 		t.Fatal("newest entry was evicted")
 	}
 }
 
 func TestPutFailureIsSilent(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, 0, nil)
+	s, err := Open(dir, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.dir = filepath.Join(dir, "missing")
-	s.PutCell(key(1), [][]float64{{1}}) // must not panic
-	if _, ok := s.GetCell(key(1), 1, 1); ok {
+	s.PutCell("w", key(1), [][]float64{{1}}) // must not panic
+	if _, ok := s.GetCell("w", key(1), 1, 1); ok {
 		t.Fatal("failed Put served a column")
+	}
+}
+
+func TestPerWorkloadAttribution(t *testing.T) {
+	reg := obs.NewRegistry()
+	mx := NewMetrics(reg)
+	s, err := Open(t.TempDir(), 0, 0, mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutCell("kmeans", key(1), [][]float64{{1}})
+	s.GetCell("kmeans", key(1), 1, 1) // hit
+	s.GetCell("kmeans", key(2), 1, 1) // miss
+	s.GetCell("kmeans", key(1), 1, 1) // hit
+	s.GetCell("bayes", key(3), 1, 1)  // miss
+	s.GetCell("", key(1), 1, 1)       // hit, attributed to "unknown"
+
+	st := s.Stats()
+	if st.Hits != 3 || st.Misses != 2 || st.Stores != 1 {
+		t.Fatalf("stats hits/misses/stores = %d/%d/%d", st.Hits, st.Misses, st.Stores)
+	}
+	if len(st.ByWorkload) != 3 {
+		t.Fatalf("by-workload rows = %d, want 3: %+v", len(st.ByWorkload), st.ByWorkload)
+	}
+	// Sorted by workload name: bayes, kmeans, unknown.
+	rows := st.ByWorkload
+	if rows[0].Workload != "bayes" || rows[0].Misses != 1 || rows[0].HitRatio != 0 {
+		t.Fatalf("bayes row = %+v", rows[0])
+	}
+	if rows[1].Workload != "kmeans" || rows[1].Hits != 2 || rows[1].Misses != 1 {
+		t.Fatalf("kmeans row = %+v", rows[1])
+	}
+	if got, want := rows[1].HitRatio, 2.0/3.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("kmeans hit ratio = %v, want %v", got, want)
+	}
+	if rows[2].Workload != "unknown" || rows[2].Hits != 1 {
+		t.Fatalf("unknown row = %+v", rows[2])
+	}
+	if st.Entries != 1 || st.DiskBytes <= 0 {
+		t.Fatalf("entries/disk = %d/%d", st.Entries, st.DiskBytes)
+	}
+}
+
+func TestOpenRegistersCapacityGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), 0, 0, NewMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutCell("w", key(1), [][]float64{{1, 2}})
+	if v, ok := reg.ReadScalar("bd_cellcache_entries"); !ok || v != 1 {
+		t.Fatalf("bd_cellcache_entries = %v,%v", v, ok)
+	}
+	if v, ok := reg.ReadScalar("bd_cellcache_disk_bytes"); !ok || v <= 0 {
+		t.Fatalf("bd_cellcache_disk_bytes = %v,%v", v, ok)
+	}
+}
+
+func TestMaxAgeSweep(t *testing.T) {
+	dir := t.TempDir()
+	mx := NewMetrics(obs.NewRegistry())
+	s, err := Open(dir, 0, time.Hour, mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutCell("w", key(1), [][]float64{{1}})
+	s.PutCell("w", key(2), [][]float64{{2}})
+	// Age one entry past the bound by rewinding its mtime.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(s.path(key(1)), old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.sweep()
+	if _, ok := s.GetCell("w", key(1), 1, 1); ok {
+		t.Fatal("expired entry survived the age sweep")
+	}
+	if _, ok := s.GetCell("w", key(2), 1, 1); !ok {
+		t.Fatal("fresh entry was evicted")
+	}
+	if mx.Evicted.Value() != 1 {
+		t.Fatalf("evicted = %d, want 1", mx.Evicted.Value())
+	}
+
+	// Reopening with an age bound sweeps immediately.
+	if err := os.Chtimes(s.path(key(2)), old, old); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0, time.Hour, NewMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Len(); n != 0 {
+		t.Fatalf("reopen with max-age left %d entries, want 0", n)
 	}
 }

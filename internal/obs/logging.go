@@ -73,6 +73,7 @@ var knownRoutes = map[string]bool{
 	"/v1/jobs/{id}/trace":  true,
 	"/v1/cache/stats":      true,
 	"/v1/workers":          true,
+	"/v1/status":           true,
 }
 
 // NormalizePath collapses job-ID path segments to "{id}" and unknown

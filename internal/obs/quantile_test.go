@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(want) {
+		if !math.IsNaN(got) {
+			t.Fatalf("%s = %v, want NaN", what, got)
+		}
+		return
+	}
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+// Golden quantiles from a hand-built snapshot: 100 observations spread
+// over buckets (0,1](1,2](2,4] as 50/30/20. Cumulative ranks: p50 lands
+// exactly at the top of the first bucket, p95 interpolates 3/4 into
+// (2,4], p99 interpolates 19/20 into it.
+func TestQuantileGolden(t *testing.T) {
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{50, 30, 20},
+		Count:  100,
+	}
+	almost(t, s.Quantile(0.50), 1.0, 1e-9, "p50")
+	almost(t, s.Quantile(0.80), 2.0, 1e-9, "p80")
+	almost(t, s.Quantile(0.95), 2+2*(15.0/20.0), 1e-9, "p95") // 3.5
+	almost(t, s.Quantile(0.99), 2+2*(19.0/20.0), 1e-9, "p99") // 3.9
+	almost(t, s.Quantile(1.0), 4.0, 1e-9, "p100")
+	// First bucket interpolates from 0.
+	almost(t, s.Quantile(0.25), 0.5, 1e-9, "p25")
+
+	qs := s.Quantiles(0.5, 0.95, 0.99)
+	if len(qs) != 3 || qs[0] != 1.0 {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+}
+
+func TestQuantileInfBucketClampsToLastBound(t *testing.T) {
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []uint64{10, 10},
+		Inf:    80,
+		Count:  100,
+	}
+	// p99 rank falls above every finite bucket: clamp to the last bound.
+	almost(t, s.Quantile(0.99), 2.0, 1e-9, "p99 in +Inf")
+}
+
+func TestQuantileEmptyAndInvalid(t *testing.T) {
+	var s HistogramSnapshot
+	almost(t, s.Quantile(0.5), math.NaN(), 0, "empty")
+	full := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{5}, Count: 5}
+	almost(t, full.Quantile(0), math.NaN(), 0, "q=0")
+	almost(t, full.Quantile(1.5), math.NaN(), 0, "q>1")
+	almost(t, full.Quantile(math.NaN()), math.NaN(), 0, "q=NaN")
+}
+
+func TestHistogramSnapshotAndMerge(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_h", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Inf != 1 {
+		t.Fatalf("snapshot count=%d inf=%d, want 4/1", s.Count, s.Inf)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("per-bound counts = %v", s.Counts)
+	}
+	almost(t, s.Sum, 105, 1e-9, "sum")
+
+	var agg HistogramSnapshot
+	agg.Merge(s)
+	agg.Merge(s)
+	if agg.Count != 8 || agg.Inf != 2 || agg.Counts[0] != 2 {
+		t.Fatalf("merged = %+v", agg)
+	}
+	// Mismatched layout is ignored.
+	agg.Merge(HistogramSnapshot{Bounds: []float64{9}, Counts: []uint64{3}, Count: 3})
+	if agg.Count != 8 {
+		t.Fatalf("mismatched merge changed count: %d", agg.Count)
+	}
+}
+
+func TestReadScalarAndSeries(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_total", "help")
+	c.Add(7)
+	if v, ok := reg.ReadScalar("t_total"); !ok || v != 7 {
+		t.Fatalf("ReadScalar counter = %v,%v", v, ok)
+	}
+	g := reg.Gauge("t_gauge", "help")
+	g.Set(2.5)
+	if v, ok := reg.ReadScalar("t_gauge"); !ok || v != 2.5 {
+		t.Fatalf("ReadScalar gauge = %v,%v", v, ok)
+	}
+	reg.GaugeFunc("t_fn", "help", func() float64 { return 11 })
+	if v, ok := reg.ReadScalar("t_fn"); !ok || v != 11 {
+		t.Fatalf("ReadScalar gauge-func = %v,%v", v, ok)
+	}
+	cv := reg.CounterVec("t_vec_total", "help", "k")
+	cv.With("a").Add(3)
+	cv.With("b").Add(4)
+	if v, ok := reg.ReadScalar("t_vec_total"); !ok || v != 7 {
+		t.Fatalf("ReadScalar vec sum = %v,%v", v, ok)
+	}
+	if v, ok := reg.ReadScalarSeries("t_vec_total", []string{"b"}); !ok || v != 4 {
+		t.Fatalf("ReadScalarSeries = %v,%v", v, ok)
+	}
+	if _, ok := reg.ReadScalarSeries("t_vec_total", []string{"zzz"}); ok {
+		t.Fatal("unknown series should not be ok")
+	}
+	if _, ok := reg.ReadScalar("t_absent"); ok {
+		t.Fatal("unknown family should not be ok")
+	}
+	reg.Histogram("t_hist", "help", DefBuckets)
+	if _, ok := reg.ReadScalar("t_hist"); ok {
+		t.Fatal("histogram family should not be readable as scalar")
+	}
+}
+
+func TestReadHistogramAggregatesSeries(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("t_dur_seconds", "help", []float64{1, 2}, "stage")
+	hv.With("a").Observe(0.5)
+	hv.With("b").Observe(1.5)
+	hv.With("b").Observe(10)
+	s, ok := reg.ReadHistogram("t_dur_seconds")
+	if !ok || s.Count != 3 || s.Inf != 1 {
+		t.Fatalf("ReadHistogram = %+v ok=%v", s, ok)
+	}
+	if _, ok := reg.ReadHistogram("t_absent"); ok {
+		t.Fatal("unknown histogram should not be ok")
+	}
+	// Empty labeled family still reports its bucket layout.
+	reg.HistogramVec("t_empty_seconds", "help", []float64{3, 4}, "k")
+	e, ok := reg.ReadHistogram("t_empty_seconds")
+	if !ok || e.Count != 0 || len(e.Bounds) != 2 {
+		t.Fatalf("empty family = %+v ok=%v", e, ok)
+	}
+}
+
+func TestVecEachSortedOrder(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("t_each_total", "help", "w", "r")
+	cv.With("kmeans", "miss").Add(2)
+	cv.With("kmeans", "hit").Add(5)
+	cv.With("bayes", "hit").Inc()
+	var got [][2]string
+	var vals []uint64
+	cv.Each(func(labels []string, v uint64) {
+		got = append(got, [2]string{labels[0], labels[1]})
+		vals = append(vals, v)
+	})
+	want := [][2]string{{"bayes", "hit"}, {"kmeans", "hit"}, {"kmeans", "miss"}}
+	if len(got) != 3 {
+		t.Fatalf("Each visited %d series", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if vals[0] != 1 || vals[1] != 5 || vals[2] != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+
+	hv := reg.HistogramVec("t_each_seconds", "help", []float64{1}, "k")
+	hv.With("x").Observe(0.5)
+	n := 0
+	hv.Each(func(labels []string, snap HistogramSnapshot) {
+		n++
+		if snap.Count != 1 {
+			t.Fatalf("snap count = %d", snap.Count)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("histogram Each visited %d", n)
+	}
+}

@@ -1,0 +1,272 @@
+// Time-series sampler: the in-daemon trailing window behind /v1/status.
+// A Sampler snapshots selected registry families on a fixed tick into
+// per-series ring buffers of fixed capacity — counters become rates,
+// gauges levels, counter pairs ratios and histograms estimated
+// quantiles — so every daemon carries its own recent history (default
+// ten minutes) with zero external storage and strictly bounded memory:
+// all rings are allocated once, at construction.
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// SampleKind says how a SeriesDef turns registry reads into points.
+type SampleKind string
+
+const (
+	// KindLevel records the family's current value as-is (gauges).
+	KindLevel SampleKind = "level"
+	// KindRate records the per-second increase of a counter family since
+	// the previous tick (0 on the first tick and on counter resets).
+	KindRate SampleKind = "rate"
+	// KindRatio records delta(numerator)/delta(denominator) between
+	// ticks — e.g. cache hits over hits+misses. Ticks with no denominator
+	// movement repeat the previous ratio, so idle periods draw flat.
+	KindRatio SampleKind = "ratio"
+	// KindQuantile records an estimated quantile of a histogram family
+	// (aggregated across its series); 0 while the histogram is empty.
+	KindQuantile SampleKind = "quantile"
+)
+
+// SeriesDef selects one registry family (or pair) to sample.
+type SeriesDef struct {
+	// Name is the exported series name in the window (e.g. "queue_depth").
+	Name string
+	// Kind selects the sampling transform.
+	Kind SampleKind
+	// Family is the registry family to read. Labels, when non-nil,
+	// selects one series by exact label values; nil sums the family.
+	Family string
+	Labels []string
+	// DenFamily/DenLabels are the denominator for KindRatio. The
+	// numerator (Family) must be a subset of it per tick for the ratio to
+	// stay in [0,1], but nothing enforces that.
+	DenFamily string
+	DenLabels []string
+	// Q is the quantile for KindQuantile (e.g. 0.95).
+	Q float64
+}
+
+// ring is one bounded series: a fixed circular buffer of points.
+type ring struct {
+	def    SeriesDef
+	points []float64 // capacity fixed at construction
+	head   int       // next write slot
+	n      int       // valid points, <= len(points)
+
+	primed    bool    // a previous raw sample exists (rate/ratio)
+	lastRaw   float64 // previous cumulative numerator
+	lastDen   float64 // previous cumulative denominator
+	lastRatio float64 // carried ratio for idle ticks
+}
+
+func (rg *ring) push(v float64) {
+	rg.points[rg.head] = v
+	rg.head = (rg.head + 1) % len(rg.points)
+	if rg.n < len(rg.points) {
+		rg.n++
+	}
+}
+
+// ordered copies the ring oldest-first.
+func (rg *ring) ordered() []float64 {
+	out := make([]float64, rg.n)
+	start := rg.head - rg.n
+	if start < 0 {
+		start += len(rg.points)
+	}
+	for i := 0; i < rg.n; i++ {
+		out[i] = rg.points[(start+i)%len(rg.points)]
+	}
+	return out
+}
+
+// Sampler drives the rings: SampleNow reads every def from the registry
+// and appends one point per series. Start runs that on a fixed tick.
+// All methods are safe for concurrent use.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu     sync.Mutex
+	rings  []*ring
+	last   time.Time // time of the most recent sample
+	ticks  uint64
+	stopMu sync.Mutex
+	stopCh chan struct{}
+}
+
+// NewSampler builds a sampler over reg: one ring of capacity
+// window/interval (minimum 2) per def. interval <= 0 defaults to 5s,
+// window <= 0 to 10 minutes.
+func NewSampler(reg *Registry, interval, window time.Duration, defs []SeriesDef) *Sampler {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if window <= 0 {
+		window = 10 * time.Minute
+	}
+	capacity := int(window / interval)
+	if capacity < 2 {
+		capacity = 2
+	}
+	s := &Sampler{reg: reg, interval: interval}
+	for _, d := range defs {
+		s.rings = append(s.rings, &ring{def: d, points: make([]float64, capacity)})
+	}
+	return s
+}
+
+// Interval returns the sampling tick.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Start launches the sampling goroutine and returns an idempotent stop
+// function. Starting an already started sampler returns a no-op stop.
+func (s *Sampler) Start() (stop func()) {
+	s.stopMu.Lock()
+	defer s.stopMu.Unlock()
+	if s.stopCh != nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	s.stopCh = done
+	go func() {
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				s.SampleNow(now)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// SampleNow takes one sample of every series at the given time (exported
+// for tests and deterministic snapshots; Start calls it on the tick).
+func (s *Sampler) SampleNow(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	elapsed := s.interval.Seconds()
+	if !s.last.IsZero() {
+		if dt := now.Sub(s.last).Seconds(); dt > 0 {
+			elapsed = dt
+		}
+	}
+	for _, rg := range s.rings {
+		rg.push(s.sampleLocked(rg, elapsed))
+	}
+	s.last = now
+	s.ticks++
+}
+
+func (s *Sampler) sampleLocked(rg *ring, elapsed float64) float64 {
+	switch rg.def.Kind {
+	case KindLevel:
+		v, _ := s.read(rg.def.Family, rg.def.Labels)
+		return sanitize(v)
+	case KindRate:
+		raw, _ := s.read(rg.def.Family, rg.def.Labels)
+		rate := 0.0
+		if rg.primed && raw >= rg.lastRaw && elapsed > 0 {
+			rate = (raw - rg.lastRaw) / elapsed
+		}
+		rg.lastRaw, rg.primed = raw, true
+		return sanitize(rate)
+	case KindRatio:
+		num, _ := s.read(rg.def.Family, rg.def.Labels)
+		den, _ := s.read(rg.def.DenFamily, rg.def.DenLabels)
+		ratio := rg.lastRatio
+		if rg.primed && den > rg.lastDen && num >= rg.lastRaw {
+			ratio = (num - rg.lastRaw) / (den - rg.lastDen)
+		}
+		rg.lastRaw, rg.lastDen, rg.primed = num, den, true
+		rg.lastRatio = sanitize(ratio)
+		return rg.lastRatio
+	case KindQuantile:
+		h, ok := s.reg.ReadHistogram(rg.def.Family)
+		if !ok || h.Count == 0 {
+			return 0
+		}
+		return sanitize(h.Quantile(rg.def.Q))
+	}
+	return 0
+}
+
+func (s *Sampler) read(family string, labels []string) (float64, bool) {
+	if labels != nil {
+		return s.reg.ReadScalarSeries(family, labels)
+	}
+	return s.reg.ReadScalar(family)
+}
+
+// sanitize keeps NaN/Inf out of the rings: the window marshals to JSON,
+// which has no encoding for either.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// SeriesWindow is one exported series: points oldest-first, at most the
+// ring capacity of them.
+type SeriesWindow struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"`
+	Points []float64 `json:"points"`
+}
+
+// Last returns the newest point (0 when empty).
+func (w SeriesWindow) Last() float64 {
+	if len(w.Points) == 0 {
+		return 0
+	}
+	return w.Points[len(w.Points)-1]
+}
+
+// Window is the sampler's exported trailing window, embedded in
+// /v1/status responses.
+type Window struct {
+	IntervalSeconds float64        `json:"interval_seconds"`
+	Capacity        int            `json:"capacity"`
+	End             time.Time      `json:"end,omitempty"` // time of the newest sample
+	Series          []SeriesWindow `json:"series"`
+}
+
+// Find returns the named series, or nil.
+func (w *Window) Find(name string) *SeriesWindow {
+	if w == nil {
+		return nil
+	}
+	for i := range w.Series {
+		if w.Series[i].Name == name {
+			return &w.Series[i]
+		}
+	}
+	return nil
+}
+
+// Window snapshots the trailing window: a deep copy, safe to marshal
+// while sampling continues.
+func (s *Sampler) Window() Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := Window{IntervalSeconds: s.interval.Seconds(), End: s.last}
+	for _, rg := range s.rings {
+		w.Capacity = len(rg.points)
+		w.Series = append(w.Series, SeriesWindow{
+			Name:   rg.def.Name,
+			Kind:   string(rg.def.Kind),
+			Points: rg.ordered(),
+		})
+	}
+	return w
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func tsDefs() []SeriesDef {
+	return []SeriesDef{
+		{Name: "depth", Kind: KindLevel, Family: "t_depth"},
+		{Name: "rate", Kind: KindRate, Family: "t_done_total"},
+		{Name: "hit_ratio", Kind: KindRatio, Family: "t_hits_total", DenFamily: "t_req_total"},
+		{Name: "p95", Kind: KindQuantile, Family: "t_lat_seconds", Q: 0.95},
+	}
+}
+
+func TestSamplerKinds(t *testing.T) {
+	reg := NewRegistry()
+	depth := reg.Gauge("t_depth", "h")
+	done := reg.Counter("t_done_total", "h")
+	hits := reg.Counter("t_hits_total", "h")
+	req := reg.Counter("t_req_total", "h")
+	lat := reg.Histogram("t_lat_seconds", "h", []float64{1, 2, 4})
+
+	s := NewSampler(reg, time.Second, 10*time.Second, tsDefs())
+	now := time.Unix(1000, 0)
+
+	depth.Set(3)
+	s.SampleNow(now) // first tick: rate and ratio unprimed -> 0
+
+	done.Add(10)
+	hits.Add(8)
+	req.Add(10)
+	for i := 0; i < 20; i++ {
+		lat.Observe(1.5)
+	}
+	now = now.Add(2 * time.Second)
+	s.SampleNow(now)
+
+	// Idle tick: ratio must carry, rate must drop to 0.
+	now = now.Add(time.Second)
+	s.SampleNow(now)
+
+	w := s.Window()
+	if w.Capacity != 10 {
+		t.Fatalf("capacity = %d, want 10", w.Capacity)
+	}
+	get := func(name string) SeriesWindow {
+		sw := w.Find(name)
+		if sw == nil {
+			t.Fatalf("series %q missing", name)
+		}
+		return *sw
+	}
+	d := get("depth")
+	if len(d.Points) != 3 || d.Last() != 3 {
+		t.Fatalf("depth = %v", d.Points)
+	}
+	r := get("rate")
+	if r.Points[0] != 0 || r.Points[1] != 5 || r.Points[2] != 0 {
+		t.Fatalf("rate = %v, want [0 5 0]", r.Points)
+	}
+	h := get("hit_ratio")
+	if h.Points[0] != 0 || h.Points[1] != 0.8 || h.Points[2] != 0.8 {
+		t.Fatalf("hit_ratio = %v, want [0 0.8 0.8]", h.Points)
+	}
+	p := get("p95")
+	if p.Points[0] != 0 || p.Points[2] < 1 || p.Points[2] > 2 {
+		t.Fatalf("p95 = %v, want [0 .. (1,2]]", p.Points)
+	}
+	if w.Find("absent") != nil {
+		t.Fatal("Find(absent) should be nil")
+	}
+}
+
+// The ring must stay at fixed capacity no matter how many samples land:
+// the acceptance criterion for "bounded, no growth over a long run".
+func TestSamplerRingBounded(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_done_total", "h")
+	reg.Gauge("t_depth", "h")
+	reg.Counter("t_hits_total", "h")
+	reg.Counter("t_req_total", "h")
+	reg.Histogram("t_lat_seconds", "h", []float64{1})
+
+	s := NewSampler(reg, time.Second, 5*time.Second, tsDefs())
+	now := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+		now = now.Add(time.Second)
+		s.SampleNow(now)
+	}
+	w := s.Window()
+	for _, sw := range w.Series {
+		if len(sw.Points) != 5 {
+			t.Fatalf("series %q holds %d points, want 5", sw.Name, len(sw.Points))
+		}
+	}
+	// Internal rings never grew past construction capacity.
+	s.mu.Lock()
+	for _, rg := range s.rings {
+		if len(rg.points) != 5 || cap(rg.points) != 5 {
+			t.Fatalf("ring %q len/cap = %d/%d", rg.def.Name, len(rg.points), cap(rg.points))
+		}
+	}
+	s.mu.Unlock()
+	// Rate settled at 1/s once primed.
+	r := w.Find("rate")
+	if r.Last() != 1 {
+		t.Fatalf("steady rate = %v, want 1", r.Last())
+	}
+}
+
+func TestSamplerCounterResetYieldsZeroRate(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("t_depth", "h")
+	reg.Counter("t_hits_total", "h")
+	reg.Counter("t_req_total", "h")
+	reg.Histogram("t_lat_seconds", "h", []float64{1})
+	c := reg.Counter("t_done_total", "h")
+	s := NewSampler(reg, time.Second, 4*time.Second, tsDefs())
+	now := time.Unix(0, 0)
+	c.Add(100)
+	s.SampleNow(now)
+	// Simulate a reset by sampling against a fresh registry value that is
+	// lower than the last raw reading: swap in a new sampler read path is
+	// not possible, so drive the same effect through the ratio branch
+	// guard — a raw < lastRaw must clamp the rate to 0. The counter can't
+	// go down, so rebuild sampler state directly.
+	s.mu.Lock()
+	for _, rg := range s.rings {
+		if rg.def.Kind == KindRate {
+			rg.lastRaw = 1e9 // as if the process restarted mid-window
+		}
+	}
+	s.mu.Unlock()
+	s.SampleNow(now.Add(time.Second))
+	w := s.Window()
+	r := w.Find("rate")
+	if r.Last() != 0 {
+		t.Fatalf("rate after reset = %v, want 0", r.Last())
+	}
+}
+
+// Window() while Start()'s goroutine samples — the -race half of the
+// acceptance criterion.
+func TestSamplerConcurrentWindow(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_done_total", "h")
+	g := reg.Gauge("t_depth", "h")
+	reg.Counter("t_hits_total", "h")
+	reg.Counter("t_req_total", "h")
+	reg.Histogram("t_lat_seconds", "h", []float64{1})
+
+	s := NewSampler(reg, time.Millisecond, 50*time.Millisecond, tsDefs())
+	stop := s.Start()
+	defer stop()
+	if again := s.Start(); again == nil {
+		t.Fatal("second Start returned nil stop")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				w := s.Window()
+				for _, sw := range w.Series {
+					if len(sw.Points) > w.Capacity {
+						t.Errorf("series %q exceeded capacity: %d > %d", sw.Name, len(sw.Points), w.Capacity)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop()
+	stop() // idempotent
+}
+
+func TestSamplerDefaults(t *testing.T) {
+	s := NewSampler(NewRegistry(), 0, 0, []SeriesDef{{Name: "x", Kind: KindLevel, Family: "f"}})
+	if s.Interval() != 5*time.Second {
+		t.Fatalf("default interval = %v", s.Interval())
+	}
+	if got := len(s.rings[0].points); got != 120 {
+		t.Fatalf("default capacity = %d, want 120", got)
+	}
+	// Tiny window still yields a usable ring.
+	s2 := NewSampler(NewRegistry(), time.Minute, time.Second, []SeriesDef{{Name: "x", Kind: KindLevel, Family: "f"}})
+	if got := len(s2.rings[0].points); got != 2 {
+		t.Fatalf("min capacity = %d, want 2", got)
+	}
+}

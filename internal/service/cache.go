@@ -112,6 +112,7 @@ func (c *resultCache) Get(id string) (data []byte, hash string, ok bool) {
 	if !validID(id) {
 		return nil, "", false
 	}
+	c.mx.requests.Inc()
 	c.mu.Lock()
 	if el, ok := c.byID[id]; ok {
 		c.ll.MoveToFront(el)

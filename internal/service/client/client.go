@@ -80,6 +80,17 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
+// Status fetches the daemon's GET /v1/status operational snapshot. A
+// coordinator's response carries a fleet view beyond this base snapshot;
+// callers that need it (bdtop) decode the raw payload themselves.
+func (c *Client) Status(ctx context.Context) (service.StatusSnapshot, error) {
+	var st service.StatusSnapshot
+	if err := c.getJSON(ctx, "/v1/status", &st); err != nil {
+		return service.StatusSnapshot{}, fmt.Errorf("client: status %s: %w", c.BaseURL, err)
+	}
+	return st, nil
+}
+
 // Submit posts a JobRequest and returns the accepted job status.
 func (c *Client) Submit(ctx context.Context, jr service.JobRequest) (service.JobStatus, error) {
 	return c.SubmitTraced(ctx, jr, "")

@@ -274,3 +274,59 @@ func TestEventsCanceledStateIsTerminal(t *testing.T) {
 		t.Fatalf("canceled-terminal stream errored: %v", err)
 	}
 }
+
+// TestStatusRoundTrip decodes a real manager's /v1/status through the
+// client: a submitted job must be visible in the state counts and the
+// snapshot's identity fields must be populated.
+func TestStatusRoundTrip(t *testing.T) {
+	mgr, err := service.New(service.Config{Workers: 1, TraceService: "bdservd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv := httptest.NewServer(service.NewHandler(mgr))
+	defer srv.Close()
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	nodes, runs := 2, 1
+	st, err := c.Submit(ctx, service.JobRequest{Workloads: []string{"H-Sort", "S-Sort"}, Nodes: &nodes, Runs: &runs})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.WaitDone(ctx, st.ID, nil); err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+
+	snap, err := c.Status(ctx)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if snap.Service != "bdservd" {
+		t.Errorf("service = %q, want bdservd", snap.Service)
+	}
+	if snap.PID == 0 || snap.GoVersion == "" || snap.Goroutines == 0 {
+		t.Errorf("process identity incomplete: %+v", snap)
+	}
+	if snap.Jobs.Done != 1 {
+		t.Errorf("jobs done = %d, want 1", snap.Jobs.Done)
+	}
+	if snap.Queue.Capacity == 0 || snap.Queue.Workers != 1 {
+		t.Errorf("queue shape %+v", snap.Queue)
+	}
+	if snap.UptimeSeconds < 0 || snap.Now.IsZero() {
+		t.Errorf("clock fields %+v", snap)
+	}
+}
+
+// TestStatusNon2xx surfaces the daemon error body on a failed status
+// fetch instead of decoding garbage.
+func TestStatusNon2xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"status exploded"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	if _, err := New(srv.URL).Status(context.Background()); err == nil || !strings.Contains(err.Error(), "status exploded") {
+		t.Fatalf("Status error = %v, want daemon message", err)
+	}
+}

@@ -133,11 +133,15 @@ func (r *JobRequest) ToSpec() (JobSpec, error) {
 //	GET    /v1/jobs/{id}/trace  trace export (?format=chrome for trace_event)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/cache/stats     result-cache counters
+//	GET    /v1/status          full operational snapshot (see StatusSnapshot)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", m.reg.Handler())
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Status())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// A journal that has lost a record degrades the daemon: running
 		// jobs still complete (the result cache stays authoritative), but

@@ -23,6 +23,7 @@ type svcMetrics struct {
 // cacheMetrics is the counter storage behind both CacheStats and the
 // bd_cache_* families.
 type cacheMetrics struct {
+	requests  *obs.Counter // every lookup, any outcome — hit-ratio denominator
 	memHits   *obs.Counter
 	diskHits  *obs.Counter
 	misses    *obs.Counter
@@ -41,6 +42,8 @@ func newCacheMetrics(reg *obs.Registry) *cacheMetrics {
 	hits := reg.CounterVec("bd_cache_hits_total",
 		"Result-cache hits, by serving tier.", "tier")
 	return &cacheMetrics{
+		requests: reg.Counter("bd_cache_requests_total",
+			"Result-cache lookups regardless of outcome (hit-ratio denominator)."),
 		memHits:  hits.With("memory"),
 		diskHits: hits.With("disk"),
 		misses: reg.Counter("bd_cache_misses_total",

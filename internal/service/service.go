@@ -230,6 +230,11 @@ type Config struct {
 	// CellCacheEntries bounds the cell cache's on-disk entry count
 	// (0 = cellcache.DefaultMaxEntries).
 	CellCacheEntries int
+	// CellCacheMaxAge, when positive, adds an age bound to the cell
+	// cache: entries whose mtime is older are garbage-collected by the
+	// eviction sweep (bdservd -cell-cache-max-age). 0 keeps entries until
+	// the entry-count bound evicts them.
+	CellCacheMaxAge time.Duration
 	// TraceBuffer bounds each job's span ring in the tracing flight
 	// recorder (-trace-buffer): 0 uses the default (2048 spans per job),
 	// negative disables tracing entirely. Tracing is observational only —
@@ -248,6 +253,10 @@ type Config struct {
 	// and backs the handler's GET /metrics. Nil uses a private registry:
 	// instruments still work, nothing renders them.
 	Registry *obs.Registry
+	// Sampler, when set, contributes its trailing time-series window to
+	// GET /v1/status. The manager never starts or stops it — the owning
+	// daemon drives the tick (see obs.Sampler.Start).
+	Sampler *obs.Sampler
 	// Logger receives structured job-lifecycle and journal log lines,
 	// each tagged with the job ID. Nil discards them.
 	Logger *slog.Logger
@@ -270,9 +279,10 @@ type Manager struct {
 	log    *slog.Logger
 	tracer *obs.FlightRecorder // nil when tracing is disabled
 
-	root context.Context
-	stop context.CancelFunc
-	wg   sync.WaitGroup
+	root      context.Context
+	stop      context.CancelFunc
+	wg        sync.WaitGroup
+	startedAt time.Time
 
 	draining atomic.Bool
 
@@ -319,23 +329,24 @@ func New(cfg Config) (*Manager, error) {
 	}
 	var cells *cellcache.Store
 	if cfg.CellCacheDir != "" && cfg.Execute == nil {
-		cells, err = cellcache.Open(cfg.CellCacheDir, cfg.CellCacheEntries, cellcache.NewMetrics(reg))
+		cells, err = cellcache.Open(cfg.CellCacheDir, cfg.CellCacheEntries, cfg.CellCacheMaxAge, cellcache.NewMetrics(reg))
 		if err != nil {
 			return nil, err
 		}
 	}
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:   cfg,
-		cache: cache,
-		cells: cells,
-		reg:   reg,
-		mx:    mx,
-		log:   logger,
-		root:  root,
-		stop:  stop,
-		jobs:  make(map[string]*job),
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:       cfg,
+		cache:     cache,
+		cells:     cells,
+		reg:       reg,
+		mx:        mx,
+		log:       logger,
+		root:      root,
+		stop:      stop,
+		startedAt: time.Now(),
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, cfg.QueueDepth),
 	}
 	mx.registerGauges(reg, m)
 	if cfg.TraceBuffer >= 0 {
@@ -1134,8 +1145,8 @@ type countingCellCache struct {
 	hits, misses atomic.Int64
 }
 
-func (c *countingCellCache) GetCell(key string, runs, metrics int) ([][]float64, bool) {
-	vecs, ok := c.cc.GetCell(key, runs, metrics)
+func (c *countingCellCache) GetCell(workload, key string, runs, metrics int) ([][]float64, bool) {
+	vecs, ok := c.cc.GetCell(workload, key, runs, metrics)
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -1144,7 +1155,9 @@ func (c *countingCellCache) GetCell(key string, runs, metrics int) ([][]float64,
 	return vecs, ok
 }
 
-func (c *countingCellCache) PutCell(key string, vecs [][]float64) { c.cc.PutCell(key, vecs) }
+func (c *countingCellCache) PutCell(workload, key string, vecs [][]float64) {
+	c.cc.PutCell(workload, key, vecs)
+}
 
 // executeLocal runs a job's pipeline in-process: the full characterize +
 // analyze pipeline for analyze jobs, or just the measurement grid —

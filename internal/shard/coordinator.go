@@ -106,6 +106,10 @@ type Config struct {
 	// CellCacheEntries bounds the cell cache's on-disk entry count
 	// (0 = the cellcache package default).
 	CellCacheEntries int
+	// CellCacheMaxAge, when positive, garbage-collects cell-cache entries
+	// whose mtime is older (bdcoord -cell-cache-max-age). 0 keeps entries
+	// until the entry-count bound evicts them.
+	CellCacheMaxAge time.Duration
 
 	// Registry receives the executor's fleet metrics (per-worker unit
 	// counters, breaker transitions, probe outcomes, lease events, merge
@@ -214,7 +218,7 @@ func New(cfg Config) (*Executor, error) {
 		e.store = store
 	}
 	if cfg.CellCacheDir != "" {
-		cells, err := cellcache.Open(cfg.CellCacheDir, cfg.CellCacheEntries, cellcache.NewMetrics(mreg))
+		cells, err := cellcache.Open(cfg.CellCacheDir, cfg.CellCacheEntries, cfg.CellCacheMaxAge, cellcache.NewMetrics(mreg))
 		if err != nil {
 			return nil, err
 		}
@@ -601,7 +605,7 @@ func (e *Executor) Execute(ctx context.Context, spec service.JobSpec, progress c
 						continue
 					}
 					cellKeys[u][ci] = key
-					if v, ok := e.cells.GetCell(key, runs, nmetrics); ok {
+					if v, ok := e.cells.GetCell(unit.Workloads[wi], key, runs, nmetrics); ok {
 						vecs[ci] = v
 						hits++
 					} else {
@@ -819,11 +823,13 @@ func (e *Executor) dispatch(ctx context.Context, w *workerState, run *jobRun) {
 		if stolen {
 			unitSpan.SetAttr("stolen", "true")
 		}
+		attemptStart := time.Now()
 		om, data, key, err := e.runUnitOn(ctx, w, run, u, unitSpan.ID(), attempt, stolen)
 		if err == nil {
 			run.oms[u], run.keys[u] = om, key
 			e.storeUnitCells(run, u, om)
 			w.recordSuccess()
+			e.mx.unitDuration.With(w.url).Observe(time.Since(attemptStart).Seconds())
 			run.agg.report(u, len(run.units[u].Workloads)*run.full.Cluster.Runs*run.units[u].Nodes)
 			// Persist the unit's bytes *before* journaling it done: a
 			// unit_done record must never point at bytes a restarted
@@ -885,7 +891,7 @@ func (e *Executor) storeUnitCells(run *jobRun, u int, om *core.ObservationMatrix
 			for r := 0; r < runs; r++ {
 				vecs[r] = om.Cells[wi][r][nd]
 			}
-			e.cells.PutCell(key, vecs)
+			e.cells.PutCell(unit.Workloads[wi], key, vecs)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service/client"
 )
 
@@ -49,6 +50,12 @@ type WorkerStatus struct {
 	// trailing 60-second window — the live "who is pulling their weight"
 	// signal next to the lifetime UnitsDone counter.
 	UnitsPerSecond float64 `json:"units_per_second"`
+	// UnitDurationP50/P95/P99 are estimated quantiles of this worker's
+	// successful unit wall-clock times (from the fixed buckets of
+	// bd_worker_unit_duration_seconds); zero until a unit completes.
+	UnitDurationP50 float64 `json:"unit_duration_p50_seconds,omitempty"`
+	UnitDurationP95 float64 `json:"unit_duration_p95_seconds,omitempty"`
+	UnitDurationP99 float64 `json:"unit_duration_p99_seconds,omitempty"`
 
 	// Source is "flag" (seeded at startup, permanent) or "registered"
 	// (joined at runtime under a heartbeat lease).
@@ -303,10 +310,22 @@ func (w *workerState) snapshot() WorkerStatus {
 // fleet member, in join order — the body of bdcoord's GET /v1/workers
 // endpoint.
 func (e *Executor) WorkerStatuses() []WorkerStatus {
+	// Per-worker latency quantiles come from the executor-owned histogram
+	// family, keyed by the same URL label the counters use.
+	durs := map[string]obs.HistogramSnapshot{}
+	e.mx.unitDuration.Each(func(labels []string, snap obs.HistogramSnapshot) {
+		if len(labels) == 1 && snap.Count > 0 {
+			durs[labels[0]] = snap
+		}
+	})
 	members := e.reg.snapshot()
 	out := make([]WorkerStatus, len(members))
 	for i, w := range members {
 		out[i] = w.snapshot()
+		if snap, ok := durs[out[i].URL]; ok {
+			q := snap.Quantiles(0.50, 0.95, 0.99)
+			out[i].UnitDurationP50, out[i].UnitDurationP95, out[i].UnitDurationP99 = q[0], q[1], q[2]
+		}
 	}
 	return out
 }

@@ -17,6 +17,7 @@ type shardMetrics struct {
 	probes             *obs.CounterVec // worker, outcome
 	leaseEvents        *obs.CounterVec // event
 	mergeDuration      *obs.Histogram
+	unitDuration       *obs.HistogramVec // worker
 }
 
 func newShardMetrics(reg *obs.Registry) *shardMetrics {
@@ -41,5 +42,8 @@ func newShardMetrics(reg *obs.Registry) *shardMetrics {
 		mergeDuration: reg.Histogram("bd_merge_duration_seconds",
 			"Time to re-assemble unit matrices into the full grid, per job.",
 			obs.DefBuckets),
+		unitDuration: reg.HistogramVec("bd_worker_unit_duration_seconds",
+			"Wall-clock time of successfully completed unit attempts, by worker.",
+			obs.WideBuckets, "worker"),
 	}
 }

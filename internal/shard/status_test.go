@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// deadWorkerURL reserves a loopback port and closes it, yielding an
+// address that refuses connections for the life of the test.
+func deadWorkerURL(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+	return url
+}
+
+// TestFleetStatusPartialFleet: one live worker and one dead one. The
+// fleet view must return a row per member, with the live worker's
+// self-reported snapshot attached and the dead worker isolated to a
+// StatusError row — never an error for the whole fleet.
+func TestFleetStatusPartialFleet(t *testing.T) {
+	live := startWorker(t, service.Config{Workers: 1, TraceService: "bdservd"})
+	dead := deadWorkerURL(t)
+
+	exec, err := New(fastCoordConfig([]string{live.url, dead}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Close)
+
+	rows := exec.FleetStatus(context.Background(), 500*time.Millisecond)
+	if len(rows) != 2 {
+		t.Fatalf("fleet rows = %d, want 2", len(rows))
+	}
+	byURL := map[string]WorkerFleetStatus{}
+	for _, r := range rows {
+		if r.URL == "" {
+			t.Fatalf("row missing coordinator-side WorkerStatus: %+v", r)
+		}
+		byURL[r.URL] = r
+	}
+
+	lr, ok := byURL[live.url]
+	if !ok {
+		t.Fatalf("live worker %s missing from fleet view: %+v", live.url, rows)
+	}
+	if lr.StatusError != "" {
+		t.Fatalf("live worker reported error: %s", lr.StatusError)
+	}
+	if lr.Status == nil || lr.Status.Service != "bdservd" || lr.Status.PID == 0 {
+		t.Fatalf("live worker self-status incomplete: %+v", lr.Status)
+	}
+
+	dr, ok := byURL[dead]
+	if !ok {
+		t.Fatalf("dead worker %s missing from fleet view: %+v", dead, rows)
+	}
+	if dr.Status != nil {
+		t.Fatalf("dead worker has a snapshot: %+v", dr.Status)
+	}
+	if dr.StatusError == "" {
+		t.Fatal("dead worker row carries no StatusError")
+	}
+}
+
+// TestFleetStatusTimeoutIsolated: a worker that accepts connections but
+// never answers within the per-worker budget becomes a StatusError row;
+// the fan-out as a whole returns promptly instead of hanging on it.
+func TestFleetStatusTimeoutIsolated(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // accept and go silent
+		}
+	}()
+
+	exec, err := New(fastCoordConfig([]string{"http://" + ln.Addr().String()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Close)
+
+	start := time.Now()
+	rows := exec.FleetStatus(context.Background(), 300*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("fan-out took %s despite 300ms per-worker timeout", elapsed)
+	}
+	if len(rows) != 1 || rows[0].StatusError == "" {
+		t.Fatalf("silent worker not isolated: %+v", rows)
+	}
+}

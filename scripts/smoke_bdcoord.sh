@@ -37,9 +37,10 @@ PIDS=()
 # ${PIDS[@]:-} so the trap survives an empty array under set -u (bash<4.4).
 trap 'kill "${PIDS[@]:-}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
-echo "==> building bdservd + bdcoord"
+echo "==> building bdservd + bdcoord + bdtop"
 go build -o "$WORKDIR/bdservd" ./cmd/bdservd
 go build -o "$WORKDIR/bdcoord" ./cmd/bdcoord
+go build -o "$WORKDIR/bdtop" ./cmd/bdtop
 
 wait_healthy() { # wait_healthy <base-url> <pid>
   for i in $(seq 1 50); do
@@ -277,6 +278,48 @@ curl -fsS "$CO/v1/jobs/$J2_ID/result" -o "$WORKDIR/j2_result.json"
 curl -fsS "$C3/v1/jobs/$J2_NC_ID/result" -o "$WORKDIR/j2_nc_result.json"
 cmp "$WORKDIR/j2_result.json" "$WORKDIR/j2_nc_result.json"
 echo "    cell-cached result byte-identical to cache-disabled run ($J2_HASH)"
+
+echo "==> fleet console: /v1/status + bdtop -once"
+# The coordinator has a live 2-worker fleet, finished jobs and a warm
+# cell cache, so one /v1/status snapshot must carry all of it: the
+# merged fleet view with both workers reachable, non-zero fleet units,
+# and per-workload cell-cache hit ratios with at least one warm row.
+# The snapshot is kept as a CI artifact next to the chrome trace.
+curl -fsS "$CO/v1/status" -o smoke_bdcoord_status.json
+python3 - smoke_bdcoord_status.json "http://$W1_ADDR" "http://$W2_ADDR" <<'PY'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert st['service'] == 'bdcoord', st.get('service')
+assert st['jobs']['done'] >= 2, st['jobs']
+fleet = st.get('fleet') or []
+assert len(fleet) == 2, f'fleet has {len(fleet)} workers'
+by_url = {w['url']: w for w in fleet}
+units = 0
+for url in sys.argv[2:4]:
+    w = by_url[url]
+    assert not w.get('status_error'), f'{url} unreachable: {w["status_error"]}'
+    assert w['status']['service'] == 'bdservd', w['status'].get('service')
+    units += w['units_done']
+assert units > 0, 'fleet reports zero units done'
+cc = st.get('cell_cache') or {}
+rows = cc.get('by_workload') or []
+assert rows, 'no per-workload cell-cache attribution'
+warm = [r for r in rows if r['hit_ratio'] > 0]
+assert warm, f'no workload with a non-zero hit ratio: {rows}'
+assert st.get('window', {}).get('series'), 'no time-series window in the snapshot'
+print(f"    /v1/status: 2 workers reachable, {units} units, "
+      f"{len(warm)}/{len(rows)} workloads warm -> smoke_bdcoord_status.json")
+PY
+
+"$WORKDIR/bdtop" -once -addr "$CO" > "$WORKDIR/bdtop_frame.txt"
+grep -q 'FLEET  2 workers' "$WORKDIR/bdtop_frame.txt" \
+  || { echo "bdtop frame missing fleet view" >&2; cat "$WORKDIR/bdtop_frame.txt" >&2; exit 1; }
+grep -Eq 'units done [1-9]' "$WORKDIR/bdtop_frame.txt" \
+  || { echo "bdtop frame shows no fleet units" >&2; cat "$WORKDIR/bdtop_frame.txt" >&2; exit 1; }
+grep -Eq 'cell cache .* ratio 0\.[0-9]*[1-9]|cell cache .* ratio 1\.00' "$WORKDIR/bdtop_frame.txt" \
+  || { echo "bdtop frame shows zero cell-cache hit ratio" >&2; cat "$WORKDIR/bdtop_frame.txt" >&2; exit 1; }
+sed 's/^/    | /' "$WORKDIR/bdtop_frame.txt" | head -12
+echo "    bdtop -once rendered the merged fleet view"
 
 echo "==> heterogeneous-speed scenario: one worker throttled 3s/cell"
 # Fresh workers and coordinator (fresh data dirs: no cache replay). The
